@@ -1,0 +1,1 @@
+bin/common.ml: Aging Arg Cmdliner Ffs Fmt List Workload

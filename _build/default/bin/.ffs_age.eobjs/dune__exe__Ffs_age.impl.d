@@ -1,0 +1,1 @@
+bin/ffs_age.ml: Aging Arg Array Cmd Cmdliner Common Ffs Fmt Term Util Workload

@@ -1,0 +1,1 @@
+bin/ffs_bench.mli:

@@ -1,0 +1,1 @@
+bin/ffs_figures.ml: Arg Benchlib Cmd Cmdliner Common Fmt List Term

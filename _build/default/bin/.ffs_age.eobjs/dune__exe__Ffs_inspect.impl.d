@@ -1,0 +1,1 @@
+bin/ffs_inspect.ml: Aging Array Cmd Cmdliner Common Ffs Fmt List String Term Util

@@ -1,0 +1,83 @@
+(* Shared plumbing for the command-line tools: workload construction,
+   replay, and cmdliner argument definitions. *)
+
+open Cmdliner
+
+type workload_kind = Ground_truth | Reconstructed
+
+let build_workload ~params ~days ~seed ~kind ~profile_kind =
+  match profile_kind with
+  | Workload.Profiles.News | Workload.Profiles.Database | Workload.Profiles.Personal ->
+      (* the alternative profiles have no snapshot-reconstruction step *)
+      Workload.Profiles.build params profile_kind ~days ~seed
+  | Workload.Profiles.Home -> (
+      let profile =
+        if days = 300 then Workload.Ground_truth.default params
+        else Workload.Ground_truth.scaled params ~days
+      in
+      let profile = { profile with Workload.Ground_truth.seed } in
+      let gt = Workload.Ground_truth.generate params profile in
+      match kind with
+      | Ground_truth -> gt.Workload.Ground_truth.ops
+      | Reconstructed ->
+          let snapshots =
+            Workload.Snapshot.capture_nightly gt.Workload.Ground_truth.ops ~days
+          in
+          let nfs =
+            Workload.Nfs_source.generate ~seed:(seed + 17) ~trace_days:10
+              ~pairs_per_day:profile.Workload.Ground_truth.short_pairs_per_day
+          in
+          Workload.Reconstruct.run params ~seed:(seed + 23) ~snapshots ~nfs)
+
+let replay_with_progress ~params ~days ~config ~quiet ops =
+  if not quiet then
+    Fmt.epr "workload: %a@." Workload.Op.pp_stats (Workload.Op.stats ops);
+  let progress ~day ~score =
+    if (not quiet) && (day + 1) mod 25 = 0 then
+      Fmt.epr "  day %3d/%d  aggregate layout score %.3f@." (day + 1) days score
+  in
+  Aging.Replay.run ~config ~progress ~params ~days ops
+
+let profile_kind_term =
+  let open Cmdliner in
+  let profile_conv =
+    Arg.enum (List.map (fun k -> (Workload.Profiles.name k, k)) Workload.Profiles.all)
+  in
+  Arg.(value & opt profile_conv Workload.Profiles.Home
+       & info [ "profile" ] ~docv:"PROFILE"
+           ~doc:"Workload profile: $(b,home) (the paper's), $(b,news), $(b,database) or $(b,personal).")
+
+(* --- cmdliner terms -------------------------------------------------------- *)
+
+let days_term =
+  Arg.(value & opt int 300 & info [ "days" ] ~docv:"DAYS" ~doc:"Length of the aging workload in days.")
+
+let seed_term =
+  Arg.(value & opt int 960117 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed; equal seeds reproduce runs exactly.")
+
+let realloc_term =
+  Arg.(value & flag & info [ "realloc" ] ~doc:"Use the realloc (cluster reallocation) allocator instead of traditional FFS.")
+
+let policy_term =
+  let policy_conv =
+    Arg.enum [ ("first-fit", `First_fit); ("best-fit", `Best_fit) ]
+  in
+  Arg.(value & opt policy_conv `First_fit
+       & info [ "cluster-policy" ] ~docv:"POLICY"
+           ~doc:"Free-cluster search policy for realloc: $(b,first-fit) or $(b,best-fit).")
+
+let quiet_term = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress progress output.")
+
+let workload_kind_term =
+  let kind_conv =
+    Arg.enum [ ("ground-truth", Ground_truth); ("reconstructed", Reconstructed) ]
+  in
+  Arg.(value & opt kind_conv Reconstructed
+       & info [ "workload" ] ~docv:"KIND"
+           ~doc:"Replay the $(b,ground-truth) activity stream or the paper-style $(b,reconstructed) workload (default).")
+
+let image_arg ~doc = Arg.(required & opt (some string) None & info [ "image" ] ~docv:"PATH" ~doc)
+
+let config_of ~realloc ~policy =
+  if realloc then { Ffs.Fs.realloc = true; cluster_policy = policy }
+  else Ffs.Fs.default_config

@@ -1,0 +1,89 @@
+(* ffs_age: age a file system with the ten-month workload and save the
+   resulting image (the paper's Section 3 tool). *)
+
+open Cmdliner
+
+let run days seed realloc policy kind profile_kind quiet image_out csv_out workload_in
+    workload_out =
+  let params = Ffs.Params.paper_fs in
+  let config = Common.config_of ~realloc ~policy in
+  let ops =
+    match workload_in with
+    | Some path ->
+        Fmt.epr "loading workload from %s@." path;
+        Workload.Trace_file.load ~path
+    | None -> Common.build_workload ~params ~days ~seed ~kind ~profile_kind
+  in
+  (match workload_out with
+  | Some path ->
+      Workload.Trace_file.save ~path ops;
+      Fmt.pr "workload written to %s@." path
+  | None -> ());
+  let days =
+    match workload_in with
+    | None -> days
+    | Some _ -> (Workload.Op.stats ops).Workload.Op.days
+  in
+  let result = Common.replay_with_progress ~params ~days ~config ~quiet ops in
+  let scores = result.Aging.Replay.daily_scores in
+  Fmt.pr "allocator: %s@." (if realloc then "FFS + realloc" else "traditional FFS");
+  Fmt.pr "aged %d days; %d files live; utilization %.1f%%@." days
+    (Ffs.Fs.file_count result.Aging.Replay.fs)
+    (100.0 *. Ffs.Fs.utilization result.Aging.Replay.fs);
+  Fmt.pr "aggregate layout score: day 1 %.3f -> day %d %.3f@." scores.(0) days
+    scores.(Array.length scores - 1);
+  Fmt.pr "score history: %s@." (Util.Chart.sparkline scores);
+  if result.Aging.Replay.skipped_ops > 0 then
+    Fmt.pr "WARNING: %d operations skipped (out of space)@." result.Aging.Replay.skipped_ops;
+  (match csv_out with
+  | None -> ()
+  | Some path ->
+      let csv = Util.Csv.create ~header:[ "day"; "layout_score"; "utilization" ] in
+      Array.iteri
+        (fun i s ->
+          Util.Csv.add_row csv
+            (string_of_int (i + 1)
+            :: Util.Csv.floats [ s; result.Aging.Replay.daily_utilization.(i) ]))
+        scores;
+      Util.Csv.save csv ~path;
+      Fmt.pr "daily scores written to %s@." path);
+  match image_out with
+  | None -> ()
+  | Some path ->
+      let description =
+        Fmt.str "days=%d seed=%d allocator=%s workload=%s" days seed
+          (if realloc then "realloc" else "ffs")
+          (match kind with Common.Ground_truth -> "ground-truth" | Common.Reconstructed -> "reconstructed")
+      in
+      Aging.Image.save ~path { Aging.Image.days; description; result };
+      Fmt.pr "aged image written to %s@." path
+
+let cmd =
+  let image_out =
+    Arg.(value & opt (some string) None
+         & info [ "image" ] ~docv:"PATH" ~doc:"Save the aged image for later benchmarking.")
+  in
+  let csv_out =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"PATH" ~doc:"Write the daily layout-score series as CSV.")
+  in
+  let workload_in =
+    Arg.(value & opt (some string) None
+         & info [ "load-workload" ] ~docv:"PATH"
+             ~doc:"Replay a previously saved workload trace instead of generating one.")
+  in
+  let workload_out =
+    Arg.(value & opt (some string) None
+         & info [ "save-workload" ] ~docv:"PATH" ~doc:"Save the generated workload trace.")
+  in
+  let term =
+    Term.(
+      const run $ Common.days_term $ Common.seed_term $ Common.realloc_term
+      $ Common.policy_term $ Common.workload_kind_term $ Common.profile_kind_term
+      $ Common.quiet_term $ image_out $ csv_out $ workload_in $ workload_out)
+  in
+  Cmd.v
+    (Cmd.info "ffs_age" ~doc:"Artificially age an FFS file system by replaying a ten-month workload")
+    term
+
+let () = exit (Cmd.eval cmd)

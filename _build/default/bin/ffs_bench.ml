@@ -1,0 +1,95 @@
+(* ffs_bench: the paper's performance benchmarks against an aged image
+   (sequential I/O of Section 5.1, hot files of Section 5.2) plus the
+   raw-device baseline. *)
+
+open Cmdliner
+
+let fresh_drive () = Disk.Drive.create (Disk.Drive.paper_config ())
+let mb v = v /. 1048576.0
+
+let load_image path =
+  let image = Aging.Image.load ~path in
+  Fmt.pr "image: %s (%s)@." path image.Aging.Image.description;
+  image
+
+(* --- raw ------------------------------------------------------------------ *)
+
+let run_raw () =
+  let drive = fresh_drive () in
+  let read = Disk.Raw_bench.read_throughput drive () in
+  let write = Disk.Raw_bench.write_throughput drive () in
+  Fmt.pr "raw sequential read:  %.2f MB/s@." (mb read);
+  Fmt.pr "raw sequential write: %.2f MB/s@." (mb write)
+
+let raw_cmd =
+  Cmd.v (Cmd.info "raw" ~doc:"Raw-device sequential throughput baseline")
+    Term.(const run_raw $ const ())
+
+(* --- seqio ----------------------------------------------------------------- *)
+
+let run_seqio image_path corpus_mb sizes_kb =
+  let image = load_image image_path in
+  let sizes =
+    match sizes_kb with
+    | [] -> Benchlib.Seqio.default_sizes
+    | kbs -> List.map (fun kb -> kb * 1024) kbs
+  in
+  let points =
+    Benchlib.Seqio.run
+      ~aged:image.Aging.Image.result.Aging.Replay.fs
+      ~drive:(fresh_drive ())
+      ~corpus_bytes:(corpus_mb * 1024 * 1024)
+      ~sizes ()
+  in
+  let rows =
+    List.map
+      (fun (p : Benchlib.Seqio.point) ->
+        [
+          Fmt.str "%d" (p.file_bytes / 1024);
+          string_of_int p.files;
+          Fmt.str "%.2f" (mb p.write_throughput);
+          Fmt.str "%.2f" (mb p.read_throughput);
+          Fmt.str "%.3f" p.layout_score;
+        ])
+      points
+  in
+  print_string
+    (Util.Chart.table
+       ~header:[ "size KB"; "files"; "write MB/s"; "read MB/s"; "layout" ]
+       ~rows)
+
+let seqio_cmd =
+  let corpus =
+    Arg.(value & opt int 32 & info [ "corpus" ] ~docv:"MB" ~doc:"Corpus size in megabytes.")
+  in
+  let sizes =
+    Arg.(value & opt_all int [] & info [ "size" ] ~docv:"KB" ~doc:"File size(s) in KB; repeatable. Default: the paper's sweep.")
+  in
+  Cmd.v
+    (Cmd.info "seqio" ~doc:"Sequential create/write/read benchmark on an aged image (Figures 4 and 5)")
+    Term.(const run_seqio $ Common.image_arg ~doc:"Aged image to benchmark." $ corpus $ sizes)
+
+(* --- hot files -------------------------------------------------------------- *)
+
+let run_hot image_path =
+  let image = load_image image_path in
+  let r =
+    Benchlib.Hotfiles.run ~aged:image.Aging.Image.result ~drive:(fresh_drive ())
+      ~days:image.Aging.Image.days
+  in
+  Fmt.pr "hot set: %d files, %a (%.1f%% of files, %.1f%% of used space)@."
+    r.Benchlib.Hotfiles.files Util.Units.pp_bytes r.Benchlib.Hotfiles.bytes
+    (100.0 *. r.Benchlib.Hotfiles.fraction_of_files)
+    (100.0 *. r.Benchlib.Hotfiles.fraction_of_space);
+  Fmt.pr "layout score:     %.2f@." r.Benchlib.Hotfiles.layout_score;
+  Fmt.pr "read throughput:  %.2f MB/s@." (mb r.Benchlib.Hotfiles.read_throughput);
+  Fmt.pr "write throughput: %.2f MB/s@." (mb r.Benchlib.Hotfiles.write_throughput)
+
+let hot_cmd =
+  Cmd.v
+    (Cmd.info "hot" ~doc:"Hot-file (recently modified) benchmark on an aged image (Table 2)")
+    Term.(const run_hot $ Common.image_arg ~doc:"Aged image to benchmark.")
+
+let () =
+  let info = Cmd.info "ffs_bench" ~doc:"FFS disk-allocation benchmarks on aged images" in
+  exit (Cmd.eval (Cmd.group info [ raw_cmd; seqio_cmd; hot_cmd ]))

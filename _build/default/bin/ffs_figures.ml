@@ -1,0 +1,43 @@
+(* ffs_figures: regenerate every table and figure of the paper's
+   evaluation in one run. *)
+
+open Cmdliner
+
+let run days seed quiet csv_dir only =
+  let log msg = if not quiet then Fmt.epr "%s@." msg in
+  let ctx = Benchlib.Experiments.build ~days ~seed ~log () in
+  let pick name f = if only = [] || List.mem name only then print_string (f ()) in
+  pick "table1" (fun () -> Benchlib.Experiments.table1 ());
+  pick "fig1" (fun () -> Benchlib.Experiments.fig1 ?csv_dir ctx);
+  pick "fig2" (fun () -> Benchlib.Experiments.fig2 ?csv_dir ctx);
+  pick "fig3" (fun () -> Benchlib.Experiments.fig3 ?csv_dir ctx);
+  pick "fig4" (fun () -> Benchlib.Experiments.fig4 ?csv_dir ctx);
+  pick "fig5" (fun () -> Benchlib.Experiments.fig5 ?csv_dir ctx);
+  pick "fig6" (fun () -> Benchlib.Experiments.fig6 ?csv_dir ctx);
+  pick "table2" (fun () -> Benchlib.Experiments.table2 ?csv_dir ctx);
+  if only = [] || List.mem "checks" only then begin
+    print_endline "\n=== Shape checks vs the paper ===\n";
+    let checks = Benchlib.Experiments.shape_checks ctx in
+    Fmt.pr "%a@." Benchlib.Paper_expect.pp_checks checks;
+    if not (Benchlib.Paper_expect.all_passed checks) then exit 1
+  end
+
+let cmd =
+  let csv_dir =
+    Arg.(value & opt (some string) None
+         & info [ "csv-dir" ] ~docv:"DIR" ~doc:"Write each figure's data as CSV into $(docv).")
+  in
+  let only =
+    Arg.(value & opt_all string []
+         & info [ "only" ] ~docv:"EXP"
+             ~doc:"Run only the named experiment (table1, fig1..fig6, table2, checks); repeatable.")
+  in
+  let term =
+    Term.(const run $ Common.days_term $ Common.seed_term $ Common.quiet_term $ csv_dir $ only)
+  in
+  Cmd.v
+    (Cmd.info "ffs_figures"
+       ~doc:"Regenerate every table and figure of Smith & Seltzer (USENIX 1996)")
+    term
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,69 @@
+(* ffs_inspect: fragmentation and free-space report of an aged image —
+   the analysis of [Smith94] that motivated the paper (large free
+   clusters persist even on fragmented file systems). *)
+
+open Cmdliner
+
+let run image_path =
+  let image = Aging.Image.load ~path:image_path in
+  let result = image.Aging.Image.result in
+  let fs = result.Aging.Replay.fs in
+  let params = Ffs.Fs.params fs in
+  Fmt.pr "image: %s@." image.Aging.Image.description;
+  Fmt.pr "@.%a@.@." Ffs.Params.pp params;
+  Fmt.pr "files: %d  utilization: %.1f%%  aggregate layout score: %.3f@."
+    (Ffs.Fs.file_count fs)
+    (100.0 *. Ffs.Fs.utilization fs)
+    (Aging.Layout_score.aggregate fs);
+  (* layout by file size (the data behind figure 3) *)
+  let buckets = Aging.Layout_score.by_size fs ~inums:None in
+  print_newline ();
+  print_string
+    (Util.Chart.table
+       ~header:[ "size <= "; "layout score"; "files"; "counted blocks" ]
+       ~rows:
+         (List.map
+            (fun b ->
+              [
+                Fmt.str "%a" Util.Units.pp_bytes b.Aging.Layout_score.max_bytes;
+                Fmt.str "%.3f" b.Aging.Layout_score.score;
+                string_of_int b.Aging.Layout_score.files;
+                string_of_int b.Aging.Layout_score.counted_blocks;
+              ])
+            buckets));
+  (* free-space structure per cylinder group *)
+  print_newline ();
+  let cgs = Ffs.Fs.cg_states fs in
+  let rows =
+    Array.to_list
+      (Array.map
+         (fun cg ->
+           let hist = Ffs.Cg.free_run_histogram cg ~max:8 in
+           [
+             string_of_int (Ffs.Cg.index cg);
+             string_of_int (Ffs.Cg.free_block_count cg);
+             string_of_int (Ffs.Cg.longest_free_run cg);
+             String.concat " " (Array.to_list (Array.map string_of_int hist));
+           ])
+         cgs)
+  in
+  print_string
+    (Util.Chart.table
+       ~header:[ "cg"; "free blocks"; "longest run"; "free runs by length 1..7,8+" ]
+       ~rows);
+  (* the Smith94 observation: how much free space sits in large clusters *)
+  (* a picture of the allocation state: # full, . free, o mixed *)
+  Fmt.pr "@.%s" (Aging.Blockmap.render fs);
+  (* the Smith94 observation: how much free space sits in large clusters *)
+  Fmt.pr "@.%a@." Aging.Freespace.pp (Aging.Freespace.analyze fs);
+  (* fsck-style audit *)
+  let audit = Ffs.Check.run fs in
+  Fmt.pr "@.consistency: %a@." Ffs.Check.pp audit;
+  if not (Ffs.Check.is_clean audit) then exit 1
+
+let cmd =
+  Cmd.v
+    (Cmd.info "ffs_inspect" ~doc:"Fragmentation and free-space report of an aged image")
+    Term.(const run $ Common.image_arg ~doc:"Aged image to inspect.")
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/aging_demo.ml: Aging Array Ffs Fmt Util Workload

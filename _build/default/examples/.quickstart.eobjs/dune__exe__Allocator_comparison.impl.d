@@ -1,0 +1,1 @@
+examples/allocator_comparison.ml: Aging Array Disk Ffs Fmt List

@@ -1,0 +1,1 @@
+examples/allocator_comparison.mli:

@@ -1,0 +1,1 @@
+examples/custom_workload.ml: Aging Array Disk Ffs Fmt List Queue Util Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aging Disk Ffs Fmt List Util

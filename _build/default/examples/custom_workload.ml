@@ -1,0 +1,106 @@
+(* Custom workload: a news-spool pattern, one of the "different file
+   system usage patterns" the paper's future-work section proposes
+   studying (Section 6).
+
+   A news spool is nearly the opposite of home directories: a firehose
+   of small articles arriving all day, expired in roughly arrival order
+   a few days later — FIFO churn at high utilization. We build the
+   operation stream directly against the [Workload.Op] interface (no
+   snapshot reconstruction needed — this shows the library is usable
+   with any op source), replay it under both allocators, and compare.
+
+   Run with:  dune exec examples/custom_workload.exe *)
+
+let days = 30
+let articles_per_day = 2500
+let expiry_days = 7
+
+let article_size =
+  (* news articles: a couple of KB with occasional crossposted binaries *)
+  Util.Dist.mixture
+    [|
+      (Util.Dist.lognormal_of_median ~median:2200.0 ~sigma:0.8, 0.92);
+      (Util.Dist.uniform ~lo:65536.0 ~hi:524288.0, 0.08);
+    |]
+  |> Util.Dist.truncate ~lo:512.0 ~hi:1048576.0
+
+let build_workload params ~seed =
+  let rng = Util.Prng.create ~seed in
+  let pool = Workload.Inode_pool.create params in
+  let ncg = params.Ffs.Params.ncg in
+  let ops = Util.Vec.create () in
+  (* articles arrive in newsgroup directories spread over the groups *)
+  let expiry_queue = Queue.create () in
+  for day = 0 to days - 1 do
+    let day_start = float_of_int day *. Workload.Op.seconds_per_day in
+    for n = 0 to articles_per_day - 1 do
+      let cg = Util.Prng.int rng ncg in
+      match Workload.Inode_pool.alloc pool ~cg with
+      | None -> ()
+      | Some ino ->
+          let time =
+            day_start +. (86400.0 *. float_of_int n /. float_of_int articles_per_day)
+          in
+          let size = int_of_float (Util.Dist.sample article_size rng) in
+          Util.Vec.push ops (Workload.Op.Create { ino; size; time });
+          Queue.add (ino, day + expiry_days) expiry_queue
+    done;
+    (* expire old articles, oldest first *)
+    let rec expire () =
+      match Queue.peek_opt expiry_queue with
+      | Some (ino, expires) when expires <= day ->
+          ignore (Queue.pop expiry_queue);
+          Workload.Inode_pool.free pool ino;
+          Util.Vec.push ops
+            (Workload.Op.Delete
+               { ino; time = day_start +. 300.0 +. Util.Prng.float rng 3600.0 });
+          expire ()
+      | _ -> ()
+    in
+    expire ()
+  done;
+  let ops = Util.Vec.to_array ops in
+  Workload.Op.sort_by_time ops;
+  ops
+
+let () =
+  let params = Ffs.Params.paper_fs in
+  let ops = build_workload params ~seed:2001 in
+  (match Workload.Op.check_well_formed ops with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  Fmt.pr "news-spool workload: %a@.@." Workload.Op.pp_stats (Workload.Op.stats ops);
+  let run name config =
+    let r = Aging.Replay.run ~config ~params ~days ops in
+    let scores = r.Aging.Replay.daily_scores in
+    Fmt.pr "%-14s final layout score %.3f  utilization %.1f%%  %s@." name
+      scores.(days - 1)
+      (100.0 *. Ffs.Fs.utilization r.Aging.Replay.fs)
+      (Util.Chart.sparkline scores);
+    r
+  in
+  let trad = run "FFS" Ffs.Fs.default_config in
+  let re = run "FFS+realloc" Ffs.Fs.realloc_config in
+  (* how fast can a reader catch up on yesterday's articles? *)
+  let catch_up (r : Aging.Replay.result) =
+    let since = float_of_int (days - 1) *. Workload.Op.seconds_per_day in
+    let fresh = Aging.Replay.hot_inums r ~since in
+    let drive = Disk.Drive.create (Disk.Drive.paper_config ()) in
+    let engine = Ffs.Io_engine.create ~fs:r.Aging.Replay.fs ~drive () in
+    let bytes =
+      List.fold_left
+        (fun acc inum -> acc + (Ffs.Fs.inode r.Aging.Replay.fs inum).Ffs.Inode.size)
+        0 fresh
+    in
+    let elapsed =
+      Ffs.Io_engine.elapsed_of engine (fun () ->
+          List.iter (fun inum -> Ffs.Io_engine.read_file engine ~inum) fresh)
+    in
+    (List.length fresh, bytes, float_of_int bytes /. elapsed)
+  in
+  let n1, b1, t1 = catch_up trad in
+  let _, _, t2 = catch_up re in
+  Fmt.pr "@.reading the last day's %d articles (%a):@." n1 Util.Units.pp_bytes b1;
+  Fmt.pr "  FFS          %.2f MB/s@." (t1 /. 1048576.0);
+  Fmt.pr "  FFS+realloc  %.2f MB/s  (%+.0f%%)@." (t2 /. 1048576.0)
+    (Util.Stats.pct_change ~from_:t1 ~to_:t2)

@@ -1,0 +1,1 @@
+lib/aging/blockmap.ml: Array Buffer Ffs Fmt String

@@ -1,0 +1,1 @@
+lib/aging/blockmap.mli: Ffs

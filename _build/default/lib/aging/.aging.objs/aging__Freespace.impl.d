@@ -1,0 +1,1 @@
+lib/aging/freespace.ml: Array Ffs Fmt List Util

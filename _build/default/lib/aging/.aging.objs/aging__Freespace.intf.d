@@ -1,0 +1,1 @@
+lib/aging/freespace.mli: Ffs Format

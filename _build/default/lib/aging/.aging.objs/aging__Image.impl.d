@@ -1,0 +1,1 @@
+lib/aging/image.ml: Fmt Fun Marshal Replay String Sys

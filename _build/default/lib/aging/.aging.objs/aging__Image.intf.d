@@ -1,0 +1,1 @@
+lib/aging/image.mli: Replay

@@ -1,0 +1,1 @@
+lib/aging/layout_score.ml: Array Ffs List

@@ -1,0 +1,1 @@
+lib/aging/layout_score.mli: Ffs

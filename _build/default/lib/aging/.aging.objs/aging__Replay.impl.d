@@ -1,0 +1,1 @@
+lib/aging/replay.ml: Array Ffs Fmt Hashtbl Layout_score Logs Workload

@@ -1,0 +1,1 @@
+lib/aging/replay.mli: Ffs Hashtbl Workload

@@ -1,0 +1,27 @@
+let cell_char cg ~lo ~hi =
+  let used = ref 0 and total = ref 0 in
+  for b = lo to hi - 1 do
+    incr total;
+    if not (Ffs.Cg.block_is_free cg b) then incr used
+  done;
+  if !total = 0 then ' '
+  else if !used = 0 then '.'
+  else if !used = !total then '#'
+  else 'o'
+
+let render_cg ?(width = 64) cg =
+  let nblocks = Ffs.Cg.data_blocks cg in
+  let per_cell = max 1 ((nblocks + width - 1) / width) in
+  String.init width (fun i ->
+      let lo = i * per_cell in
+      if lo >= nblocks then ' ' else cell_char cg ~lo ~hi:(min nblocks (lo + per_cell)))
+
+let render ?(width = 64) fs =
+  let buf = Buffer.create 4096 in
+  Array.iter
+    (fun cg ->
+      Buffer.add_string buf
+        (Fmt.str "cg %02d |%s| %4d/%d free\n" (Ffs.Cg.index cg) (render_cg ~width cg)
+           (Ffs.Cg.free_block_count cg) (Ffs.Cg.data_blocks cg)))
+    (Ffs.Fs.cg_states fs);
+  Buffer.contents buf

@@ -1,0 +1,16 @@
+(** ASCII rendering of the on-disk allocation picture — one character
+    per group of block slots, one row per cylinder group. Makes
+    fragmentation visible at a glance:
+
+    {v
+    cg 00 |##########o..o..#oo...                    |
+    cg 01 |######o.o.o...........                    |
+    v}
+
+    [#] all blocks in the cell allocated, [.] all free, [o] mixed. *)
+
+val render : ?width:int -> Ffs.Fs.t -> string
+(** One row per cylinder group, [width] cells each (default 64). *)
+
+val render_cg : ?width:int -> Ffs.Cg.t -> string
+(** A single group on one line. *)

@@ -1,0 +1,82 @@
+type report = {
+  total_free_blocks : int;
+  total_free_fragments : int;
+  free_runs : int;
+  longest_run : int;
+  mean_run : float;
+  median_run : float;
+  run_histogram : (int * int) array;
+  blocks_in_cluster_runs : int;
+  cluster_capacity_fraction : float;
+}
+
+let report_of_runs ~params ~histogram_max ~free_fragments runs =
+  let maxcontig = params.Ffs.Params.maxcontig in
+  let total_free_blocks = List.fold_left ( + ) 0 runs in
+  let free_runs = List.length runs in
+  let longest_run = List.fold_left max 0 runs in
+  let mean_run =
+    if free_runs = 0 then 0.0 else float_of_int total_free_blocks /. float_of_int free_runs
+  in
+  let median_run =
+    if free_runs = 0 then 0.0
+    else Util.Stats.percentile (Array.of_list (List.map float_of_int runs)) 50.0
+  in
+  let histogram = Array.make histogram_max 0 in
+  List.iter
+    (fun len ->
+      let slot = min len histogram_max - 1 in
+      histogram.(slot) <- histogram.(slot) + 1)
+    runs;
+  let blocks_in_cluster_runs =
+    List.fold_left (fun acc len -> if len >= maxcontig then acc + len else acc) 0 runs
+  in
+  {
+    total_free_blocks;
+    total_free_fragments = free_fragments;
+    free_runs;
+    longest_run;
+    mean_run;
+    median_run;
+    run_histogram = Array.mapi (fun i c -> (i + 1, c)) histogram;
+    blocks_in_cluster_runs;
+    cluster_capacity_fraction =
+      (if total_free_blocks = 0 then 0.0
+       else float_of_int blocks_in_cluster_runs /. float_of_int total_free_blocks);
+  }
+
+let runs_of_cg cg =
+  let runs = ref [] in
+  let histogram = Ffs.Cg.free_run_histogram cg ~max:(Ffs.Cg.data_blocks cg) in
+  Array.iteri
+    (fun i count ->
+      for _ = 1 to count do
+        runs := (i + 1) :: !runs
+      done)
+    histogram;
+  !runs
+
+let analyze_cg ?(histogram_max = 16) params cg =
+  report_of_runs ~params ~histogram_max ~free_fragments:(Ffs.Cg.free_frag_count cg)
+    (runs_of_cg cg)
+
+let analyze ?(histogram_max = 16) fs =
+  let params = Ffs.Fs.params fs in
+  let runs =
+    Array.fold_left (fun acc cg -> List.rev_append (runs_of_cg cg) acc) []
+      (Ffs.Fs.cg_states fs)
+  in
+  report_of_runs ~params ~histogram_max ~free_fragments:(Ffs.Fs.free_data_frags fs) runs
+
+let pp ppf r =
+  Fmt.pf ppf
+    "@[<v>free: %d blocks (%d fragments) in %d runs@ longest run %d blocks; mean %.1f, \
+     median %.1f@ free blocks in cluster-sized runs: %d (%.0f%%)@ run histogram:%a@]"
+    r.total_free_blocks r.total_free_fragments r.free_runs r.longest_run r.mean_run
+    r.median_run r.blocks_in_cluster_runs
+    (100.0 *. r.cluster_capacity_fraction)
+    (fun ppf hist ->
+      Array.iter
+        (fun (len, count) -> if count > 0 then Fmt.pf ppf "@ %3d-block runs: %d" len count)
+        hist)
+    r.run_histogram

@@ -1,0 +1,33 @@
+(** Free-space structure analysis.
+
+    The paper's motivating observation (from Smith & Seltzer's TR-35-94
+    study) is that aged UNIX file systems still contain {e many large
+    clusters of free space} — fragmentation of new files is the
+    allocator's failure to exploit them, not their absence. This module
+    quantifies that: the distribution of maximal free-block runs and
+    how much of the free space sits in cluster-sized runs. *)
+
+type report = {
+  total_free_blocks : int;
+  total_free_fragments : int;
+  free_runs : int;  (** number of maximal free runs *)
+  longest_run : int;  (** blocks *)
+  mean_run : float;
+  median_run : float;
+  run_histogram : (int * int) array;
+      (** (run length, count); lengths above the last slot are folded
+          into it *)
+  blocks_in_cluster_runs : int;
+      (** free blocks inside runs of at least [maxcontig] *)
+  cluster_capacity_fraction : float;
+      (** [blocks_in_cluster_runs / total_free_blocks]; 0 when the file
+          system is full *)
+}
+
+val analyze : ?histogram_max:int -> Ffs.Fs.t -> report
+(** Whole-file-system analysis (default histogram cap: 16). *)
+
+val analyze_cg : ?histogram_max:int -> Ffs.Params.t -> Ffs.Cg.t -> report
+(** Single-group analysis. *)
+
+val pp : Format.formatter -> report -> unit

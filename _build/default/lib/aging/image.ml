@@ -1,0 +1,27 @@
+type t = { days : int; description : string; result : Replay.result }
+
+(* bump the version suffix whenever the marshalled representation of
+   Replay.result or Fs.t changes *)
+let magic = "FFS-REPRO-IMAGE-1\n"
+
+let save ~path t =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      Marshal.to_channel oc t [])
+
+let load ~path =
+  if not (Sys.file_exists path) then Fmt.failwith "Image.load: no such file: %s" path;
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      match
+        let header = really_input_string ic (String.length magic) in
+        if header <> magic then Fmt.failwith "Image.load: %s is not an aged image" path;
+        (Marshal.from_channel ic : t)
+      with
+      | t -> t
+      | exception End_of_file -> Fmt.failwith "Image.load: %s is truncated" path)

@@ -1,0 +1,22 @@
+(** Persistence of aged file-system images.
+
+    An aged image (the {!Replay.result} of an aging run, including the
+    daily score series and the inode map) can be saved to disk and
+    reloaded, so that the expensive ten-month replay runs once and the
+    benchmarks, inspectors and examples operate on the same image — the
+    way the paper benchmarks one aged disk repeatedly.
+
+    The format is OCaml [Marshal] prefixed with a versioned magic
+    string; it is a cache, not an interchange format. *)
+
+type t = {
+  days : int;  (** length of the aging run *)
+  description : string;  (** free-form provenance (workload, allocator, seed) *)
+  result : Replay.result;
+}
+
+val save : path:string -> t -> unit
+
+val load : path:string -> t
+(** Raises [Failure] if the file is missing, truncated, or was written
+    by a different version of this library. *)

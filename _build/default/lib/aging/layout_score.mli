@@ -1,0 +1,28 @@
+(** The paper's fragmentation metric.
+
+    The layout score of a file is the fraction of its blocks that are
+    {e optimally allocated} — physically contiguous with the previous
+    block of the same file. The first block is excluded (it has no
+    previous block) and one-block files have no defined score. The
+    aggregate layout score of a file system is the fraction of all
+    counted blocks (across files) that are optimal. *)
+
+val file_score : Ffs.Inode.t -> float option
+(** [None] for files with fewer than two data runs. *)
+
+val file_counts : Ffs.Inode.t -> int * int
+(** [(optimal, counted)] for one file; [(0, 0)] for one-run files. *)
+
+val aggregate : Ffs.Fs.t -> float
+(** Aggregate layout score over all regular files; 1.0 on an empty file
+    system (nothing is mis-allocated). *)
+
+val aggregate_of : Ffs.Fs.t -> inums:int list -> float
+(** Aggregate over a specific set of files (e.g. the hot set). *)
+
+type size_bucket = { max_bytes : int; score : float; files : int; counted_blocks : int }
+
+val by_size : ?bucket_lo:int -> ?bucket_hi:int -> Ffs.Fs.t -> inums:int list option -> size_bucket list
+(** Aggregate score per power-of-two size bucket: a file lands in the
+    smallest bucket whose [max_bytes] is >= its size. Defaults: 16 KB to
+    32 MB. Buckets with no multi-run files are omitted. *)

@@ -1,0 +1,1 @@
+lib/benchlib/ablations.ml: Aging Array Disk Domain Ffs Fmt List Seqio String Util Workload

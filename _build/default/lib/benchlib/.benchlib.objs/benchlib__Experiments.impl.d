@@ -1,0 +1,1 @@
+lib/benchlib/experiments.ml: Aging Array Buffer Disk Domain Ffs Filename Float Fmt Hotfiles List Paper_expect Seqio String Util Workload

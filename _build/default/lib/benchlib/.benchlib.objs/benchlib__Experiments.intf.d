@@ -1,0 +1,1 @@
+lib/benchlib/experiments.mli: Aging Ffs Paper_expect Workload

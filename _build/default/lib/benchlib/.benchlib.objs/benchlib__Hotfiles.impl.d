@@ -1,0 +1,1 @@
+lib/benchlib/hotfiles.ml: Aging Ffs List Workload

@@ -1,0 +1,1 @@
+lib/benchlib/hotfiles.mli: Aging Disk

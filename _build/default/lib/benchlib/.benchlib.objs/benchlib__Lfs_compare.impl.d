@@ -1,0 +1,1 @@
+lib/benchlib/lfs_compare.ml: Aging Array Disk Ffs Fmt Hashtbl Lfs List Option Util Workload

@@ -1,0 +1,1 @@
+lib/benchlib/lfs_compare.mli:

@@ -1,0 +1,1 @@
+lib/benchlib/paper_expect.ml: Fmt List

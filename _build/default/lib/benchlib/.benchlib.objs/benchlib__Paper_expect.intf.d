@@ -1,0 +1,1 @@
+lib/benchlib/paper_expect.mli: Format

@@ -1,0 +1,1 @@
+lib/benchlib/seqio.ml: Aging Array Ffs Fmt List

@@ -1,0 +1,1 @@
+lib/benchlib/seqio.mli: Disk Ffs

@@ -1,0 +1,52 @@
+(** Ablation studies of the design choices DESIGN.md calls out, plus the
+    future-work workload sweep (paper Section 6).
+
+    Each study ages file systems that differ in exactly one parameter
+    and reports the end-of-run fragmentation (and, where relevant,
+    allocator statistics). They answer the questions the paper leaves
+    open:
+
+    - does the cluster-search policy inside realloc (first fit vs. best
+      fit) matter?
+    - how does the configured maximum cluster size ([maxcontig]) trade
+      off against fragmentation and relocation failures?
+    - how sensitive is fragmentation to steady-state utilization (the
+      "real file systems run nearly full" concern)?
+    - how much does the traditional allocator's scatter neighbourhood
+      (the file-system cylinder size) drive its fragmentation?
+    - do realloc's gains carry over to news, database and personal
+      workloads?
+    - does the paper's seek-to-transfer-ratio explanation of its own
+      larger-than-expected gains hold (Section 5.1)?
+    - why is the rotational gap zero (Table 1), and what would the
+      historical nonzero settings cost?
+    - how much create throughput do the synchronous metadata writes
+      cost (the ceiling Section 5.1 identifies)? *)
+
+val cluster_policy : ?days:int -> ?seed:int -> unit -> string
+val maxcontig_sweep : ?days:int -> ?seed:int -> unit -> string
+val utilization_sweep : ?days:int -> ?seed:int -> unit -> string
+val cylinder_size : ?days:int -> ?seed:int -> unit -> string
+
+val hardware_sensitivity : ?days:int -> ?seed:int -> unit -> string
+(** The Section 5.1 claim: realloc's gains shrink on a slow-bus I/O
+    system where transfer time dominates seek time. *)
+
+val rotdelay : ?days:int -> ?seed:int -> unit -> string
+(** Why Table 1's rotational gap is 0 on a track-buffered drive. *)
+
+val soft_updates : ?days:int -> ?seed:int -> unit -> string
+(** How much of the small-file create ceiling is the synchronous
+    metadata the paper blames (modelled with delayed, aggregated
+    metadata writes). *)
+
+val seed_sensitivity : ?days:int -> ?seed:int -> unit -> string
+(** The headline non-optimal-block reduction across five independent
+    workload draws: mean and spread. *)
+
+val workload_profiles : ?days:int -> ?seed:int -> unit -> string
+
+val all : ?days:int -> ?seed:int -> unit -> string
+(** Every study, concatenated. Default scale: 90 days (the studies
+    compare configurations against each other, so they do not need the
+    full ten months). *)

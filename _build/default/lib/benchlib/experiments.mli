@@ -1,0 +1,60 @@
+(** Experiment drivers: one entry per table and figure in the paper's
+    evaluation. Each returns a printable report (tables and ASCII
+    charts) and, when [csv_dir] is given, writes the underlying data as
+    CSV for external plotting.
+
+    Building a {!context} performs the expensive shared work once: the
+    ground-truth workload, its nightly snapshots, the reconstructed
+    workload, and the three aging replays (ground truth on traditional
+    FFS; reconstruction on traditional FFS; reconstruction on
+    FFS+realloc). Sequential-I/O sweeps are computed lazily and
+    cached. *)
+
+type context
+
+val build :
+  ?params:Ffs.Params.t ->
+  ?days:int ->
+  ?seed:int ->
+  ?log:(string -> unit) ->
+  unit ->
+  context
+(** Defaults: the paper file system, 300 days, fixed seed. [log]
+    receives progress lines. *)
+
+val params : context -> Ffs.Params.t
+val days : context -> int
+val aged_traditional : context -> Aging.Replay.result
+val aged_realloc : context -> Aging.Replay.result
+val workload_stats : context -> Workload.Op.stats
+
+val table1 : unit -> string
+(** The benchmark configuration (hardware + file system parameters). *)
+
+val fig1 : ?csv_dir:string -> context -> string
+(** Aggregate layout score over time: real vs simulated aging. *)
+
+val fig2 : ?csv_dir:string -> context -> string
+(** Aggregate layout score over time: FFS vs FFS+realloc. *)
+
+val fig3 : ?csv_dir:string -> context -> string
+(** Layout score as a function of file size on the aged images. *)
+
+val fig4 : ?csv_dir:string -> context -> string
+(** Sequential read/write throughput vs file size, with raw-disk
+    baselines. *)
+
+val fig5 : ?csv_dir:string -> context -> string
+(** Layout score of the files created by the sequential benchmark. *)
+
+val fig6 : ?csv_dir:string -> context -> string
+(** Layout score of the hot files vs the sequential files. *)
+
+val table2 : ?csv_dir:string -> context -> string
+(** Hot-file layout score and read/write throughput. *)
+
+val shape_checks : context -> Paper_expect.shape_check list
+(** The cross-experiment qualitative assertions listed in DESIGN.md. *)
+
+val all : ?csv_dir:string -> context -> string
+(** Every table and figure, then the shape-check summary. *)

@@ -1,0 +1,50 @@
+type result = {
+  files : int;
+  bytes : int;
+  fraction_of_files : float;
+  fraction_of_space : float;
+  layout_score : float;
+  read_throughput : float;
+  write_throughput : float;
+}
+
+let hot_set (aged : Aging.Replay.result) ~days =
+  let since = float_of_int (days - 30) *. Workload.Op.seconds_per_day in
+  let inums = Aging.Replay.hot_inums aged ~since in
+  List.sort
+    (fun a b ->
+      let da = Ffs.Fs.dir_of_inum aged.fs a and db = Ffs.Fs.dir_of_inum aged.fs b in
+      if da <> db then compare da db else compare a b)
+    inums
+
+let run ~(aged : Aging.Replay.result) ~drive ~days =
+  let fs = aged.fs in
+  let inums = hot_set aged ~days in
+  let files = List.length inums in
+  let bytes =
+    List.fold_left (fun acc i -> acc + (Ffs.Fs.inode fs i).Ffs.Inode.size) 0 inums
+  in
+  let engine = Ffs.Io_engine.create ~fs ~drive () in
+  Ffs.Io_engine.reset engine;
+  let read_elapsed =
+    Ffs.Io_engine.elapsed_of engine (fun () ->
+        List.iter (fun inum -> Ffs.Io_engine.read_file engine ~inum) inums)
+  in
+  let write_elapsed =
+    Ffs.Io_engine.elapsed_of engine (fun () ->
+        List.iter (fun inum -> Ffs.Io_engine.overwrite_file engine ~inum) inums)
+  in
+  let params = Ffs.Fs.params fs in
+  let used_bytes = Ffs.Fs.used_data_frags fs * params.Ffs.Params.frag_bytes in
+  {
+    files;
+    bytes;
+    fraction_of_files = float_of_int files /. float_of_int (max 1 (Ffs.Fs.file_count fs));
+    fraction_of_space = float_of_int bytes /. float_of_int (max 1 used_bytes);
+    layout_score = Aging.Layout_score.aggregate_of fs ~inums;
+    read_throughput = float_of_int bytes /. read_elapsed;
+    write_throughput = float_of_int bytes /. write_elapsed;
+  }
+
+let by_size ~(aged : Aging.Replay.result) ~days =
+  Aging.Layout_score.by_size aged.fs ~inums:(Some (hot_set aged ~days))

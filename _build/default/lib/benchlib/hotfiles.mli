@@ -1,0 +1,26 @@
+(** The hot-file benchmark (Section 5.2, Table 2 and Figure 6).
+
+    The "hot set" is every file modified during the last month of the
+    aging workload. Files are processed sorted by directory, so several
+    files are read from one cylinder group before moving to the next.
+    The read phase reads every hot file; the write phase overwrites them
+    in place, preserving the aged layout. *)
+
+type result = {
+  files : int;
+  bytes : int;
+  fraction_of_files : float;  (** hot files / all files *)
+  fraction_of_space : float;  (** hot bytes / used bytes *)
+  layout_score : float;
+  read_throughput : float;  (** bytes/second *)
+  write_throughput : float;
+}
+
+val hot_set : Aging.Replay.result -> days:int -> int list
+(** Inode numbers modified in the final 30 days, sorted by (directory,
+    inode). *)
+
+val run : aged:Aging.Replay.result -> drive:Disk.Drive.t -> days:int -> result
+
+val by_size : aged:Aging.Replay.result -> days:int -> Aging.Layout_score.size_bucket list
+(** Layout score of the hot set bucketed by file size (Figure 6). *)

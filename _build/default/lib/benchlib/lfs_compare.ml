@@ -1,0 +1,131 @@
+type row = {
+  system : string;
+  layout_score : float;
+  utilization : float;
+  write_amplification : float;
+  hot_read_throughput : float;
+  skipped_ops : int;
+}
+
+let fresh_drive () = Disk.Drive.create (Disk.Drive.paper_config ())
+
+(* the hot set, derived from the workload itself so FFS and LFS agree:
+   inodes written during the final month and still live at the end *)
+let hot_inos ops ~days =
+  let since = float_of_int (days - 30) *. Workload.Op.seconds_per_day in
+  let last_write : (int, float) Hashtbl.t = Hashtbl.create 1024 in
+  let live : (int, unit) Hashtbl.t = Hashtbl.create 1024 in
+  Array.iter
+    (fun op ->
+      let ino = Workload.Op.ino_of op in
+      match op with
+      | Workload.Op.Create { time; _ } | Workload.Op.Modify { time; _ } ->
+          Hashtbl.replace live ino ();
+          Hashtbl.replace last_write ino time
+      | Workload.Op.Delete _ -> Hashtbl.remove live ino)
+    ops;
+  Hashtbl.fold
+    (fun ino () acc ->
+      match Hashtbl.find_opt last_write ino with
+      | Some t when t >= since -> ino :: acc
+      | Some _ | None -> acc)
+    live []
+  |> List.sort compare
+
+let hot_bytes ops hot =
+  let sizes : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  Array.iter
+    (fun op ->
+      match op with
+      | Workload.Op.Create { ino; size; _ } | Workload.Op.Modify { ino; size; _ } ->
+          Hashtbl.replace sizes ino size
+      | Workload.Op.Delete { ino; _ } -> Hashtbl.remove sizes ino)
+    ops;
+  List.fold_left (fun acc ino -> acc + Option.value ~default:0 (Hashtbl.find_opt sizes ino)) 0 hot
+
+let run ?(days = 60) ?(seed = 960117) () =
+  let params = Ffs.Params.paper_fs in
+  (* run the disk hot (82-90%) so the log cleaner has real work; at the
+     paper's 70-80% the log mostly reclaims whole dead segments free *)
+  let profile =
+    {
+      (Workload.Ground_truth.scaled params ~days) with
+      Workload.Ground_truth.seed;
+      utilization_lo = 0.82;
+      utilization_hi = 0.90;
+    }
+  in
+  let ops = (Workload.Ground_truth.generate params profile).Workload.Ground_truth.ops in
+  let hot = hot_inos ops ~days in
+  let bytes = hot_bytes ops hot in
+  let ffs_row name config =
+    let aged = Aging.Replay.run ~config ~params ~days ops in
+    let engine = Ffs.Io_engine.create ~fs:aged.Aging.Replay.fs ~drive:(fresh_drive ()) () in
+    let inums =
+      List.filter_map (fun ino -> Hashtbl.find_opt aged.Aging.Replay.ino_map ino) hot
+    in
+    let elapsed =
+      Ffs.Io_engine.elapsed_of engine (fun () ->
+          List.iter (fun inum -> Ffs.Io_engine.read_file engine ~inum) inums)
+    in
+    {
+      system = name;
+      layout_score = Aging.Layout_score.aggregate aged.Aging.Replay.fs;
+      utilization = Ffs.Fs.utilization aged.Aging.Replay.fs;
+      write_amplification = 1.0;
+      hot_read_throughput = float_of_int bytes /. elapsed;
+      skipped_ops = aged.Aging.Replay.skipped_ops;
+    }
+  in
+  let lfs_row name policy =
+    let config = { Lfs.Log_fs.default_config with Lfs.Log_fs.policy } in
+    let aged =
+      Lfs.Replay.run ~config ~block_bytes:1024 ~size_bytes:params.Ffs.Params.size_bytes
+        ~days ops
+    in
+    let io = Lfs.Lfs_io.create ~fs:aged.Lfs.Replay.fs ~drive:(fresh_drive ()) () in
+    let readable = List.filter (fun ino -> Lfs.Log_fs.file_exists aged.Lfs.Replay.fs ~ino) hot in
+    let elapsed =
+      Lfs.Lfs_io.elapsed_of io (fun () ->
+          List.iter (fun ino -> Lfs.Lfs_io.read_file io ~ino) readable)
+    in
+    {
+      system = name;
+      layout_score = Lfs.Log_fs.layout_score aged.Lfs.Replay.fs;
+      utilization = Lfs.Log_fs.utilization aged.Lfs.Replay.fs;
+      write_amplification = Lfs.Log_fs.write_amplification aged.Lfs.Replay.fs;
+      hot_read_throughput = float_of_int bytes /. elapsed;
+      skipped_ops = aged.Lfs.Replay.skipped_ops;
+    }
+  in
+  [
+    ffs_row "FFS (traditional)" Ffs.Fs.default_config;
+    ffs_row "FFS + realloc" Ffs.Fs.realloc_config;
+    lfs_row "LFS (greedy cleaner)" `Greedy;
+    lfs_row "LFS (cost-benefit cleaner)" `Cost_benefit;
+  ]
+
+let report ?days ?seed () =
+  let rows = run ?days ?seed () in
+  Fmt.str "@.=== Clustering vs logging under aging (cf. Seltzer95; Section 6) ===@.@."
+  ^ Util.Chart.table
+      ~header:[ "system"; "layout"; "util"; "write amp"; "hot read MB/s"; "skipped" ]
+      ~rows:
+        (List.map
+           (fun r ->
+             [
+               r.system;
+               Fmt.str "%.3f" r.layout_score;
+               Fmt.str "%.2f" r.utilization;
+               Fmt.str "%.2f" r.write_amplification;
+               Fmt.str "%.2f" (r.hot_read_throughput /. 1048576.0);
+               string_of_int r.skipped_ops;
+             ])
+           rows)
+  ^ "\nFFS pays for locality at allocation time (no write amplification);\n\
+     the log writes sequentially but taxes itself with cleaning, and its\n\
+     read locality depends on how much of each file the cleaner has\n\
+     re-coalesced. LFS layout is scored at 1 KB granularity. The low\n\
+     write amplification echoes Blackwell95 (which this paper cites):\n\
+     short-lived files die in whole segments, so most reclamation is\n\
+     free and the cleaner's tax stays small even at 85% utilization.\n"

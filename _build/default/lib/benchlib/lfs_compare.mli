@@ -1,0 +1,29 @@
+(** Clustering vs. logging under aging — the comparison the paper points
+    to (its own Section 6 future work, and its reference [Seltzer95],
+    "File System Logging Versus Clustering").
+
+    The same home-directory workload ages four file systems: traditional
+    FFS, FFS+realloc, and the log-structured substrate under its two
+    cleaning policies. For each we report the end-of-run layout score,
+    the write cost (LFS's cleaner tax as write amplification; FFS has
+    none), and the throughput of reading the hot set back from the aged
+    image.
+
+    LFS runs with 1 KB blocks (its partial-segment packing makes small
+    files fragment-tight, like BSD-LFS), so its layout metric is
+    computed at finer granularity than FFS's — the comparison is
+    qualitative, as in the literature. *)
+
+type row = {
+  system : string;
+  layout_score : float;
+  utilization : float;
+  write_amplification : float;  (** 1.0 for FFS: no cleaner *)
+  hot_read_throughput : float;  (** bytes/second *)
+  skipped_ops : int;
+}
+
+val run : ?days:int -> ?seed:int -> unit -> row list
+(** Default: 60 days at the paper's 70–90% utilization. *)
+
+val report : ?days:int -> ?seed:int -> unit -> string

@@ -1,0 +1,1 @@
+lib/disk/drive.ml: Float Geometry Seek

@@ -1,0 +1,1 @@
+lib/disk/raw_bench.ml: Drive

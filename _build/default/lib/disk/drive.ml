@@ -1,0 +1,206 @@
+type op = Read | Write
+
+type config = {
+  geometry : Geometry.t;
+  seek : Seek.t;
+  track_buffer_bytes : int;
+  max_transfer_bytes : int;
+  command_overhead : float;
+  bus_rate : float;
+}
+
+type stats = {
+  mutable requests : int;
+  mutable sectors_read : int;
+  mutable sectors_written : int;
+  mutable seek_count : int;
+  mutable seek_time : float;
+  mutable rotation_wait : float;
+  mutable transfer_time : float;
+  mutable buffer_hit_sectors : int;
+  mutable lost_rotations : int;
+}
+
+(* Read-ahead window: after a media read whose last sector was [base]
+   finishing at [base_time], sector [x] (base < x <= limit) is present in
+   the buffer from time [base_time + (x - base) * sector_time]. [limit]
+   models the buffer capacity; it slides forward as the host consumes. *)
+type readahead = { mutable limit : int; base : int; base_time : float }
+
+type t = {
+  cfg : config;
+  buffer_sectors : int;
+  mutable head_cylinder : int;
+  mutable ra : readahead option;
+  mutable busy_until : float;
+  stats : stats;
+}
+
+let paper_config () =
+  let geometry = Geometry.seagate_32430n in
+  {
+    geometry;
+    seek = Seek.default_for geometry ~average_ms:11.0;
+    track_buffer_bytes = 512 * 1024;
+    max_transfer_bytes = 64 * 1024;
+    command_overhead = 0.5e-3;
+    bus_rate = 10.0 *. 1048576.0;
+  }
+
+let sparcstation_config () =
+  {
+    (paper_config ()) with
+    bus_rate = 1.6 *. 1048576.0;
+    command_overhead = 1.5e-3;
+  }
+
+let fresh_stats () =
+  {
+    requests = 0;
+    sectors_read = 0;
+    sectors_written = 0;
+    seek_count = 0;
+    seek_time = 0.0;
+    rotation_wait = 0.0;
+    transfer_time = 0.0;
+    buffer_hit_sectors = 0;
+    lost_rotations = 0;
+  }
+
+let create cfg =
+  assert (cfg.max_transfer_bytes >= cfg.geometry.sector_bytes);
+  {
+    cfg;
+    buffer_sectors = cfg.track_buffer_bytes / cfg.geometry.sector_bytes;
+    head_cylinder = 0;
+    ra = None;
+    busy_until = 0.0;
+    stats = fresh_stats ();
+  }
+
+let config t = t.cfg
+let stats t = t.stats
+
+let reset_stats t =
+  let s = t.stats in
+  s.requests <- 0;
+  s.sectors_read <- 0;
+  s.sectors_written <- 0;
+  s.seek_count <- 0;
+  s.seek_time <- 0.0;
+  s.rotation_wait <- 0.0;
+  s.transfer_time <- 0.0;
+  s.buffer_hit_sectors <- 0;
+  s.lost_rotations <- 0
+
+let reset t =
+  t.head_cylinder <- 0;
+  t.ra <- None;
+  t.busy_until <- 0.0;
+  reset_stats t
+
+let max_transfer_sectors t = t.cfg.max_transfer_bytes / t.cfg.geometry.sector_bytes
+let busy_until t = t.busy_until
+
+(* Seek plus rotational wait to reach [lba] starting at [t0], from the
+   current head cylinder. Rotational position is a global function of
+   absolute time (all tracks index-aligned, no skew modelled for
+   positioning). Pure: no state or statistics are touched. *)
+let positioning_cost t ~t0 lba =
+  let geom = t.cfg.geometry in
+  let target_cyl = Geometry.cylinder_of_lba geom lba in
+  let distance = abs (target_cyl - t.head_cylinder) in
+  let seek_time = if distance = 0 then 0.0 else Seek.time t.cfg.seek distance in
+  let t_settled = t0 +. seek_time in
+  let period = Geometry.rotation_period geom in
+  let target_angle = Geometry.sector_angle geom lba in
+  let current_angle = Float.rem (t_settled /. period) 1.0 in
+  let delta = Float.rem (target_angle -. current_angle +. 1.0) 1.0 in
+  (seek_time, delta *. period)
+
+(* Move the head to [lba] at time [t0]; returns the time at which the
+   media transfer can start, and accounts statistics. *)
+let position t ~t0 lba =
+  let seek_time, wait = positioning_cost t ~t0 lba in
+  if seek_time > 0.0 then t.stats.seek_count <- t.stats.seek_count + 1;
+  t.stats.seek_time <- t.stats.seek_time +. seek_time;
+  t.head_cylinder <- Geometry.cylinder_of_lba t.cfg.geometry lba;
+  t.stats.rotation_wait <- t.stats.rotation_wait +. wait;
+  if wait > 0.85 *. Geometry.rotation_period t.cfg.geometry then
+    t.stats.lost_rotations <- t.stats.lost_rotations + 1;
+  t0 +. seek_time +. wait
+
+(* Per-sector transfer time: the media rate, unless the host bus is the
+   bottleneck (SparcStation-era adapters were slower than the platter). *)
+let effective_sector_time t =
+  let geom = t.cfg.geometry in
+  Float.max (Geometry.sector_time geom)
+    (float_of_int geom.sector_bytes /. t.cfg.bus_rate)
+
+let media_read t ~t0 ~lba ~nsectors =
+  let geom = t.cfg.geometry in
+  let t_start = position t ~t0 lba in
+  let transfer = float_of_int nsectors *. effective_sector_time t in
+  t.stats.transfer_time <- t.stats.transfer_time +. transfer;
+  let t_done = t_start +. transfer in
+  let last = lba + nsectors - 1 in
+  t.head_cylinder <- Geometry.cylinder_of_lba geom last;
+  (* the drive keeps streaming into its buffer after the request *)
+  t.ra <- Some { limit = last + t.buffer_sectors; base = last; base_time = t_done };
+  t_done
+
+let service t ~now op ~lba ~nsectors =
+  let geom = t.cfg.geometry in
+  assert (nsectors >= 1 && nsectors <= max_transfer_sectors t);
+  assert (lba >= 0 && lba + nsectors <= Geometry.total_sectors geom);
+  let now = Float.max now t.busy_until in
+  let t0 = now +. t.cfg.command_overhead in
+  t.stats.requests <- t.stats.requests + 1;
+  let completion =
+    match op with
+    | Write ->
+        t.stats.sectors_written <- t.stats.sectors_written + nsectors;
+        (* write-through: invalidate read-ahead, position, transfer *)
+        t.ra <- None;
+        let t_start = position t ~t0 lba in
+        let transfer = float_of_int nsectors *. effective_sector_time t in
+        t.stats.transfer_time <- t.stats.transfer_time +. transfer;
+        t.head_cylinder <- Geometry.cylinder_of_lba geom (lba + nsectors - 1);
+        t_start +. transfer
+    | Read -> begin
+        t.stats.sectors_read <- t.stats.sectors_read + nsectors;
+        let last = lba + nsectors - 1 in
+        let from_buffer =
+          match t.ra with
+          | Some ra when lba > ra.base && last <= ra.limit ->
+              (* the read-ahead stream will deliver the data at media
+                 rate; serve from the buffer only if that beats
+                 repositioning the head directly *)
+              let sector_time = Geometry.sector_time geom in
+              let available =
+                ra.base_time +. (float_of_int (last - ra.base) *. sector_time)
+              in
+              let bus_time =
+                float_of_int (nsectors * geom.sector_bytes) /. t.cfg.bus_rate
+              in
+              let stream_completion = Float.max (t0 +. bus_time) available in
+              let seek_time, rot_wait = positioning_cost t ~t0 lba in
+              let reposition_completion =
+                t0 +. seek_time +. rot_wait
+                +. (float_of_int nsectors *. sector_time)
+              in
+              if stream_completion <= reposition_completion then Some (ra, stream_completion)
+              else None
+          | Some _ | None -> None
+        in
+        match from_buffer with
+        | Some (ra, completion) ->
+            t.stats.buffer_hit_sectors <- t.stats.buffer_hit_sectors + nsectors;
+            ra.limit <- max ra.limit (last + t.buffer_sectors);
+            t.head_cylinder <- Geometry.cylinder_of_lba geom last;
+            completion
+        | None -> media_read t ~t0 ~lba ~nsectors
+      end
+  in
+  t.busy_until <- completion;
+  completion

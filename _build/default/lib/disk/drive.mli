@@ -1,0 +1,83 @@
+(** The disk service model.
+
+    A single-spindle disk served one request at a time. The caller owns
+    the clock: it passes the time at which each request arrives at the
+    drive, and gets back the completion time. Mechanisms modelled, each
+    of which the paper's performance discussion depends on:
+
+    - seek time as a function of cylinder distance ({!Seek});
+    - rotational latency: the platter angle is a function of absolute
+      time, so a request that arrives "a little too late" for its target
+      sector waits almost a full revolution — the {e lost rotation} that
+      explains the paper's write-throughput ceiling;
+    - media transfer at one sector per sector-time, streaming across
+      track and cylinder boundaries (ideal skew);
+    - a track buffer performing read-ahead: after a media read the drive
+      keeps streaming subsequent sectors into its buffer, so back-to-back
+      sequential reads are served at media rate without rotational loss.
+      Writes are write-through (no write-behind), per the paper's
+      hardware;
+    - a per-request command overhead and a host-visible bus rate for
+      buffer hits.
+
+    Requests must not exceed [max_transfer_bytes] (the 64 KB limit of the
+    paper's controller). *)
+
+type op = Read | Write
+
+type config = {
+  geometry : Geometry.t;
+  seek : Seek.t;
+  track_buffer_bytes : int;  (** read-ahead buffer capacity (512 KB) *)
+  max_transfer_bytes : int;  (** per-request cap (64 KB) *)
+  command_overhead : float;  (** seconds of controller processing per request *)
+  bus_rate : float;  (** bytes/second over the SCSI bus (buffer hits) *)
+}
+
+type stats = {
+  mutable requests : int;
+  mutable sectors_read : int;
+  mutable sectors_written : int;
+  mutable seek_count : int;
+  mutable seek_time : float;
+  mutable rotation_wait : float;
+  mutable transfer_time : float;
+  mutable buffer_hit_sectors : int;
+  mutable lost_rotations : int;
+      (** requests whose rotational wait exceeded 85% of a revolution *)
+}
+
+type t
+
+val paper_config : unit -> config
+(** The Table 1 hardware: Seagate 32430N behind a Fast-SCSI (10 MB/s)
+    Buslogic controller, 512 KB track buffer, 64 KB maximum transfer,
+    11 ms average seek. *)
+
+val sparcstation_config : unit -> config
+(** The earlier study's I/O system ([Seltzer95] ran on a SparcStation 1):
+    a comparable disk behind a much slower host adapter (~1.6 MB/s) with
+    higher per-request overhead. The paper's Section 5.1 argues its
+    larger-than-expected gains come from the PCI system's higher
+    seek-to-transfer ratio; benchmarking against this configuration
+    tests that explanation. *)
+
+val create : config -> t
+val config : t -> config
+val stats : t -> stats
+val reset_stats : t -> unit
+
+val reset : t -> unit
+(** Reset head position, buffer and statistics (a fresh spin-up). *)
+
+val max_transfer_sectors : t -> int
+
+val service : t -> now:float -> op -> lba:int -> nsectors:int -> float
+(** [service t ~now op ~lba ~nsectors] serves one request arriving at
+    [now] and returns its completion time. [now] may not be earlier than
+    the previous request's completion (the model clamps it up if so —
+    the drive serves one request at a time). [nsectors] must be within
+    [1, max_transfer_sectors] and the range within the disk. *)
+
+val busy_until : t -> float
+(** Completion time of the last request served (0 initially). *)

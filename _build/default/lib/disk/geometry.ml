@@ -1,0 +1,35 @@
+type t = {
+  cylinders : int;
+  heads : int;
+  sectors_per_track : int;
+  sector_bytes : int;
+  rpm : int;
+}
+
+type chs = { cylinder : int; head : int; sector : int }
+
+let seagate_32430n =
+  { cylinders = 3992; heads = 9; sectors_per_track = 116; sector_bytes = 512; rpm = 5411 }
+
+let sectors_per_cylinder t = t.heads * t.sectors_per_track
+let total_sectors t = t.cylinders * sectors_per_cylinder t
+let capacity_bytes t = total_sectors t * t.sector_bytes
+let rotation_period t = 60.0 /. float_of_int t.rpm
+let sector_time t = rotation_period t /. float_of_int t.sectors_per_track
+
+let media_rate t =
+  float_of_int (t.sectors_per_track * t.sector_bytes) /. rotation_period t
+
+let lba_to_chs t lba =
+  assert (lba >= 0 && lba < total_sectors t);
+  let spc = sectors_per_cylinder t in
+  {
+    cylinder = lba / spc;
+    head = lba mod spc / t.sectors_per_track;
+    sector = lba mod t.sectors_per_track;
+  }
+
+let cylinder_of_lba t lba = lba / sectors_per_cylinder t
+
+let sector_angle t lba =
+  float_of_int (lba mod t.sectors_per_track) /. float_of_int t.sectors_per_track

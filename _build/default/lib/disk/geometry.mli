@@ -1,0 +1,46 @@
+(** Physical disk geometry and derived timing constants.
+
+    The model is a classic non-zoned geometry: [cylinders] x [heads]
+    tracks of [sectors_per_track] sectors each. The paper's disk (Seagate
+    ST32430N) is zoned in reality; the paper reports the {e average}
+    sectors per track (116), which we use uniformly — this preserves the
+    average media rate, which is what the throughput results depend
+    on. *)
+
+type t = {
+  cylinders : int;
+  heads : int;
+  sectors_per_track : int;
+  sector_bytes : int;
+  rpm : int;
+}
+
+type chs = { cylinder : int; head : int; sector : int }
+
+val seagate_32430n : t
+(** The configuration of Table 1: 3992 cylinders, 9 heads, 116 sectors
+    per track (average), 512-byte sectors, 5411 RPM — 2.1 GB. *)
+
+val sectors_per_cylinder : t -> int
+val total_sectors : t -> int
+val capacity_bytes : t -> int
+
+val rotation_period : t -> float
+(** Seconds for one revolution. *)
+
+val sector_time : t -> float
+(** Seconds for one sector to pass under the head (media transfer rate of
+    one sector). *)
+
+val media_rate : t -> float
+(** Sustained media transfer rate in bytes/second (one track per
+    revolution). *)
+
+val lba_to_chs : t -> int -> chs
+(** Decompose an LBA. The LBA must lie in [0, total_sectors). *)
+
+val cylinder_of_lba : t -> int -> int
+
+val sector_angle : t -> int -> float
+(** Angular position in [0, 1) at which the given LBA's sector begins on
+    its track. *)

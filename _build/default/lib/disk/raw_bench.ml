@@ -1,0 +1,25 @@
+type result = { bytes : int; elapsed : float; throughput : float }
+
+let run drive ?(host_gap = 0.7e-3) ?(start_lba = 0) ~op ~bytes () =
+  Drive.reset drive;
+  let sector_bytes = (Drive.config drive).geometry.sector_bytes in
+  let total_sectors = bytes / sector_bytes in
+  assert (total_sectors > 0);
+  let chunk = Drive.max_transfer_sectors drive in
+  let rec stream lba remaining clock =
+    if remaining = 0 then clock
+    else begin
+      let n = min chunk remaining in
+      let done_at = Drive.service drive ~now:clock op ~lba ~nsectors:n in
+      stream (lba + n) (remaining - n) (done_at +. host_gap)
+    end
+  in
+  let finish = stream start_lba total_sectors 0.0 in
+  let bytes = total_sectors * sector_bytes in
+  { bytes; elapsed = finish; throughput = float_of_int bytes /. finish }
+
+let read_throughput drive ?(bytes = 8 * 1024 * 1024) () =
+  (run drive ~op:Drive.Read ~bytes ()).throughput
+
+let write_throughput drive ?(bytes = 8 * 1024 * 1024) () =
+  (run drive ~op:Drive.Write ~bytes ()).throughput

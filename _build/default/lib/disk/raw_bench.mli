@@ -1,0 +1,24 @@
+(** Raw-device sequential throughput: the "Raw Read/Write Throughput"
+    baselines of the paper's Figure 4.
+
+    The benchmark streams a region of the disk in maximum-size requests
+    issued back-to-back, each request issued [host_gap] seconds after the
+    previous completion (system-call and driver turnaround). Reads ride
+    the track buffer's read-ahead; writes pay a lost rotation per request
+    — exactly the asymmetry the paper observes. *)
+
+type result = {
+  bytes : int;
+  elapsed : float;  (** seconds *)
+  throughput : float;  (** bytes/second *)
+}
+
+val run :
+  Drive.t -> ?host_gap:float -> ?start_lba:int -> op:Drive.op -> bytes:int -> unit -> result
+(** Stream [bytes] (rounded down to whole sectors) from [start_lba]
+    (default 0) with [host_gap] (default 0.7 ms) between requests. The
+    drive is reset first. *)
+
+val read_throughput : Drive.t -> ?bytes:int -> unit -> float
+val write_throughput : Drive.t -> ?bytes:int -> unit -> float
+(** Convenience wrappers (default 8 MB region), bytes/second. *)

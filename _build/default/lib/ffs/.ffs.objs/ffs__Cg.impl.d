@@ -1,0 +1,1 @@
+lib/ffs/cg.ml: Bitmap Option Params Run_index

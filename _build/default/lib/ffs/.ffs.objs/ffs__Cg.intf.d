@@ -1,0 +1,1 @@
+lib/ffs/cg.mli: Params

@@ -1,0 +1,1 @@
+lib/ffs/check.ml: Array Cg Fmt Fs Hashtbl Inode List Params

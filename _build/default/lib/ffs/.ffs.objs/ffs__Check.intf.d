@@ -1,0 +1,1 @@
+lib/ffs/check.mli: Format Fs

@@ -1,0 +1,1 @@
+lib/ffs/fs.ml: Array Cg Fmt Hashtbl Inode List Option Params Util

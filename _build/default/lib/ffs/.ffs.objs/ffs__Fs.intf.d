@@ -1,0 +1,1 @@
+lib/ffs/fs.mli: Cg Inode Params

@@ -1,0 +1,1 @@
+lib/ffs/inode.ml: Array Fmt

@@ -1,0 +1,1 @@
+lib/ffs/io_engine.ml: Array Disk Fs Hashtbl Inode Params Util

@@ -1,0 +1,1 @@
+lib/ffs/io_engine.mli: Disk Fs

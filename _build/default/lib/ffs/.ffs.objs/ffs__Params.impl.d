@@ -1,0 +1,1 @@
+lib/ffs/params.ml: Fmt Util

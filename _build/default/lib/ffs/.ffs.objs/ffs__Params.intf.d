@@ -1,0 +1,1 @@
+lib/ffs/params.mli: Format

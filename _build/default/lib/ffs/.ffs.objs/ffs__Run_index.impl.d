@@ -1,0 +1,1 @@
+lib/ffs/run_index.ml: Array Bitmap Fmt

@@ -1,0 +1,128 @@
+type t = { bits : Bytes.t; len : int }
+
+let create len =
+  assert (len >= 0);
+  { bits = Bytes.make ((len + 7) / 8) '\000'; len }
+
+let length t = t.len
+let copy t = { bits = Bytes.copy t.bits; len = t.len }
+
+let get t i =
+  assert (i >= 0 && i < t.len);
+  Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set t i =
+  assert (i >= 0 && i < t.len);
+  let b = i lsr 3 in
+  Bytes.unsafe_set t.bits b
+    (Char.chr (Char.code (Bytes.unsafe_get t.bits b) lor (1 lsl (i land 7))))
+
+let clear t i =
+  assert (i >= 0 && i < t.len);
+  let b = i lsr 3 in
+  Bytes.unsafe_set t.bits b
+    (Char.chr (Char.code (Bytes.unsafe_get t.bits b) land lnot (1 lsl (i land 7)) land 0xFF))
+
+let set_range t ~pos ~len =
+  assert (pos >= 0 && len >= 0 && pos + len <= t.len);
+  for i = pos to pos + len - 1 do
+    set t i
+  done
+
+let clear_range t ~pos ~len =
+  assert (pos >= 0 && len >= 0 && pos + len <= t.len);
+  for i = pos to pos + len - 1 do
+    clear t i
+  done
+
+let all_clear t ~pos ~len =
+  assert (pos >= 0 && len >= 0 && pos + len <= t.len);
+  let rec loop i = i >= pos + len || ((not (get t i)) && loop (i + 1)) in
+  loop pos
+
+let all_set t ~pos ~len =
+  assert (pos >= 0 && len >= 0 && pos + len <= t.len);
+  let rec loop i = i >= pos + len || (get t i && loop (i + 1)) in
+  loop pos
+
+let popcount_byte =
+  let table = Array.make 256 0 in
+  for i = 1 to 255 do
+    table.(i) <- table.(i lsr 1) + (i land 1)
+  done;
+  fun c -> table.(Char.code c)
+
+let count_set t =
+  let total = ref 0 in
+  Bytes.iter (fun c -> total := !total + popcount_byte c) t.bits;
+  (* mask out any padding bits in the final byte (always written as 0,
+     but be defensive) *)
+  !total
+
+let count_clear t = t.len - count_set t
+
+let find_clear t ~start =
+  assert (start >= 0);
+  let rec scan i =
+    if i >= t.len then None
+    else if i land 7 = 0 && i + 8 <= t.len && Bytes.unsafe_get t.bits (i lsr 3) = '\255'
+    then scan (i + 8)
+    else if not (get t i) then Some i
+    else scan (i + 1)
+  in
+  if start >= t.len then None else scan start
+
+let find_clear_wrap t ~start =
+  if t.len = 0 then None
+  else begin
+    let start = start mod t.len in
+    match find_clear t ~start with
+    | Some _ as r -> r
+    | None -> (
+        match find_clear t ~start:0 with Some i when i < start -> Some i | _ -> None)
+  end
+
+let find_clear_run t ~start ~len =
+  assert (len > 0);
+  (* walk forward; on a set bit, jump past it *)
+  let rec scan pos =
+    if pos + len > t.len then None
+    else begin
+      (* find the last set bit in the window, if any, scanning backwards
+         so we can skip the whole window on failure *)
+      let rec check i =
+        if i < pos then Some pos else if get t i then scan (i + 1) else check (i - 1)
+      in
+      check (pos + len - 1)
+    end
+  in
+  if start < 0 then None else scan start
+
+let find_clear_run_wrap t ~start ~len =
+  if t.len = 0 then None
+  else begin
+    let start = start mod t.len in
+    match find_clear_run t ~start ~len with
+    | Some _ as r -> r
+    | None -> (
+        match find_clear_run t ~start:0 ~len with
+        | Some i when i < start -> Some i
+        | _ -> None)
+  end
+
+let clear_run_length_at t i =
+  assert (i >= 0 && i < t.len);
+  let rec loop j = if j < t.len && not (get t j) then loop (j + 1) else j - i in
+  loop i
+
+let iter_clear_runs t f =
+  let rec loop i =
+    if i < t.len then
+      if get t i then loop (i + 1)
+      else begin
+        let len = clear_run_length_at t i in
+        f ~pos:i ~len;
+        loop (i + len)
+      end
+  in
+  loop 0

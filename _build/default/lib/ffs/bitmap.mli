@@ -1,0 +1,52 @@
+(** Allocation bitmaps.
+
+    A fixed-length vector of bits; a {e set} bit means the resource is
+    allocated. Includes the run-scanning primitives the allocators need
+    (first clear bit, first clear run of a given length). Scans are
+    byte-at-a-time with full-byte shortcuts, which is ample for
+    cylinder-group-sized maps (a few thousand bits). *)
+
+type t
+
+val create : int -> t
+(** All bits clear (everything free). *)
+
+val length : t -> int
+val copy : t -> t
+val get : t -> int -> bool
+val set : t -> int -> unit
+val clear : t -> int -> unit
+
+val set_range : t -> pos:int -> len:int -> unit
+val clear_range : t -> pos:int -> len:int -> unit
+
+val all_clear : t -> pos:int -> len:int -> bool
+(** Is every bit in [\[pos, pos+len)] clear? *)
+
+val all_set : t -> pos:int -> len:int -> bool
+
+val count_set : t -> int
+val count_clear : t -> int
+
+val find_clear : t -> start:int -> int option
+(** First clear bit at index >= [start] (no wrap). *)
+
+val find_clear_wrap : t -> start:int -> int option
+(** First clear bit scanning from [start] to the end, then from 0 to
+    [start]. *)
+
+val find_clear_run : t -> start:int -> len:int -> int option
+(** First position >= [start] (no wrap) where [len] consecutive bits are
+    clear. *)
+
+val find_clear_run_wrap : t -> start:int -> len:int -> int option
+(** As {!find_clear_run} but wrapping: positions before [start] are
+    considered after those at/after it. A run never wraps around the end
+    of the bitmap itself. *)
+
+val clear_run_length_at : t -> int -> int
+(** Length of the clear run starting at the given index (0 if the bit is
+    set). *)
+
+val iter_clear_runs : t -> (pos:int -> len:int -> unit) -> unit
+(** Apply the function to every maximal clear run, in address order. *)

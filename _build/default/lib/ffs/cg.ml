@@ -1,0 +1,250 @@
+type t = {
+  params : Params.t;
+  cg_index : int;
+  frag_used : Bitmap.t;  (* one bit per data fragment; set = allocated *)
+  block_used : Bitmap.t;  (* one bit per block slot; set = any fragment used *)
+  runs : Run_index.t;  (* incremental free-run summary (cg_clustersum) *)
+  inode_used : Bitmap.t;
+  mutable nffree : int;
+  mutable nbfree : int;
+  mutable nifree : int;
+  mutable ndirs : int;
+  mutable rotor : int;  (* block index where the last preference-less scan ended *)
+}
+
+let create params ~index =
+  let nblocks = Params.data_blocks_per_group params in
+  let nfrags = nblocks * params.Params.frags_per_block in
+  let ninodes = Params.inodes_per_group params in
+  {
+    params;
+    cg_index = index;
+    frag_used = Bitmap.create nfrags;
+    block_used = Bitmap.create nblocks;
+    runs = Run_index.create nblocks;
+    inode_used = Bitmap.create ninodes;
+    nffree = nfrags;
+    nbfree = nblocks;
+    nifree = ninodes;
+    ndirs = 0;
+    rotor = 0;
+  }
+
+let copy t =
+  {
+    t with
+    frag_used = Bitmap.copy t.frag_used;
+    block_used = Bitmap.copy t.block_used;
+    runs = Run_index.copy t.runs;
+    inode_used = Bitmap.copy t.inode_used;
+  }
+
+let index t = t.cg_index
+let data_frags t = Bitmap.length t.frag_used
+let data_blocks t = Bitmap.length t.block_used
+let free_frag_count t = t.nffree
+let free_block_count t = t.nbfree
+let inodes_free t = t.nifree
+let dirs t = t.ndirs
+let block_is_free t b = not (Bitmap.get t.block_used b)
+let frag_is_free t f = not (Bitmap.get t.frag_used f)
+let fpb t = t.params.Params.frags_per_block
+
+(* Mark a fragment run used and keep block bits and counters in sync. *)
+let claim_frags t ~pos ~count =
+  assert (Bitmap.all_clear t.frag_used ~pos ~len:count);
+  Bitmap.set_range t.frag_used ~pos ~len:count;
+  t.nffree <- t.nffree - count;
+  let fpb = fpb t in
+  let first_block = pos / fpb and last_block = (pos + count - 1) / fpb in
+  for b = first_block to last_block do
+    if not (Bitmap.get t.block_used b) then begin
+      Bitmap.set t.block_used b;
+      Run_index.allocate t.runs b;
+      t.nbfree <- t.nbfree - 1
+    end
+  done
+
+let free_frags t ~pos ~count =
+  assert (Bitmap.all_set t.frag_used ~pos ~len:count);
+  Bitmap.clear_range t.frag_used ~pos ~len:count;
+  t.nffree <- t.nffree + count;
+  let fpb = fpb t in
+  let first_block = pos / fpb and last_block = (pos + count - 1) / fpb in
+  for b = first_block to last_block do
+    if Bitmap.get t.block_used b && Bitmap.all_clear t.frag_used ~pos:(b * fpb) ~len:fpb
+    then begin
+      Bitmap.clear t.block_used b;
+      Run_index.free t.runs b;
+      t.nbfree <- t.nbfree + 1
+    end
+  done
+
+(* The traditional allocator's within-group search (ffs_alloccgblk):
+   take the preferred block if free; otherwise the rotationally nearest
+   free block in the same file-system cylinder (approximated by a cyclic
+   scan of the cylinder-sized neighbourhood starting just past the
+   preference — note this can land {e behind} the preference); otherwise
+   a forward bitmap scan from the preference (ffs_mapsearch). The search
+   never considers the length of the free run it lands in: that myopia
+   is the paper's central criticism. *)
+let nearest_in_cylinder t ~pref =
+  let nblocks = data_blocks t in
+  let cyl_blocks = t.params.Params.fs_cylinder_blocks in
+  let cyl_start = pref / cyl_blocks * cyl_blocks in
+  let cyl_len = min cyl_blocks (nblocks - cyl_start) in
+  let rec scan off =
+    if off >= cyl_len then None
+    else begin
+      let b = cyl_start + ((pref - cyl_start + off) mod cyl_len) in
+      if block_is_free t b then Some b else scan (off + 1)
+    end
+  in
+  scan 1
+
+let alloc_block t ~pref =
+  if t.nbfree = 0 then None
+  else begin
+    let chosen =
+      match pref with
+      | Some b when block_is_free t (b mod data_blocks t) -> Some (b mod data_blocks t)
+      | Some b -> (
+          let b = b mod data_blocks t in
+          match nearest_in_cylinder t ~pref:b with
+          | Some _ as r -> r
+          | None -> Bitmap.find_clear_wrap t.block_used ~start:b)
+      | None -> Bitmap.find_clear_wrap t.block_used ~start:t.rotor
+    in
+    match chosen with
+    | None -> None
+    | Some b ->
+        claim_frags t ~pos:(b * fpb t) ~count:(fpb t);
+        t.rotor <- (b + 1) mod data_blocks t;
+        Some b
+  end
+
+let free_block t b = free_frags t ~pos:(b * fpb t) ~count:(fpb t)
+
+(* Find a [count]-fragment fit inside an already-partial block, scanning
+   block slots forward (with wrap) from the block containing [pref]. *)
+let find_partial_fit t ~start_block ~count =
+  let nblocks = data_blocks t in
+  let fpb = fpb t in
+  let fit_in_block b =
+    if block_is_free t b then None
+    else begin
+      (* scan the block's fragments for a clear run of [count] *)
+      let base = b * fpb in
+      let rec scan pos run =
+        if pos >= base + fpb then None
+        else if frag_is_free t pos then
+          if run + 1 >= count then Some (pos - count + 1) else scan (pos + 1) (run + 1)
+        else scan (pos + 1) 0
+      in
+      scan base 0
+    end
+  in
+  let rec loop i =
+    if i >= nblocks then None
+    else begin
+      let b = (start_block + i) mod nblocks in
+      match fit_in_block b with Some pos -> Some pos | None -> loop (i + 1)
+    end
+  in
+  loop 0
+
+let alloc_frags t ~pref ~count =
+  assert (count >= 1 && count < fpb t);
+  if t.nffree < count then None
+  else begin
+    let start_block =
+      match pref with Some f -> f / fpb t mod data_blocks t | None -> t.rotor
+    in
+    match find_partial_fit t ~start_block ~count with
+    | Some pos ->
+        claim_frags t ~pos ~count;
+        Some pos
+    | None -> (
+        (* no fit among partial blocks: break a free block *)
+        match alloc_block t ~pref:(Some start_block) with
+        | None -> None
+        | Some b ->
+            let pos = b * fpb t in
+            (* give back the surplus fragments of the broken block *)
+            free_frags t ~pos:(pos + count) ~count:(fpb t - count);
+            Some pos)
+  end
+
+let alloc_cluster t ~policy ~pref ~len =
+  assert (len >= 1);
+  (* the cluster summary rejects hopeless requests without a scan — the
+     point of cg_clustersum in the real file system *)
+  if t.nbfree < len || not (Run_index.has_run t.runs ~len) then None
+  else begin
+    let nblocks = data_blocks t in
+    let start = match pref with Some b -> b mod nblocks | None -> 0 in
+    let exact_at_pref =
+      match pref with
+      | Some b when b mod nblocks + len <= nblocks
+                    && Bitmap.all_clear t.block_used ~pos:(b mod nblocks) ~len ->
+          Some (b mod nblocks)
+      | Some _ | None -> None
+    in
+    let found =
+      match exact_at_pref with
+      | Some _ as r -> r
+      | None -> (
+          match policy with
+          | `First_fit -> Bitmap.find_clear_run_wrap t.block_used ~start ~len
+          | `Best_fit ->
+              (* shortest adequate maximal run; first occurrence wins ties *)
+              let best = ref None in
+              Bitmap.iter_clear_runs t.block_used (fun ~pos ~len:run_len ->
+                  if run_len >= len then
+                    match !best with
+                    | Some (_, best_len) when best_len <= run_len -> ()
+                    | Some _ | None -> best := Some (pos, run_len));
+              Option.map fst !best)
+    in
+    match found with
+    | None -> None
+    | Some b ->
+        claim_frags t ~pos:(b * fpb t) ~count:(len * fpb t);
+        Some b
+  end
+
+let longest_free_run t = Run_index.longest t.runs
+
+let free_run_histogram t ~max = Run_index.histogram t.runs ~max
+
+let alloc_inode t =
+  if t.nifree = 0 then None
+  else
+    match Bitmap.find_clear t.inode_used ~start:0 with
+    | None -> None
+    | Some i ->
+        Bitmap.set t.inode_used i;
+        t.nifree <- t.nifree - 1;
+        Some i
+
+let free_inode t i =
+  assert (Bitmap.get t.inode_used i);
+  Bitmap.clear t.inode_used i;
+  t.nifree <- t.nifree + 1
+
+let add_dir t = t.ndirs <- t.ndirs + 1
+
+let remove_dir t =
+  assert (t.ndirs > 0);
+  t.ndirs <- t.ndirs - 1
+
+let check_invariants t =
+  assert (t.nffree = Bitmap.count_clear t.frag_used);
+  assert (t.nbfree = Bitmap.count_clear t.block_used);
+  assert (t.nifree = Bitmap.count_clear t.inode_used);
+  let fpb = fpb t in
+  for b = 0 to data_blocks t - 1 do
+    let any_used = not (Bitmap.all_clear t.frag_used ~pos:(b * fpb) ~len:fpb) in
+    assert (Bitmap.get t.block_used b = any_used)
+  done;
+  Run_index.check t.runs ~bitmap_free:(fun b -> not (Bitmap.get t.block_used b))

@@ -1,0 +1,80 @@
+(** Cylinder-group state and within-group allocation.
+
+    Addresses at this level are {e local}: fragment indices into the
+    group's data area ([0 .. data_frags-1]) and block-slot indices
+    ([0 .. data_blocks-1]; block [b] covers fragments
+    [b*frags_per_block ..+ frags_per_block]). {!Fs} converts to and from
+    global fragment addresses.
+
+    Invariants (checked by [check_invariants]):
+    - a block-slot bit is set iff any of its fragments is set;
+    - [free_frags] and [free_blocks] agree with the bitmaps. *)
+
+type t
+
+val create : Params.t -> index:int -> t
+val copy : t -> t
+
+val index : t -> int
+val data_frags : t -> int
+val data_blocks : t -> int
+val free_frag_count : t -> int
+val free_block_count : t -> int
+
+val inodes_free : t -> int
+val dirs : t -> int
+
+val block_is_free : t -> int -> bool
+(** Is this block slot entirely free? *)
+
+val frag_is_free : t -> int -> bool
+
+val alloc_block : t -> pref:int option -> int option
+(** Allocate one full block. If [pref] (a block index) is free it is
+    taken; otherwise the first free block scanning forward from [pref]
+    (wrapping within the group) — the original FFS behaviour of taking
+    the nearest free block with no regard for the surrounding free run.
+    With no preference the scan starts at the group's rotor. Returns the
+    block index, or [None] if the group has no free block. *)
+
+val alloc_frags : t -> pref:int option -> count:int -> int option
+(** Allocate a run of [count] (1 .. frags_per_block-1) fragments inside a
+    single block, as FFS does for file tails: first a fit inside an
+    already-partial block (scanning forward from the preferred fragment
+    address), otherwise by breaking a free block. Returns the local
+    fragment index of the run start. *)
+
+val free_block : t -> int -> unit
+(** Return a full block to the free pool. *)
+
+val free_frags : t -> pos:int -> count:int -> unit
+(** Return a fragment run (possibly a whole block) to the free pool. *)
+
+val alloc_cluster :
+  t -> policy:[ `First_fit | `Best_fit ] -> pref:int option -> len:int -> int option
+(** Allocate [len] consecutive free blocks for the realloc pass. If the
+    run starting exactly at [pref] is free it is preferred (so a file's
+    next cluster chains onto its previous one); otherwise the free runs
+    of length >= [len] are searched with the given policy ([`First_fit]:
+    first such run scanning forward from [pref]; [`Best_fit]: shortest
+    adequate run, ties to the first). Returns the starting block index of
+    the allocated run. *)
+
+val longest_free_run : t -> int
+
+val free_run_histogram : t -> max:int -> int array
+(** [free_run_histogram t ~max] counts maximal free block runs by length;
+    index [i] (1-based length) holds runs of length [i+1], with runs
+    longer than [max] counted in the last slot. Index 0 = length-1
+    runs. *)
+
+val alloc_inode : t -> int option
+(** Lowest free inode slot (local index), or [None]. *)
+
+val free_inode : t -> int -> unit
+val add_dir : t -> unit
+val remove_dir : t -> unit
+
+val check_invariants : t -> unit
+(** Raises [Assert_failure] if internal counters disagree with the
+    bitmaps. For tests. *)

@@ -1,0 +1,127 @@
+type problem =
+  | Double_claim of { fragment : int; first_owner : int; second_owner : int }
+  | Claim_not_allocated of { fragment : int; owner : int }
+  | Usage_mismatch of { claimed : int; allocated : int }
+  | Group_counter_mismatch of { cg : int; what : string; counter : int; recount : int }
+  | Orphan_inode of { inum : int }
+  | Dangling_entry of { dir : int; name : string; inum : int }
+  | Bad_run of { inum : int; addr : int; frags : int }
+
+type report = {
+  problems : problem list;
+  files : int;
+  directories : int;
+  fragments_claimed : int;
+}
+
+let run fs =
+  let params = Fs.params fs in
+  let problems = ref [] in
+  let add p = problems := p :: !problems in
+  let fpb = params.Params.frags_per_block in
+  let total_frags = Params.total_frags params in
+  (* 1: collect every fragment claim, flagging overlaps and range errors *)
+  let owner : (int, int) Hashtbl.t = Hashtbl.create 4096 in
+  let files = ref 0 and directories = ref 0 in
+  let claim inum addr frags =
+    if addr < 0 || frags <= 0 || addr + frags > total_frags then
+      add (Bad_run { inum; addr; frags })
+    else
+      for a = addr to addr + frags - 1 do
+        match Hashtbl.find_opt owner a with
+        | Some first_owner ->
+            add (Double_claim { fragment = a; first_owner; second_owner = inum })
+        | None -> Hashtbl.replace owner a inum
+      done
+  in
+  Fs.iter_all_inodes fs (fun ino ->
+      (match ino.Inode.kind with
+      | Inode.File -> incr files
+      | Inode.Dir -> incr directories);
+      Array.iter (fun e -> claim ino.Inode.inum e.Inode.addr e.Inode.frags) ino.Inode.entries;
+      Array.iter (fun a -> claim ino.Inode.inum a fpb) ino.Inode.indirect_addrs);
+  (* 2: every claim must be marked allocated in its group's bitmap *)
+  let cgs = Fs.cg_states fs in
+  Hashtbl.iter
+    (fun fragment inum ->
+      let cg = Params.group_of_frag params fragment in
+      let local = fragment - Params.data_base params cg in
+      if local < 0 || local >= Cg.data_frags cgs.(cg) then
+        add (Bad_run { inum; addr = fragment; frags = 1 })
+      else if Cg.frag_is_free cgs.(cg) local then
+        add (Claim_not_allocated { fragment; owner = inum }))
+    owner;
+  (* 3: totals — leaked fragments show up here (allocated, unowned) *)
+  let claimed = Hashtbl.length owner in
+  let allocated = Fs.used_data_frags fs in
+  if claimed <> allocated then add (Usage_mismatch { claimed; allocated });
+  (* 4: per-group counters vs. a bitmap recount *)
+  Array.iteri
+    (fun cg_index cg ->
+      let free_frag_recount = ref 0 and free_block_recount = ref 0 in
+      for f = 0 to Cg.data_frags cg - 1 do
+        if Cg.frag_is_free cg f then incr free_frag_recount
+      done;
+      for b = 0 to Cg.data_blocks cg - 1 do
+        if Cg.block_is_free cg b then incr free_block_recount
+      done;
+      if !free_frag_recount <> Cg.free_frag_count cg then
+        add
+          (Group_counter_mismatch
+             { cg = cg_index; what = "free fragments"; counter = Cg.free_frag_count cg;
+               recount = !free_frag_recount });
+      if !free_block_recount <> Cg.free_block_count cg then
+        add
+          (Group_counter_mismatch
+             { cg = cg_index; what = "free blocks"; counter = Cg.free_block_count cg;
+               recount = !free_block_recount }))
+    cgs;
+  (* 5: directory tree — every inode referenced, every entry resolvable *)
+  let referenced : (int, unit) Hashtbl.t = Hashtbl.create 4096 in
+  Hashtbl.replace referenced (Fs.root fs) ();
+  List.iter
+    (fun dir ->
+      List.iter
+        (fun (name, inum) ->
+          (match Fs.inode fs inum with
+          | _ -> ()
+          | exception Not_found -> add (Dangling_entry { dir; name; inum }));
+          Hashtbl.replace referenced inum ())
+        (Fs.dir_entries fs dir))
+    (Fs.dir_inums fs);
+  Fs.iter_all_inodes fs (fun ino ->
+      if not (Hashtbl.mem referenced ino.Inode.inum) then
+        add (Orphan_inode { inum = ino.Inode.inum }));
+  {
+    problems = List.rev !problems;
+    files = !files;
+    directories = !directories;
+    fragments_claimed = claimed;
+  }
+
+let is_clean r = r.problems = []
+
+let pp_problem ppf = function
+  | Double_claim { fragment; first_owner; second_owner } ->
+      Fmt.pf ppf "fragment %d claimed by both inode %d and inode %d" fragment first_owner
+        second_owner
+  | Claim_not_allocated { fragment; owner } ->
+      Fmt.pf ppf "inode %d claims fragment %d which the bitmap marks free" owner fragment
+  | Usage_mismatch { claimed; allocated } ->
+      Fmt.pf ppf "inodes claim %d fragments but bitmaps mark %d used" claimed allocated
+  | Group_counter_mismatch { cg; what; counter; recount } ->
+      Fmt.pf ppf "group %d %s counter says %d, bitmap recount says %d" cg what counter
+        recount
+  | Orphan_inode { inum } -> Fmt.pf ppf "inode %d is referenced by no directory" inum
+  | Dangling_entry { dir; name; inum } ->
+      Fmt.pf ppf "directory %d entry %S points to missing inode %d" dir name inum
+  | Bad_run { inum; addr; frags } ->
+      Fmt.pf ppf "inode %d has an invalid run (addr %d, %d fragments)" inum addr frags
+
+let pp ppf r =
+  if is_clean r then
+    Fmt.pf ppf "clean: %d files, %d directories, %d fragments claimed" r.files
+      r.directories r.fragments_claimed
+  else
+    Fmt.pf ppf "@[<v>%d problem(s):@ %a@]" (List.length r.problems)
+      (Fmt.list ~sep:Fmt.cut pp_problem) r.problems

@@ -1,0 +1,36 @@
+(** File-system consistency checking — an [fsck]-style audit that
+    returns a structured report instead of asserting.
+
+    The checks cross-reference three views of the same state: the inode
+    table's block claims, the per-group allocation bitmaps, and the
+    directory tree. On a correct image all views agree; any divergence
+    is reported as a {!problem}. Tests use this to validate the
+    simulator after adversarial workloads; {!Fs.check_invariants}
+    remains the assertion-style variant for use inside test oracles. *)
+
+type problem =
+  | Double_claim of { fragment : int; first_owner : int; second_owner : int }
+      (** two inodes claim the same fragment *)
+  | Claim_not_allocated of { fragment : int; owner : int }
+      (** an inode claims a fragment the bitmap says is free *)
+  | Usage_mismatch of { claimed : int; allocated : int }
+      (** total fragments claimed by inodes vs. marked used in bitmaps
+          (after per-fragment problems are accounted) *)
+  | Group_counter_mismatch of { cg : int; what : string; counter : int; recount : int }
+  | Orphan_inode of { inum : int }  (** an inode no directory references *)
+  | Dangling_entry of { dir : int; name : string; inum : int }
+      (** a directory entry naming a nonexistent inode *)
+  | Bad_run of { inum : int; addr : int; frags : int }
+      (** a data run with a nonsensical address or length *)
+
+type report = {
+  problems : problem list;
+  files : int;
+  directories : int;
+  fragments_claimed : int;
+}
+
+val run : Fs.t -> report
+val is_clean : report -> bool
+val pp_problem : Format.formatter -> problem -> unit
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,629 @@
+type cluster_policy = [ `First_fit | `Best_fit ]
+type config = { realloc : bool; cluster_policy : cluster_policy }
+
+type stats = {
+  mutable blocks_allocated : int;
+  mutable frags_allocated : int;
+  mutable contiguous_allocations : int;
+  mutable cg_fallbacks : int;
+  mutable realloc_attempts : int;
+  mutable realloc_moves : int;
+  mutable realloc_failures : int;
+  mutable indirect_switches : int;
+}
+
+exception Out_of_space
+
+type dir_state = {
+  dir_inum : int;
+  by_name : (string, int) Hashtbl.t;
+  mutable order : string list;  (* reverse insertion order *)
+  mutable live_entries : int;
+}
+
+type t = {
+  params : Params.t;
+  cgs : Cg.t array;
+  inodes : (int, Inode.t) Hashtbl.t;
+  dirs : (int, dir_state) Hashtbl.t;
+  parents : (int, int * string) Hashtbl.t;  (* inum -> (parent dir inum, name) *)
+  mutable cfg : config;
+  mutable clock : float;
+  root_inum : int;
+  stats : stats;
+}
+
+let default_config = { realloc = false; cluster_policy = `First_fit }
+let realloc_config = { realloc = true; cluster_policy = `First_fit }
+
+let fresh_stats () =
+  {
+    blocks_allocated = 0;
+    frags_allocated = 0;
+    contiguous_allocations = 0;
+    cg_fallbacks = 0;
+    realloc_attempts = 0;
+    realloc_moves = 0;
+    realloc_failures = 0;
+    indirect_switches = 0;
+  }
+
+(* --- address conversion ------------------------------------------------ *)
+
+let fpb t = t.params.Params.frags_per_block
+let ipg t = Params.inodes_per_group t.params
+
+(* global fragment address of local data fragment [f] in group [cg] *)
+let global_of_local t ~cg ~frag = Params.data_base t.params cg + frag
+
+let cg_of_global t addr = Params.group_of_frag t.params addr
+
+let local_of_global t addr =
+  let cg = cg_of_global t addr in
+  let frag = addr - Params.data_base t.params cg in
+  assert (frag >= 0 && frag < Cg.data_frags t.cgs.(cg));
+  (cg, frag)
+
+let cg_of_inum t inum = inum / ipg t
+
+(* --- inode allocation --------------------------------------------------- *)
+
+let alloc_inode_near t ~cg =
+  let ncg = t.params.Params.ncg in
+  let try_cg c =
+    match Cg.alloc_inode t.cgs.(c) with
+    | Some local -> Some ((c * ipg t) + local)
+    | None -> None
+  in
+  let rec quadratic c i =
+    if i >= ncg then None
+    else begin
+      let c = (c + i) mod ncg in
+      match try_cg c with Some _ as r -> r | None -> quadratic c (i * 2)
+    end
+  in
+  let rec brute c i =
+    if i >= ncg then None
+    else
+      match try_cg (c mod ncg) with Some _ as r -> r | None -> brute (c + 1) (i + 1)
+  in
+  match try_cg cg with
+  | Some _ as r -> r
+  | None -> (
+      match quadratic cg 1 with Some _ as r -> r | None -> brute (cg + 2) 2)
+
+(* --- block and fragment allocation ------------------------------------- *)
+
+(* total free blocks across the file system (27 groups: cheap to sum) *)
+let total_free_blocks t = Array.fold_left (fun acc cg -> acc + Cg.free_block_count cg) 0 t.cgs
+
+(* [hashalloc t ~cg ~f] is the FFS cylinder-group overflow discipline:
+   the preferred group, then quadratic rehash, then brute force. [f] gets
+   the group index and must return [None] to mean "nothing here". *)
+let hashalloc t ~cg ~f =
+  let ncg = t.params.Params.ncg in
+  match f cg with
+  | Some _ as r -> r
+  | None ->
+      let rec quadratic c i =
+        if i >= ncg then None
+        else begin
+          let c = (c + i) mod ncg in
+          match f c with Some _ as r -> r | None -> quadratic c (i * 2)
+        end
+      in
+      let rec brute c i =
+        if i >= ncg then None
+        else match f (c mod ncg) with Some _ as r -> r | None -> brute (c + 1) (i + 1)
+      in
+      let result =
+        match quadratic cg 1 with Some _ as r -> r | None -> brute (cg + 2) 2
+      in
+      (match result with Some _ -> t.stats.cg_fallbacks <- t.stats.cg_fallbacks + 1 | None -> ());
+      result
+
+(* Preference for the block following global address [prev]: the next
+   block slot, which may fall past the end of the group's data area — in
+   which case prefer the start of the next group. *)
+let pref_after_block t prev =
+  (* rotdelay leaves a gap of whole blocks between a file's consecutive
+     blocks (0 on the paper's system: its drive has a track buffer) *)
+  let g = prev + (fpb t * (1 + t.params.Params.rotdelay_blocks)) in
+  if g >= Params.total_frags t.params then (0, Some 0)
+  else begin
+    let cg = cg_of_global t g in
+    let local = g - Params.data_base t.params cg in
+    if local < 0 || local >= Cg.data_frags t.cgs.(cg) then ((cg + 1) mod t.params.Params.ncg, Some 0)
+    else (cg, Some (local / fpb t))
+  end
+
+let alloc_block t ~pref_cg ~pref_block ~prev =
+  let alloc c =
+    let pref = if c = pref_cg then pref_block else None in
+    Cg.alloc_block t.cgs.(c) ~pref
+    |> Option.map (fun b -> global_of_local t ~cg:c ~frag:(b * fpb t))
+  in
+  match hashalloc t ~cg:pref_cg ~f:alloc with
+  | None -> raise Out_of_space
+  | Some addr ->
+      t.stats.blocks_allocated <- t.stats.blocks_allocated + 1;
+      (match prev with
+      | Some p when addr = p + fpb t ->
+          t.stats.contiguous_allocations <- t.stats.contiguous_allocations + 1
+      | Some _ | None -> ());
+      addr
+
+let alloc_frags t ~pref_cg ~pref_frag ~count =
+  let alloc c =
+    let pref = if c = pref_cg then pref_frag else None in
+    Cg.alloc_frags t.cgs.(c) ~pref ~count
+    |> Option.map (fun f -> global_of_local t ~cg:c ~frag:f)
+  in
+  match hashalloc t ~cg:pref_cg ~f:alloc with
+  | None -> raise Out_of_space
+  | Some addr ->
+      t.stats.frags_allocated <- t.stats.frags_allocated + count;
+      addr
+
+let free_run t ~addr ~frags =
+  let cg, frag = local_of_global t addr in
+  Cg.free_frags t.cgs.(cg) ~pos:frag ~count:frags
+
+(* --- the write walk ----------------------------------------------------- *)
+
+(* Pick the cylinder group for a new indirect-block range: the first
+   group after [after_cg] with at least the average number of free
+   blocks (the ffs_blkpref policy). *)
+let indirect_range_cg t ~after_cg =
+  let ncg = t.params.Params.ncg in
+  let avg = total_free_blocks t / ncg in
+  let rec scan i =
+    if i >= ncg then
+      (* degenerate: everything below average; take the fullest-free *)
+      let best = ref 0 in
+      Array.iteri
+        (fun i cg -> if Cg.free_block_count cg > Cg.free_block_count t.cgs.(!best) then best := i)
+        t.cgs |> ignore;
+      !best
+    else begin
+      let c = (after_cg + 1 + i) mod ncg in
+      if Cg.free_block_count t.cgs.(c) >= avg && Cg.free_block_count t.cgs.(c) > 0 then c
+      else scan (i + 1)
+    end
+  in
+  scan 0
+
+(* State of the streaming write: entries so far, the address of the most
+   recently placed block (data or indirect), and the open realloc
+   window. *)
+type walk = {
+  entries : Inode.entry Util.Vec.t;
+  indirects : int Util.Vec.t;
+  mutable prev : int option;
+  mutable win_start : int;  (* index into entries of the window start *)
+  mutable win_len : int;
+  mutable win_cg : int;
+}
+
+let new_walk () =
+  {
+    entries = Util.Vec.create ();
+    indirects = Util.Vec.create ();
+    prev = None;
+    win_start = 0;
+    win_len = 0;
+    win_cg = -1;
+  }
+
+let window_is_contiguous t walk =
+  let rec loop i =
+    if i >= walk.win_len then true
+    else begin
+      let a = (Util.Vec.get walk.entries (walk.win_start + i - 1)).Inode.addr in
+      let b = (Util.Vec.get walk.entries (walk.win_start + i)).Inode.addr in
+      b = a + fpb t && loop (i + 1)
+    end
+  in
+  loop 1
+
+(* Flush the open realloc window: if its blocks are not already
+   physically contiguous, try to move them as one unit into a free
+   cluster of the same group (ffs_reallocblks). *)
+let flush_window t walk =
+  if t.cfg.realloc && walk.win_len >= 2 then begin
+    t.stats.realloc_attempts <- t.stats.realloc_attempts + 1;
+    if not (window_is_contiguous t walk) then begin
+      let cg = walk.win_cg in
+      let pref =
+        if walk.win_start = 0 then None
+        else begin
+          let before = (Util.Vec.get walk.entries (walk.win_start - 1)).Inode.addr in
+          let pcg, pblock = pref_after_block t before in
+          if pcg = cg then pblock else None
+        end
+      in
+      match
+        Cg.alloc_cluster t.cgs.(cg) ~policy:t.cfg.cluster_policy ~pref ~len:walk.win_len
+      with
+      | None -> t.stats.realloc_failures <- t.stats.realloc_failures + 1
+      | Some base_block ->
+          t.stats.realloc_moves <- t.stats.realloc_moves + 1;
+          for i = 0 to walk.win_len - 1 do
+            let idx = walk.win_start + i in
+            let old = Util.Vec.get walk.entries idx in
+            free_run t ~addr:old.Inode.addr ~frags:old.Inode.frags;
+            let addr = global_of_local t ~cg ~frag:((base_block + i) * fpb t) in
+            Util.Vec.set walk.entries idx { old with Inode.addr }
+          done;
+          let last = Util.Vec.get walk.entries (walk.win_start + walk.win_len - 1) in
+          walk.prev <- Some last.Inode.addr
+    end
+  end;
+  walk.win_start <- walk.win_start + walk.win_len;
+  walk.win_len <- 0;
+  walk.win_cg <- -1
+
+let push_block t walk addr =
+  let cg = cg_of_global t addr in
+  (* a window must stay within one group; close the open one first if
+     this block landed elsewhere (win_len does not yet include it) *)
+  if walk.win_len > 0 && cg <> walk.win_cg then flush_window t walk;
+  Util.Vec.push walk.entries { Inode.addr; frags = fpb t };
+  walk.prev <- Some addr;
+  if walk.win_len = 0 then begin
+    walk.win_start <- Util.Vec.length walk.entries - 1;
+    walk.win_cg <- cg
+  end;
+  walk.win_len <- walk.win_len + 1;
+  if walk.win_len >= t.params.Params.maxcontig then flush_window t walk
+
+(* Allocate the data (and indirect blocks) for a file of [size] bytes
+   whose inode lives in group [home_cg]. Returns the entry list and
+   indirect addresses. On failure, frees everything it had taken and
+   raises {!Out_of_space}. *)
+let allocate_data t ~home_cg ~size =
+  let params = t.params in
+  let nfull, tail_frags = Params.blocks_of_size params size in
+  let walk = new_walk () in
+  let rollback () =
+    Util.Vec.iter (fun e -> free_run t ~addr:e.Inode.addr ~frags:e.Inode.frags) walk.entries;
+    Util.Vec.iter (fun a -> free_run t ~addr:a ~frags:(fpb t)) walk.indirects
+  in
+  try
+    let ndaddr = params.Params.ndaddr in
+    let nindir = params.Params.nindir in
+    for lbn = 0 to nfull - 1 do
+      (* indirect-block boundary: close the window, move to a new group *)
+      if lbn >= ndaddr && (lbn - ndaddr) mod nindir = 0 then begin
+        flush_window t walk;
+        t.stats.indirect_switches <- t.stats.indirect_switches + 1;
+        let after_cg =
+          match walk.prev with Some p -> cg_of_global t p | None -> home_cg
+        in
+        let icg = indirect_range_cg t ~after_cg in
+        (* the double-indirect block itself, the first time we need it *)
+        let n_indirect = if lbn = ndaddr + nindir then 2 else 1 in
+        for _ = 1 to n_indirect do
+          let addr = alloc_block t ~pref_cg:icg ~pref_block:(Some 0) ~prev:None in
+          Util.Vec.push walk.indirects addr;
+          walk.prev <- Some addr
+        done
+      end;
+      let pref_cg, pref_block =
+        match walk.prev with
+        | Some p -> pref_after_block t p
+        | None -> (home_cg, Some 0)
+      in
+      let addr = alloc_block t ~pref_cg ~pref_block ~prev:walk.prev in
+      push_block t walk addr
+    done;
+    flush_window t walk;
+    if tail_frags > 0 then begin
+      let pref_cg, pref_frag =
+        match walk.prev with
+        | Some p ->
+            let g = p + fpb t in
+            if g >= Params.total_frags params then (home_cg, None)
+            else begin
+              let cg = cg_of_global t g in
+              let local = g - Params.data_base params cg in
+              if local < 0 || local >= Cg.data_frags t.cgs.(cg) then
+                ((cg + 1) mod params.Params.ncg, None)
+              else (cg, Some local)
+            end
+        | None -> (home_cg, Some 0)
+      in
+      let addr = alloc_frags t ~pref_cg ~pref_frag ~count:tail_frags in
+      Util.Vec.push walk.entries { Inode.addr; frags = tail_frags }
+    end;
+    (Util.Vec.to_array walk.entries, Util.Vec.to_array walk.indirects)
+  with Out_of_space ->
+    rollback ();
+    raise Out_of_space
+
+(* --- directories -------------------------------------------------------- *)
+
+let dir_data_frags_for entries = 1 + (entries / 16)
+
+let get_dir t inum =
+  match Hashtbl.find_opt t.dirs inum with
+  | Some d -> d
+  | None -> invalid_arg "Fs: not a directory"
+
+(* Extend the directory's data by one fragment when its entry count
+   crosses a 16-entry boundary (directories never shrink in FFS). *)
+let maybe_extend_dir t dir =
+  let ino = Hashtbl.find t.inodes dir.dir_inum in
+  let have = Inode.frag_count ino in
+  let want = dir_data_frags_for dir.live_entries in
+  if want > have then begin
+    let cg = cg_of_inum t dir.dir_inum in
+    let pref =
+      match Array.length ino.Inode.entries with
+      | 0 -> Some 0
+      | n ->
+          let last = ino.Inode.entries.(n - 1) in
+          let g = last.Inode.addr + last.Inode.frags in
+          let lcg = if g >= Params.total_frags t.params then cg else cg_of_global t g in
+          if lcg = cg then Some (g - Params.data_base t.params cg) else None
+    in
+    let addr = alloc_frags t ~pref_cg:cg ~pref_frag:pref ~count:1 in
+    ino.Inode.entries <- Array.append ino.Inode.entries [| { Inode.addr; frags = 1 } |];
+    ino.Inode.size <- ino.Inode.size + t.params.Params.frag_bytes
+  end
+
+let add_dir_entry t ~dir ~name ~inum =
+  let d = get_dir t dir in
+  if Hashtbl.mem d.by_name name then invalid_arg ("Fs: name exists: " ^ name);
+  Hashtbl.replace d.by_name name inum;
+  d.order <- name :: d.order;
+  d.live_entries <- d.live_entries + 1;
+  Hashtbl.replace t.parents inum (dir, name);
+  maybe_extend_dir t d
+
+let remove_dir_entry t ~dir ~name =
+  let d = get_dir t dir in
+  (match Hashtbl.find_opt d.by_name name with
+  | None -> invalid_arg ("Fs: no such name: " ^ name)
+  | Some inum -> Hashtbl.remove t.parents inum);
+  Hashtbl.remove d.by_name name;
+  d.live_entries <- d.live_entries - 1
+
+(* --- construction ------------------------------------------------------- *)
+
+let make_dir_at t ~cg ~time =
+  match alloc_inode_near t ~cg with
+  | None -> raise Out_of_space
+  | Some inum ->
+      let ino = Inode.v ~inum ~kind:Inode.Dir ~time in
+      (* initial directory data: one fragment in its own group *)
+      let addr = alloc_frags t ~pref_cg:(cg_of_inum t inum) ~pref_frag:(Some 0) ~count:1 in
+      ino.Inode.entries <- [| { Inode.addr; frags = 1 } |];
+      ino.Inode.size <- t.params.Params.frag_bytes;
+      Hashtbl.replace t.inodes inum ino;
+      Hashtbl.replace t.dirs inum
+        { dir_inum = inum; by_name = Hashtbl.create 16; order = []; live_entries = 0 };
+      Cg.add_dir t.cgs.(cg_of_inum t inum);
+      inum
+
+let create ?(config = default_config) params =
+  let t =
+    {
+      params;
+      cgs = Array.init params.Params.ncg (fun index -> Cg.create params ~index);
+      inodes = Hashtbl.create 1024;
+      dirs = Hashtbl.create 64;
+      parents = Hashtbl.create 1024;
+      cfg = config;
+      clock = 0.0;
+      root_inum = -1;
+      stats = fresh_stats ();
+    }
+  in
+  let root = make_dir_at t ~cg:0 ~time:0.0 in
+  Hashtbl.replace t.parents root (root, "/");
+  { t with root_inum = root }
+
+let copy t =
+  {
+    t with
+    cgs = Array.map Cg.copy t.cgs;
+    inodes =
+      (let h = Hashtbl.create (Hashtbl.length t.inodes) in
+       Hashtbl.iter (fun k v -> Hashtbl.replace h k { v with Inode.inum = v.Inode.inum }) t.inodes;
+       h);
+    dirs =
+      (let h = Hashtbl.create (Hashtbl.length t.dirs) in
+       Hashtbl.iter
+         (fun k d -> Hashtbl.replace h k { d with by_name = Hashtbl.copy d.by_name })
+         t.dirs;
+       h);
+    parents = Hashtbl.copy t.parents;
+    stats = { t.stats with blocks_allocated = t.stats.blocks_allocated };
+  }
+
+let params t = t.params
+let config t = t.cfg
+let set_config t cfg = t.cfg <- cfg
+let stats t = t.stats
+let set_time t time = t.clock <- time
+let now t = t.clock
+let root t = t.root_inum
+
+(* --- directory API ------------------------------------------------------ *)
+
+(* dirpref: among groups with at least the average number of free
+   inodes, the one with the fewest directories. *)
+let dirpref t =
+  let ncg = t.params.Params.ncg in
+  let total_ifree = Array.fold_left (fun acc cg -> acc + Cg.inodes_free cg) 0 t.cgs in
+  let avg = total_ifree / ncg in
+  let best = ref (-1) in
+  for c = 0 to ncg - 1 do
+    if Cg.inodes_free t.cgs.(c) >= avg && Cg.inodes_free t.cgs.(c) > 0 then
+      if !best < 0 || Cg.dirs t.cgs.(c) < Cg.dirs t.cgs.(!best) then best := c
+  done;
+  if !best >= 0 then !best
+  else begin
+    (* everything below average: any group with a free inode *)
+    let fallback = ref 0 in
+    for c = 0 to ncg - 1 do
+      if Cg.inodes_free t.cgs.(c) > Cg.inodes_free t.cgs.(!fallback) then fallback := c
+    done;
+    !fallback
+  end
+
+let mkdir t ~parent ~name =
+  let cg = dirpref t in
+  let inum = make_dir_at t ~cg ~time:t.clock in
+  add_dir_entry t ~dir:parent ~name ~inum;
+  inum
+
+let mkdir_in_cg t ~parent ~name ~cg =
+  if cg < 0 || cg >= t.params.Params.ncg then invalid_arg "Fs.mkdir_in_cg";
+  let inum = make_dir_at t ~cg ~time:t.clock in
+  add_dir_entry t ~dir:parent ~name ~inum;
+  inum
+
+let lookup_opt t ~dir ~name = Hashtbl.find_opt (get_dir t dir).by_name name
+
+let rmdir t ~parent ~name =
+  match lookup_opt t ~dir:parent ~name with
+  | None -> raise Not_found
+  | Some inum ->
+      let d = get_dir t inum in
+      if inum = t.root_inum then invalid_arg "Fs.rmdir: cannot remove the root";
+      if d.live_entries > 0 then invalid_arg "Fs.rmdir: directory not empty";
+      let ino = Hashtbl.find t.inodes inum in
+      Array.iter (fun e -> free_run t ~addr:e.Inode.addr ~frags:e.Inode.frags) ino.Inode.entries;
+      Hashtbl.remove t.inodes inum;
+      Hashtbl.remove t.dirs inum;
+      remove_dir_entry t ~dir:parent ~name;
+      Cg.remove_dir t.cgs.(cg_of_inum t inum);
+      Cg.free_inode t.cgs.(cg_of_inum t inum) (inum mod ipg t)
+
+let lookup t ~dir ~name = lookup_opt t ~dir ~name
+
+let dir_entries t inum =
+  let d = get_dir t inum in
+  List.rev d.order
+  |> List.filter_map (fun name ->
+         Hashtbl.find_opt d.by_name name |> Option.map (fun inum -> (name, inum)))
+
+let dir_of_inum t inum =
+  match Hashtbl.find_opt t.parents inum with
+  | Some (dir, _) -> dir
+  | None -> raise Not_found
+
+(* --- file API ------------------------------------------------------------ *)
+
+let create_file t ~dir ~name ~size =
+  let d = get_dir t dir in
+  if Hashtbl.mem d.by_name name then invalid_arg ("Fs: name exists: " ^ name);
+  let home_cg = cg_of_inum t dir in
+  match alloc_inode_near t ~cg:home_cg with
+  | None -> raise Out_of_space
+  | Some inum -> (
+      let actual_cg = cg_of_inum t inum in
+      try
+        let entries, indirects = allocate_data t ~home_cg:actual_cg ~size in
+        let ino = Inode.v ~inum ~kind:Inode.File ~time:t.clock in
+        ino.Inode.size <- size;
+        ino.Inode.entries <- entries;
+        ino.Inode.indirect_addrs <- indirects;
+        Hashtbl.replace t.inodes inum ino;
+        add_dir_entry t ~dir ~name ~inum;
+        inum
+      with Out_of_space ->
+        Cg.free_inode t.cgs.(actual_cg) (inum mod ipg t);
+        raise Out_of_space)
+
+let free_file_data t ino =
+  Array.iter (fun e -> free_run t ~addr:e.Inode.addr ~frags:e.Inode.frags) ino.Inode.entries;
+  Array.iter (fun a -> free_run t ~addr:a ~frags:(fpb t)) ino.Inode.indirect_addrs;
+  ino.Inode.entries <- [||];
+  ino.Inode.indirect_addrs <- [||];
+  ino.Inode.size <- 0
+
+let delete_inum t inum =
+  match Hashtbl.find_opt t.inodes inum with
+  | None -> raise Not_found
+  | Some ino ->
+      if ino.Inode.kind = Inode.Dir then invalid_arg "Fs.delete_inum: is a directory";
+      free_file_data t ino;
+      Hashtbl.remove t.inodes inum;
+      (match Hashtbl.find_opt t.parents inum with
+      | Some (dir, name) -> remove_dir_entry t ~dir ~name
+      | None -> ());
+      Cg.free_inode t.cgs.(cg_of_inum t inum) (inum mod ipg t)
+
+let delete_file t ~dir ~name =
+  match lookup t ~dir ~name with
+  | None -> raise Not_found
+  | Some inum -> delete_inum t inum
+
+let rewrite_file t ~inum ~size =
+  match Hashtbl.find_opt t.inodes inum with
+  | None -> raise Not_found
+  | Some ino ->
+      if ino.Inode.kind = Inode.Dir then invalid_arg "Fs.rewrite_file: is a directory";
+      free_file_data t ino;
+      let home_cg = cg_of_inum t inum in
+      let entries, indirects = allocate_data t ~home_cg ~size in
+      ino.Inode.size <- size;
+      ino.Inode.entries <- entries;
+      ino.Inode.indirect_addrs <- indirects;
+      ino.Inode.mtime <- t.clock
+
+let inode t inum =
+  match Hashtbl.find_opt t.inodes inum with Some i -> i | None -> raise Not_found
+
+let file_exists t inum =
+  match Hashtbl.find_opt t.inodes inum with
+  | Some i -> i.Inode.kind = Inode.File
+  | None -> false
+
+let iter_files t f =
+  Hashtbl.iter (fun _ ino -> if ino.Inode.kind = Inode.File then f ino) t.inodes
+
+let fold_files t ~init ~f =
+  Hashtbl.fold (fun _ ino acc -> if ino.Inode.kind = Inode.File then f acc ino else acc)
+    t.inodes init
+
+let file_count t = fold_files t ~init:0 ~f:(fun acc _ -> acc + 1)
+let iter_all_inodes t f = Hashtbl.iter (fun _ ino -> f ino) t.inodes
+let dir_inums t = Hashtbl.fold (fun inum _ acc -> inum :: acc) t.dirs []
+
+(* --- space accounting ---------------------------------------------------- *)
+
+let total_data_frags t = Array.fold_left (fun acc cg -> acc + Cg.data_frags cg) 0 t.cgs
+let free_data_frags t = Array.fold_left (fun acc cg -> acc + Cg.free_frag_count cg) 0 t.cgs
+let used_data_frags t = total_data_frags t - free_data_frags t
+let utilization t = float_of_int (used_data_frags t) /. float_of_int (total_data_frags t)
+let cg_states t = t.cgs
+
+(* --- invariants ----------------------------------------------------------- *)
+
+let check_invariants t =
+  Array.iter Cg.check_invariants t.cgs;
+  (* rebuild the fragment usage from the inodes and compare *)
+  let claimed = Hashtbl.create 4096 in
+  let claim addr frags owner =
+    for a = addr to addr + frags - 1 do
+      match Hashtbl.find_opt claimed a with
+      | Some other ->
+          Fmt.failwith "fragment %d claimed by inode %d and inode %d" a other owner
+      | None -> Hashtbl.replace claimed a owner
+    done
+  in
+  Hashtbl.iter
+    (fun inum ino ->
+      Array.iter (fun e -> claim e.Inode.addr e.Inode.frags inum) ino.Inode.entries;
+      Array.iter (fun a -> claim a (fpb t) inum) ino.Inode.indirect_addrs)
+    t.inodes;
+  assert (Hashtbl.length claimed = used_data_frags t);
+  Hashtbl.iter
+    (fun addr _ ->
+      let cg, frag = local_of_global t addr in
+      assert (not (Cg.frag_is_free t.cgs.(cg) frag)))
+    claimed

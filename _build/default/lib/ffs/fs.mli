@@ -1,0 +1,138 @@
+(** The file-system simulator: FFS allocation policy over cylinder
+    groups, with files, directories, and both of the paper's allocators.
+
+    Files are written whole (the aging workload and the paper's
+    benchmarks write each file sequentially at creation), so [create_file]
+    performs the entire allocation walk a real FFS write stream would:
+    block preference ({e next contiguous block, else nearest free in the
+    group, else quadratic rehash over groups}), a forced cylinder-group
+    switch at every indirect-block boundary, fragment allocation for the
+    tails of small files, and — when the realloc allocator is enabled —
+    cluster reallocation of each completed write window, exactly the
+    McKusick enhancement the paper evaluates.
+
+    All data addresses are global fragment addresses (see {!Params}). *)
+
+type t
+
+type cluster_policy = [ `First_fit | `Best_fit ]
+
+type config = {
+  realloc : bool;  (** enable the realloc (cluster reallocation) pass *)
+  cluster_policy : cluster_policy;  (** search policy inside realloc *)
+}
+
+type stats = {
+  mutable blocks_allocated : int;
+  mutable frags_allocated : int;
+  mutable contiguous_allocations : int;
+      (** block allocations that landed exactly after the previous block *)
+  mutable cg_fallbacks : int;
+      (** allocations that left the preferred cylinder group *)
+  mutable realloc_attempts : int;
+  mutable realloc_moves : int;  (** attempts that relocated a window *)
+  mutable realloc_failures : int;  (** attempts that found no free cluster *)
+  mutable indirect_switches : int;  (** cg switches forced by indirect blocks *)
+}
+
+exception Out_of_space
+(** No allocation possible anywhere (the file system is genuinely
+    full). *)
+
+val create : ?config:config -> Params.t -> t
+(** Fresh, empty file system with a root directory in group 0. Default
+    config: traditional allocator (realloc off), first-fit clusters. *)
+
+val default_config : config
+val realloc_config : config
+
+val copy : t -> t
+(** Deep copy — used to run destructive benchmarks against one aged
+    image repeatedly. *)
+
+val params : t -> Params.t
+val config : t -> config
+val set_config : t -> config -> unit
+val stats : t -> stats
+
+val set_time : t -> float -> unit
+(** Set the simulated clock used to stamp ctime/mtime. *)
+
+val now : t -> float
+
+(* Directories *)
+
+val root : t -> int
+val mkdir : t -> parent:int -> name:string -> int
+(** New directory placed by [dirpref]: among groups with at least the
+    average number of free inodes, the one with the fewest directories.
+    Returns its inode number. *)
+
+val mkdir_in_cg : t -> parent:int -> name:string -> cg:int -> int
+(** New directory pinned to a specific cylinder group — the mechanism the
+    paper's aging tool uses (one directory per group, files steered by
+    inode number). *)
+
+val rmdir : t -> parent:int -> name:string -> unit
+(** Remove an empty directory: its data fragments and inode return to
+    the free pool. Raises [Invalid_argument] if the directory still has
+    entries or is the root, [Not_found] if no such name. *)
+
+val lookup : t -> dir:int -> name:string -> int option
+val dir_entries : t -> int -> (string * int) list
+(** Entries of a directory in insertion order. *)
+
+val dir_of_inum : t -> int -> int
+(** Parent directory of a file or directory. The root is its own
+    parent. *)
+
+val cg_of_inum : t -> int -> int
+
+(* Files *)
+
+val create_file : t -> dir:int -> name:string -> size:int -> int
+(** Create and write a file of [size] bytes; returns its inode number.
+    The inode is allocated in the directory's cylinder group when
+    possible. Raises [Out_of_space] if the data cannot be placed, and
+    [Invalid_argument] if [name] already exists in [dir]. *)
+
+val delete_file : t -> dir:int -> name:string -> unit
+val delete_inum : t -> int -> unit
+
+val rewrite_file : t -> inum:int -> size:int -> unit
+(** The paper's model of modification: truncate to zero, then write
+    [size] bytes afresh (same inode, same directory). *)
+
+val inode : t -> int -> Inode.t
+(** Raises [Not_found] for unallocated inode numbers. *)
+
+val file_exists : t -> int -> bool
+val iter_files : t -> (Inode.t -> unit) -> unit
+(** All regular files (not directories), unspecified order. *)
+
+val fold_files : t -> init:'a -> f:('a -> Inode.t -> 'a) -> 'a
+val file_count : t -> int
+
+val iter_all_inodes : t -> (Inode.t -> unit) -> unit
+(** Files and directories both. *)
+
+val dir_inums : t -> int list
+(** Every directory's inode number (including the root), unspecified
+    order. *)
+
+(* Space accounting *)
+
+val total_data_frags : t -> int
+val free_data_frags : t -> int
+val used_data_frags : t -> int
+
+val utilization : t -> float
+(** Used fraction of the data area, in [0,1]. Like the paper, the
+    minfree reserve is treated as ordinary free space. *)
+
+val cg_states : t -> Cg.t array
+(** The live cylinder-group states (for analysis; do not mutate). *)
+
+val check_invariants : t -> unit
+(** Cross-checks per-group bitmaps/counters and that no two files claim
+    the same fragment. For tests; O(total fragments). *)

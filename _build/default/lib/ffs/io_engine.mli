@@ -1,0 +1,60 @@
+(** Timed file I/O: executes reads and writes of simulated files against
+    the disk model, reproducing the request streams a BSD FFS generates.
+
+    - Reads and writes are issued cluster-at-a-time: physically
+      contiguous runs are coalesced up to [maxcontig] blocks and the
+      drive's maximum transfer size; every discontinuity costs a separate
+      request (and hence positioning).
+    - Each request is issued [host_gap] seconds after the previous
+      completion — system-call, buffer-cache and driver turnaround. This
+      gap is what turns back-to-back contiguous {e writes} into lost
+      rotations, while reads are saved by the drive's read-ahead.
+    - File creation performs FFS's synchronous metadata updates (inode
+      and directory writes) before any data is written — the cost the
+      paper blames for flat small-file create throughput.
+    - A metadata-block cache avoids re-reading inode/directory blocks
+      shared between files in the same group (the buffer cache's job);
+      data blocks are never cached (each benchmark file is touched
+      once, and the corpus far exceeds the 1996 machine's cache). *)
+
+type t
+
+type metadata_mode =
+  | Synchronous
+      (** classic FFS: every create writes the inode block and the
+          directory block synchronously, in order *)
+  | Soft_updates
+      (** McKusick's follow-up work (the fix the paper's Section 5.1
+          analysis begs for): metadata writes are safely delayed and
+          aggregated, so consecutive creates touching the same inode or
+          directory block pay for one disk write per {e block}, not per
+          {e file} *)
+
+val create :
+  fs:Fs.t -> drive:Disk.Drive.t -> ?host_gap:float -> ?metadata:metadata_mode -> unit -> t
+(** Default [host_gap] 0.7 ms, [metadata] {!Synchronous}. *)
+
+val fs : t -> Fs.t
+val clock : t -> float
+
+val reset : t -> unit
+(** Reset the clock, the drive state and the metadata cache. *)
+
+val read_file : t -> inum:int -> unit
+(** Sequential read of the whole file: directory and inode block reads
+    (if not cached), then the data extents in logical order, with
+    indirect-block reads interposed where a real FFS would fetch them. *)
+
+val overwrite_file : t -> inum:int -> unit
+(** Rewrite the file's data in place (the hot-file benchmark's write
+    phase): data extents written in logical order, then an inode
+    update. *)
+
+val create_and_write : t -> dir:int -> name:string -> size:int -> int
+(** Create a file ({!Fs.create_file} — this mutates the file system!)
+    and account the full timing: synchronous inode + directory writes,
+    then clustered data writes and indirect-block writes. Returns the
+    inode number. *)
+
+val elapsed_of : t -> (unit -> unit) -> float
+(** Run the action and return the clock advance it caused. *)

@@ -1,0 +1,115 @@
+type t = {
+  size_bytes : int;
+  block_bytes : int;
+  frag_bytes : int;
+  frags_per_block : int;
+  ncg : int;
+  maxcontig : int;
+  minfree_pct : int;
+  bytes_per_inode : int;
+  inode_bytes : int;
+  ndaddr : int;
+  nindir : int;
+  maxbpg : int;
+  rotdelay_blocks : int;
+  fs_cylinder_blocks : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+(* the paper's synthetic file-system geometry: 22 heads x 118 sectors x
+   512 bytes per cylinder = 1.27 MB = 162 blocks of 8 KB *)
+let default_fs_cylinder_blocks = 22 * 118 * 512 / 8192
+
+let v ?(block_bytes = 8192) ?(frag_bytes = 1024) ?(ncg = 27) ?(maxcontig = 7)
+    ?(minfree_pct = 10) ?(bytes_per_inode = 4096)
+    ?(fs_cylinder_blocks = default_fs_cylinder_blocks) ?(rotdelay_blocks = 0) ~size_bytes () =
+  if not (is_pow2 block_bytes) then invalid_arg "Params.v: block size not a power of two";
+  if not (is_pow2 frag_bytes) then invalid_arg "Params.v: frag size not a power of two";
+  if block_bytes mod frag_bytes <> 0 then invalid_arg "Params.v: block not frag multiple";
+  let frags_per_block = block_bytes / frag_bytes in
+  if frags_per_block > 8 then invalid_arg "Params.v: more than 8 frags per block";
+  if ncg < 1 then invalid_arg "Params.v: need at least one cylinder group";
+  if maxcontig < 1 then invalid_arg "Params.v: maxcontig must be positive";
+  if minfree_pct < 0 || minfree_pct > 50 then invalid_arg "Params.v: minfree out of range";
+  if size_bytes < ncg * 32 * block_bytes then invalid_arg "Params.v: groups too small";
+  if fs_cylinder_blocks < 1 then invalid_arg "Params.v: cylinder must hold a block";
+  if rotdelay_blocks < 0 then invalid_arg "Params.v: negative rotdelay";
+  let nindir = block_bytes / 4 in
+  {
+    size_bytes;
+    block_bytes;
+    frag_bytes;
+    frags_per_block;
+    ncg;
+    maxcontig;
+    minfree_pct;
+    bytes_per_inode;
+    inode_bytes = 128;
+    ndaddr = 12;
+    nindir;
+    maxbpg = nindir;
+    rotdelay_blocks;
+    fs_cylinder_blocks;
+  }
+
+let paper_fs = v ~size_bytes:(502 * 1024 * 1024) ()
+let small_test_fs = v ~ncg:4 ~size_bytes:(16 * 1024 * 1024) ()
+
+let total_frags t = t.size_bytes / t.frag_bytes
+
+let frags_per_group t =
+  (* round down to a whole number of blocks so groups are block-aligned *)
+  total_frags t / t.ncg / t.frags_per_block * t.frags_per_block
+
+let blocks_per_group t = frags_per_group t / t.frags_per_block
+
+let inodes_per_group t =
+  let bytes = frags_per_group t * t.frag_bytes in
+  let per_block = t.block_bytes / t.inode_bytes in
+  (* round up to a whole inode block *)
+  (bytes / t.bytes_per_inode + per_block - 1) / per_block * per_block
+
+let metadata_frags t =
+  let inode_frags = inodes_per_group t * t.inode_bytes / t.frag_bytes in
+  (* superblock copy + group descriptor, one block each, then inode table *)
+  let raw = (2 * t.frags_per_block) + inode_frags in
+  (raw + t.frags_per_block - 1) / t.frags_per_block * t.frags_per_block
+
+let data_blocks_per_group t = blocks_per_group t - (metadata_frags t / t.frags_per_block)
+let data_bytes t = t.ncg * data_blocks_per_group t * t.block_bytes
+let group_base t cg = cg * frags_per_group t
+let data_base t cg = group_base t cg + metadata_frags t
+let group_of_frag t frag = frag / frags_per_group t
+let frag_is_block_aligned t frag = frag mod t.frags_per_block = 0
+
+let inode_block_addr t inum =
+  let ipg = inodes_per_group t in
+  let cg = inum / ipg in
+  let index = inum mod ipg in
+  let per_block = t.block_bytes / t.inode_bytes in
+  group_base t cg + (2 * t.frags_per_block) + (index / per_block * t.frags_per_block)
+
+let lba_of_frag t ~sector_bytes frag = frag * (t.frag_bytes / sector_bytes)
+let sectors_per_frag t ~sector_bytes = t.frag_bytes / sector_bytes
+let sectors_per_block t ~sector_bytes = t.block_bytes / sector_bytes
+
+let blocks_of_size t size =
+  assert (size >= 0);
+  let full = size / t.block_bytes in
+  let rem = size mod t.block_bytes in
+  if rem = 0 then (full, 0)
+  else if full >= t.ndaddr then (full + 1, 0)
+  else begin
+    let tail = (rem + t.frag_bytes - 1) / t.frag_bytes in
+    (* a tail that rounds up to a whole block is a full block *)
+    if tail = t.frags_per_block then (full + 1, 0) else (full, tail)
+  end
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>size: %a@ block: %a  frag: %a@ cylinder groups: %d (%d data blocks each)@ \
+     max cluster: %d blocks (%a)@ minfree: %d%%@ inodes/group: %d@]"
+    Util.Units.pp_bytes t.size_bytes Util.Units.pp_bytes t.block_bytes Util.Units.pp_bytes
+    t.frag_bytes t.ncg (data_blocks_per_group t) t.maxcontig Util.Units.pp_bytes
+    (t.maxcontig * t.block_bytes) t.minfree_pct (inodes_per_group t)

@@ -1,0 +1,104 @@
+(** File-system parameters and the derived on-disk layout.
+
+    The address unit throughout the FFS simulator is the {e fragment}
+    (1 KB in the paper's configuration); a {e block} is
+    [frags_per_block] consecutive, block-aligned fragments. Every
+    cylinder group occupies [frags_per_group] consecutive fragments; the
+    first [metadata_frags] of each group hold the superblock copy, the
+    group descriptor and the inode table, and the rest is the data area
+    from which files are allocated. *)
+
+type t = private {
+  size_bytes : int;  (** total file-system size *)
+  block_bytes : int;
+  frag_bytes : int;
+  frags_per_block : int;
+  ncg : int;  (** number of cylinder groups *)
+  maxcontig : int;  (** maximum cluster length, in blocks *)
+  minfree_pct : int;  (** reserved free space (percent) *)
+  bytes_per_inode : int;  (** data bytes per inode at newfs time *)
+  inode_bytes : int;  (** on-disk inode size *)
+  ndaddr : int;  (** direct block pointers per inode *)
+  nindir : int;  (** block pointers per indirect block *)
+  maxbpg : int;  (** max blocks per group per file before a forced cg switch *)
+  rotdelay_blocks : int;
+      (** blocks of rotational gap the allocator leaves between a file's
+          consecutive blocks — the classic FFS tunable for drives without
+          track buffers. The paper's file system sets it to 0 (Table 1),
+          which modern drives want; the ablation shows why. *)
+  fs_cylinder_blocks : int;
+      (** blocks per {e file-system} cylinder — the neighbourhood within
+          which the traditional allocator searches for a
+          rotationally-near free block when the preferred block is
+          taken. The paper's file system was built with a synthetic
+          geometry (22 heads, 118 sectors/track, italic in Table 1),
+          giving 1.27 MB = 162 blocks per cylinder. *)
+}
+
+val v :
+  ?block_bytes:int ->
+  ?frag_bytes:int ->
+  ?ncg:int ->
+  ?maxcontig:int ->
+  ?minfree_pct:int ->
+  ?bytes_per_inode:int ->
+  ?fs_cylinder_blocks:int ->
+  ?rotdelay_blocks:int ->
+  size_bytes:int ->
+  unit ->
+  t
+(** Build and validate a parameter set. Defaults are the paper's:
+    8 KB blocks, 1 KB fragments, 27 groups, 7-block (56 KB) clusters,
+    10% minfree, one inode per 4 KB. Raises [Invalid_argument] on
+    inconsistent values (non-power-of-two sizes, too-small groups...). *)
+
+val paper_fs : t
+(** The Table 1 file system: 502 MB, 8 KB/1 KB, 27 groups, 56 KB max
+    cluster. *)
+
+val small_test_fs : t
+(** A 16 MB, 4-group file system for fast tests and examples. *)
+
+(* Derived layout *)
+
+val total_frags : t -> int
+val frags_per_group : t -> int
+val blocks_per_group : t -> int
+val inodes_per_group : t -> int
+
+val metadata_frags : t -> int
+(** Fragments at the head of each group reserved for metadata
+    (block-aligned). *)
+
+val data_blocks_per_group : t -> int
+val data_bytes : t -> int
+
+val group_base : t -> int -> int
+(** First (global) fragment address of group [cg]. *)
+
+val data_base : t -> int -> int
+(** First data fragment address of group [cg]. *)
+
+val group_of_frag : t -> int -> int
+(** Cylinder group containing a global fragment address. *)
+
+val frag_is_block_aligned : t -> int -> bool
+
+val inode_block_addr : t -> int -> int
+(** Global fragment address of the (block-sized) slab of the inode table
+    holding inode [inum] — the location read/written for inode I/O. *)
+
+val lba_of_frag : t -> sector_bytes:int -> int -> int
+(** Map a fragment address to a disk LBA ([partition_offset] 0: the file
+    system starts at the beginning of the disk). *)
+
+val sectors_per_frag : t -> sector_bytes:int -> int
+val sectors_per_block : t -> sector_bytes:int -> int
+
+val blocks_of_size : t -> int -> int * int
+(** [blocks_of_size t size] is [(full_blocks, tail_frags)] for a file of
+    [size] bytes: the tail is allocated as fragments only when the file
+    fits entirely within the direct blocks, as in FFS; otherwise the tail
+    rounds up to a full block and [tail_frags = 0]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,129 @@
+type t = {
+  size : int;
+  used : Bitmap.t;
+  lengths : int array;  (* valid at the endpoints of free runs only *)
+  counts : int array;  (* counts.(len) = maximal free runs of that length *)
+  mutable longest_hint : int;  (* upper bound on the longest free run *)
+}
+
+let create size =
+  assert (size >= 0);
+  let t =
+    {
+      size;
+      used = Bitmap.create size;
+      lengths = Array.make (max 1 size) 0;
+      counts = Array.make (size + 1) 0;
+      longest_hint = size;
+    }
+  in
+  if size > 0 then begin
+    t.lengths.(0) <- size;
+    t.lengths.(size - 1) <- size;
+    t.counts.(size) <- 1
+  end;
+  t
+
+let copy t =
+  {
+    t with
+    used = Bitmap.copy t.used;
+    lengths = Array.copy t.lengths;
+    counts = Array.copy t.counts;
+  }
+
+let size t = t.size
+let is_free t i = not (Bitmap.get t.used i)
+
+let longest t =
+  let rec settle len =
+    if len <= 0 then 0 else if t.counts.(len) > 0 then len else settle (len - 1)
+  in
+  let l = settle t.longest_hint in
+  t.longest_hint <- l;
+  l
+
+let has_run t ~len = len <= longest t
+let count_of_length t len = if len >= 0 && len <= t.size then t.counts.(len) else 0
+
+(* boundaries of the maximal free run containing free slot [i] *)
+let run_bounds t i =
+  assert (is_free t i);
+  let rec left j = if j > 0 && is_free t (j - 1) then left (j - 1) else j in
+  let rec right j = if j < t.size - 1 && is_free t (j + 1) then right (j + 1) else j in
+  (left i, right i)
+
+let run_length_at t i = if not (is_free t i) then 0 else let s, e = run_bounds t i in e - s + 1
+
+let record_run t ~s ~e =
+  let len = e - s + 1 in
+  if len > 0 then begin
+    t.counts.(len) <- t.counts.(len) + 1;
+    t.lengths.(s) <- len;
+    t.lengths.(e) <- len;
+    if len > t.longest_hint then t.longest_hint <- len
+  end
+
+let forget_run_of_length t len =
+  assert (t.counts.(len) > 0);
+  t.counts.(len) <- t.counts.(len) - 1
+
+let allocate t i =
+  assert (is_free t i);
+  let s, e = run_bounds t i in
+  forget_run_of_length t (e - s + 1);
+  Bitmap.set t.used i;
+  record_run t ~s ~e:(i - 1);
+  record_run t ~s:(i + 1) ~e
+
+let free t i =
+  assert (not (is_free t i));
+  let left_len = if i > 0 && is_free t (i - 1) then t.lengths.(i - 1) else 0 in
+  let right_len = if i < t.size - 1 && is_free t (i + 1) then t.lengths.(i + 1) else 0 in
+  if left_len > 0 then forget_run_of_length t left_len;
+  if right_len > 0 then forget_run_of_length t right_len;
+  Bitmap.clear t.used i;
+  record_run t ~s:(i - left_len) ~e:(i + right_len)
+
+let histogram t ~max =
+  assert (max >= 1);
+  let out = Array.make max 0 in
+  for len = 1 to t.size do
+    if t.counts.(len) > 0 then begin
+      let slot = min len max - 1 in
+      out.(slot) <- out.(slot) + t.counts.(len)
+    end
+  done;
+  out
+
+let check t ~bitmap_free =
+  (* recount runs from ground truth and compare *)
+  let recount = Array.make (t.size + 1) 0 in
+  let i = ref 0 in
+  while !i < t.size do
+    if bitmap_free !i then begin
+      let s = !i in
+      while !i < t.size && bitmap_free !i do
+        incr i
+      done;
+      let e = !i - 1 in
+      let len = e - s + 1 in
+      recount.(len) <- recount.(len) + 1;
+      if not (is_free t s) || not (is_free t e) then
+        Fmt.failwith "run_index: freeness disagrees at run [%d,%d]" s e;
+      if t.lengths.(s) <> len || t.lengths.(e) <> len then
+        Fmt.failwith "run_index: endpoint lengths wrong for run [%d,%d] (have %d/%d)" s e
+          t.lengths.(s) t.lengths.(e)
+    end
+    else begin
+      if is_free t !i then Fmt.failwith "run_index: slot %d should be used" !i;
+      incr i
+    end
+  done;
+  Array.iteri
+    (fun len c ->
+      if c <> t.counts.(len) then
+        Fmt.failwith "run_index: count for length %d is %d, expected %d" len t.counts.(len) c)
+    recount;
+  if longest t <> (let rec f l = if l = 0 || recount.(l) > 0 then l else f (l - 1) in f t.size)
+  then Fmt.failwith "run_index: longest disagrees"

@@ -1,0 +1,1 @@
+lib/lfs/lfs_io.ml: Array Disk Log_fs

@@ -1,0 +1,1 @@
+lib/lfs/lfs_io.mli: Disk Log_fs

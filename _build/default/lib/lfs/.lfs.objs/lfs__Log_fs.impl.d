@@ -1,0 +1,1 @@
+lib/lfs/log_fs.ml: Array Float Fmt Fun Hashtbl List

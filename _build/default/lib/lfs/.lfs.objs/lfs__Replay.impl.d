@@ -1,0 +1,1 @@
+lib/lfs/replay.ml: Array Log_fs Workload

@@ -1,0 +1,1 @@
+lib/lfs/replay.mli: Log_fs Workload

@@ -1,0 +1,47 @@
+type t = {
+  fs : Log_fs.t;
+  drive : Disk.Drive.t;
+  host_gap : float;
+  mutable clock : float;
+}
+
+let create ~fs ~drive ?(host_gap = 0.7e-3) () = { fs; drive; host_gap; clock = 0.0 }
+let clock t = t.clock
+
+let reset t =
+  t.clock <- 0.0;
+  Disk.Drive.reset t.drive
+
+let sector_bytes t =
+  (Disk.Drive.config t.drive).Disk.Drive.geometry.Disk.Geometry.sector_bytes
+
+let read_file t ~ino =
+  let blocks = Log_fs.file_blocks t.fs ~ino in
+  let spb = Log_fs.block_bytes t.fs / sector_bytes t in
+  let cap_blocks = Disk.Drive.max_transfer_sectors t.drive / spb in
+  let issue addr len =
+    let lba = Log_fs.lba_of_block t.fs ~sector_bytes:(sector_bytes t) addr in
+    t.clock <-
+      Disk.Drive.service t.drive ~now:(t.clock +. t.host_gap) Disk.Drive.Read ~lba
+        ~nsectors:(len * spb)
+  in
+  let start = ref 0 in
+  let n = Array.length blocks in
+  while !start < n do
+    (* maximal consecutive run from !start, capped at the transfer size *)
+    let len = ref 1 in
+    while
+      !start + !len < n
+      && blocks.(!start + !len) = blocks.(!start + !len - 1) + 1
+      && !len < cap_blocks
+    do
+      incr len
+    done;
+    issue blocks.(!start) !len;
+    start := !start + !len
+  done
+
+let elapsed_of t action =
+  let before = t.clock in
+  action ();
+  t.clock -. before

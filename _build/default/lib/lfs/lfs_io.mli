@@ -1,0 +1,21 @@
+(** Timed reads from the log against the disk model.
+
+    Mirrors {!Ffs.Io_engine}'s data path: extents of physically
+    consecutive blocks are coalesced up to the drive's transfer limit,
+    and each request is issued a host gap after the previous completion.
+    LFS metadata (the inode map) is assumed cached — BSD-LFS keeps the
+    ifile hot — so, unlike the FFS engine, no per-file metadata reads
+    are charged; write timing is not modelled (the log's write
+    performance is measured by {!Log_fs.write_amplification}, the
+    cleaner's tax, rather than by request latency). *)
+
+type t
+
+val create : fs:Log_fs.t -> drive:Disk.Drive.t -> ?host_gap:float -> unit -> t
+val clock : t -> float
+val reset : t -> unit
+
+val read_file : t -> ino:int -> unit
+(** Raises [Not_found] for a dead inode. *)
+
+val elapsed_of : t -> (unit -> unit) -> float

@@ -1,0 +1,337 @@
+type config = {
+  segment_blocks : int;
+  low_water : int;
+  high_water : int;
+  reserve : int;
+  idle_threshold : float;
+  policy : [ `Greedy | `Cost_benefit ];
+}
+
+type stats = {
+  mutable user_blocks_written : int;
+  mutable cleaner_blocks_copied : int;
+  mutable segments_cleaned : int;
+  mutable idle_cleanings : int;
+  mutable foreground_cleanings : int;
+}
+
+exception Out_of_space
+
+let default_config =
+  {
+    segment_blocks = 64;
+    low_water = 4;
+    high_water = 10;
+    reserve = 2;
+    idle_threshold = 1800.0;
+    policy = `Cost_benefit;
+  }
+
+type t = {
+  cfg : config;
+  block_bytes : int;
+  nsegments : int;
+  usage : int array;  (* live blocks per segment *)
+  seg_time : float array;  (* last write time per segment (for cost-benefit age) *)
+  owner : (int * int) option array;  (* disk block -> (ino, lbn) *)
+  files : (int, int array) Hashtbl.t;  (* ino -> block addresses *)
+  mutable clean : int list;  (* clean segment indices (stack) *)
+  mutable nclean : int;
+  mutable head_segment : int;
+  mutable head_offset : int;  (* next free block slot within the head segment *)
+  mutable clock : float;
+  mutable last_op_time : float;
+  mutable cleaning : bool;  (* re-entrancy guard *)
+  stats : stats;
+}
+
+let create ?(config = default_config) ~block_bytes ~size_bytes () =
+  let seg_bytes = config.segment_blocks * block_bytes in
+  let nsegments = size_bytes / seg_bytes in
+  if nsegments < config.high_water + config.reserve + 2 then
+    invalid_arg "Log_fs.create: too few segments";
+  let nblocks = nsegments * config.segment_blocks in
+  let clean = List.init (nsegments - 1) (fun i -> nsegments - 1 - i) in
+  {
+    cfg = config;
+    block_bytes;
+    nsegments;
+    usage = Array.make nsegments 0;
+    seg_time = Array.make nsegments 0.0;
+    owner = Array.make nblocks None;
+    files = Hashtbl.create 1024;
+    clean;
+    nclean = nsegments - 1;
+    head_segment = 0;
+    head_offset = 0;
+    clock = 0.0;
+    last_op_time = 0.0;
+    cleaning = false;
+    stats =
+      {
+        user_blocks_written = 0;
+        cleaner_blocks_copied = 0;
+        segments_cleaned = 0;
+        idle_cleanings = 0;
+        foreground_cleanings = 0;
+      };
+  }
+
+let config t = t.cfg
+let stats t = t.stats
+let segment_count t = t.nsegments
+let clean_segments t = t.nclean
+let block_bytes t = t.block_bytes
+let segment_of t addr = addr / t.cfg.segment_blocks
+
+let file_exists t ~ino = Hashtbl.mem t.files ino
+
+let file_blocks t ~ino =
+  match Hashtbl.find_opt t.files ino with
+  | Some blocks -> Array.copy blocks
+  | None -> raise Not_found
+
+let file_count t = Hashtbl.length t.files
+let iter_files t f = Hashtbl.iter (fun ino blocks -> f ~ino ~blocks) t.files
+
+let live_blocks t = Array.fold_left ( + ) 0 t.usage
+
+let utilization t =
+  float_of_int (live_blocks t) /. float_of_int (t.nsegments * t.cfg.segment_blocks)
+
+let write_amplification t =
+  let user = t.stats.user_blocks_written in
+  if user = 0 then 1.0
+  else float_of_int (user + t.stats.cleaner_blocks_copied) /. float_of_int user
+
+let lba_of_block t ~sector_bytes addr = addr * (t.block_bytes / sector_bytes)
+
+(* --- the log head -------------------------------------------------------- *)
+
+(* Kill a block: clear ownership and usage accounting. *)
+let kill_block t addr =
+  (match t.owner.(addr) with
+  | Some _ -> ()
+  | None -> invalid_arg "Log_fs: double kill");
+  t.owner.(addr) <- None;
+  let seg = segment_of t addr in
+  t.usage.(seg) <- t.usage.(seg) - 1;
+  assert (t.usage.(seg) >= 0);
+  (* a fully dead, non-head segment is immediately reusable *)
+  if t.usage.(seg) = 0 && seg <> t.head_segment then begin
+    t.clean <- seg :: t.clean;
+    t.nclean <- t.nclean + 1
+  end
+
+let rec advance_head t ~for_cleaner =
+  match t.clean with
+  | seg :: rest ->
+      t.clean <- rest;
+      t.nclean <- t.nclean - 1;
+      (* the abandoned head may have become fully dead *)
+      let old = t.head_segment in
+      if t.usage.(old) = 0 && old <> seg then begin
+        t.clean <- old :: t.clean;
+        t.nclean <- t.nclean + 1
+      end;
+      t.head_segment <- seg;
+      t.head_offset <- 0
+  | [] ->
+      if for_cleaner then raise Out_of_space
+      else begin
+        clean_until t ~target:1 ~foreground:true;
+        if t.clean = [] then raise Out_of_space;
+        advance_head t ~for_cleaner
+      end
+
+and append_block t ~ino ~lbn ~for_cleaner =
+  (* the user may not consume the cleaner's reserve *)
+  if (not for_cleaner) && t.nclean <= t.cfg.reserve && t.head_offset >= t.cfg.segment_blocks
+  then begin
+    clean_until t ~target:(t.cfg.reserve + 1) ~foreground:true;
+    if t.nclean <= t.cfg.reserve then raise Out_of_space
+  end;
+  if t.head_offset >= t.cfg.segment_blocks then advance_head t ~for_cleaner;
+  let addr = (t.head_segment * t.cfg.segment_blocks) + t.head_offset in
+  t.head_offset <- t.head_offset + 1;
+  assert (t.owner.(addr) = None);
+  t.owner.(addr) <- Some (ino, lbn);
+  t.usage.(t.head_segment) <- t.usage.(t.head_segment) + 1;
+  t.seg_time.(t.head_segment) <- t.clock;
+  addr
+
+(* --- the cleaner ------------------------------------------------------------ *)
+
+and pick_victim t =
+  (* any non-clean, non-head segment with dead space *)
+  let best = ref None in
+  let consider seg score =
+    match !best with
+    | Some (_, best_score) when best_score >= score -> ()
+    | Some _ | None -> best := Some (seg, score)
+  in
+  for seg = 0 to t.nsegments - 1 do
+    if seg <> t.head_segment && t.usage.(seg) < t.cfg.segment_blocks then begin
+      let is_clean = t.usage.(seg) = 0 in
+      if not is_clean then begin
+        let u = float_of_int t.usage.(seg) /. float_of_int t.cfg.segment_blocks in
+        match t.cfg.policy with
+        | `Greedy -> consider seg (1.0 -. u)
+        | `Cost_benefit ->
+            let age = Float.max 1.0 (t.clock -. t.seg_time.(seg)) in
+            consider seg ((1.0 -. u) *. age /. (1.0 +. u))
+      end
+    end
+  done;
+  !best
+
+and clean_segment t seg =
+  (* collect the victim's live blocks, grouped by file and logical
+     order so surviving files re-coalesce in the log *)
+  let base = seg * t.cfg.segment_blocks in
+  let live = ref [] in
+  for off = t.cfg.segment_blocks - 1 downto 0 do
+    match t.owner.(base + off) with
+    | Some (ino, lbn) -> live := (ino, lbn, base + off) :: !live
+    | None -> ()
+  done;
+  let live = List.sort compare !live in
+  List.iter
+    (fun (ino, lbn, addr) ->
+      (* the relocation target is found first; only then is the old
+         block killed (which may render the victim clean) *)
+      let new_addr = append_block t ~ino ~lbn ~for_cleaner:true in
+      t.owner.(addr) <- None;
+      t.usage.(seg) <- t.usage.(seg) - 1;
+      t.stats.cleaner_blocks_copied <- t.stats.cleaner_blocks_copied + 1;
+      let blocks = Hashtbl.find t.files ino in
+      blocks.(lbn) <- new_addr)
+    live;
+  assert (t.usage.(seg) = 0);
+  t.clean <- seg :: t.clean;
+  t.nclean <- t.nclean + 1;
+  t.stats.segments_cleaned <- t.stats.segments_cleaned + 1
+
+and clean_until t ~target ~foreground =
+  if not t.cleaning then begin
+    t.cleaning <- true;
+    Fun.protect
+      ~finally:(fun () -> t.cleaning <- false)
+      (fun () ->
+        if foreground then
+          t.stats.foreground_cleanings <- t.stats.foreground_cleanings + 1
+        else t.stats.idle_cleanings <- t.stats.idle_cleanings + 1;
+        let progress = ref true in
+        while t.nclean < target && !progress do
+          match pick_victim t with
+          | Some (seg, _) when t.usage.(seg) < t.cfg.segment_blocks ->
+              (* cleaning a nearly-full segment into reserve space can
+                 deadlock; require headroom for the copies *)
+              let copies = t.usage.(seg) in
+              let room =
+                ((t.nclean * t.cfg.segment_blocks)
+                + (t.cfg.segment_blocks - t.head_offset))
+              in
+              if room > copies then clean_segment t seg else progress := false
+          | Some _ | None -> progress := false
+        done)
+  end
+
+(* --- time ---------------------------------------------------------------------- *)
+
+let set_time t time =
+  let idle = time -. t.last_op_time in
+  t.clock <- Float.max t.clock time;
+  if idle >= t.cfg.idle_threshold && t.nclean < t.cfg.high_water then
+    clean_until t ~target:t.cfg.high_water ~foreground:false;
+  t.last_op_time <- time
+
+(* --- file operations -------------------------------------------------------------- *)
+
+let blocks_of_size t size = max 1 ((size + t.block_bytes - 1) / t.block_bytes)
+
+let delete_file t ~ino =
+  match Hashtbl.find_opt t.files ino with
+  | None -> raise Not_found
+  | Some blocks ->
+      Array.iter (kill_block t) blocks;
+      Hashtbl.remove t.files ino
+
+let create_file t ~ino ~size =
+  if Hashtbl.mem t.files ino then invalid_arg "Log_fs.create_file: inode live";
+  if size < 0 then invalid_arg "Log_fs.create_file: negative size";
+  let n = blocks_of_size t size in
+  if t.nclean < t.cfg.low_water then
+    clean_until t ~target:t.cfg.high_water ~foreground:true;
+  let blocks = Array.make n 0 in
+  (* register the file first so the cleaner can relocate already-written
+     blocks if it runs mid-create *)
+  Hashtbl.replace t.files ino blocks;
+  (try
+     for lbn = 0 to n - 1 do
+       blocks.(lbn) <- append_block t ~ino ~lbn ~for_cleaner:false;
+       t.stats.user_blocks_written <- t.stats.user_blocks_written + 1
+     done
+   with Out_of_space ->
+     (* roll back the partial file *)
+     let written = Array.to_list (Array.sub blocks 0 (Array.length blocks)) in
+     List.iteri (fun lbn addr -> if t.owner.(addr) = Some (ino, lbn) then kill_block t addr) written;
+     Hashtbl.remove t.files ino;
+     raise Out_of_space)
+
+let rewrite_file t ~ino ~size =
+  delete_file t ~ino;
+  create_file t ~ino ~size
+
+(* --- metrics ------------------------------------------------------------------------ *)
+
+let layout_score t =
+  let optimal = ref 0 and counted = ref 0 in
+  Hashtbl.iter
+    (fun _ blocks ->
+      let n = Array.length blocks in
+      if n >= 2 then
+        for i = 1 to n - 1 do
+          incr counted;
+          if blocks.(i) = blocks.(i - 1) + 1 then incr optimal
+        done)
+    t.files;
+  if !counted = 0 then 1.0 else float_of_int !optimal /. float_of_int !counted
+
+let check_invariants t =
+  (* ownership map vs usage table *)
+  let recount = Array.make t.nsegments 0 in
+  Array.iteri
+    (fun addr o ->
+      match o with
+      | Some (ino, lbn) ->
+          recount.(segment_of t addr) <- recount.(segment_of t addr) + 1;
+          let blocks =
+            match Hashtbl.find_opt t.files ino with
+            | Some b -> b
+            | None -> Fmt.failwith "owner of block %d is dead inode %d" addr ino
+          in
+          if lbn >= Array.length blocks || blocks.(lbn) <> addr then
+            Fmt.failwith "block %d ownership disagrees with inode %d" addr ino
+      | None -> ())
+    t.owner;
+  Array.iteri
+    (fun seg n ->
+      if n <> t.usage.(seg) then
+        Fmt.failwith "segment %d usage %d but %d live blocks" seg t.usage.(seg) n)
+    recount;
+  (* every file block must be owned *)
+  Hashtbl.iter
+    (fun ino blocks ->
+      Array.iteri
+        (fun lbn addr ->
+          if t.owner.(addr) <> Some (ino, lbn) then
+            Fmt.failwith "inode %d lbn %d at %d not owned" ino lbn addr)
+        blocks)
+    t.files;
+  (* clean list consistency *)
+  List.iter
+    (fun seg ->
+      if t.usage.(seg) <> 0 then Fmt.failwith "clean segment %d has live blocks" seg)
+    t.clean;
+  if List.length t.clean <> t.nclean then Fmt.failwith "clean count out of sync"

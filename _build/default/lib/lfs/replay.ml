@@ -1,0 +1,46 @@
+type result = {
+  fs : Log_fs.t;
+  daily_scores : float array;
+  daily_utilization : float array;
+  daily_write_amplification : float array;
+  skipped_ops : int;
+}
+
+let run ?config ~block_bytes ~size_bytes ~days ops =
+  let fs = Log_fs.create ?config ~block_bytes ~size_bytes () in
+  let daily_scores = Array.make days 1.0 in
+  let daily_utilization = Array.make days 0.0 in
+  let daily_write_amplification = Array.make days 1.0 in
+  let skipped = ref 0 in
+  let next_day = ref 0 in
+  let day_end d = float_of_int (d + 1) *. Workload.Op.seconds_per_day in
+  let finish_day () =
+    let d = !next_day in
+    daily_scores.(d) <- Log_fs.layout_score fs;
+    daily_utilization.(d) <- Log_fs.utilization fs;
+    daily_write_amplification.(d) <- Log_fs.write_amplification fs;
+    incr next_day
+  in
+  let apply op =
+    Log_fs.set_time fs (Workload.Op.time_of op);
+    match op with
+    | Workload.Op.Create { ino; size; _ } ->
+        if Log_fs.file_exists fs ~ino then incr skipped
+        else Log_fs.create_file fs ~ino ~size
+    | Workload.Op.Delete { ino; _ } ->
+        if Log_fs.file_exists fs ~ino then Log_fs.delete_file fs ~ino else incr skipped
+    | Workload.Op.Modify { ino; size; _ } ->
+        if Log_fs.file_exists fs ~ino then Log_fs.rewrite_file fs ~ino ~size
+        else incr skipped
+  in
+  Array.iter
+    (fun op ->
+      while !next_day < days && Workload.Op.time_of op >= day_end !next_day do
+        finish_day ()
+      done;
+      try apply op with Log_fs.Out_of_space -> incr skipped)
+    ops;
+  while !next_day < days do
+    finish_day ()
+  done;
+  { fs; daily_scores; daily_utilization; daily_write_amplification; skipped_ops = !skipped }

@@ -1,0 +1,24 @@
+(** Aging replay against the log-structured substrate.
+
+    Replays the same {!Workload.Op} streams the FFS replayer consumes.
+    There is no cylinder-group placement (a log has no groups); inode
+    numbers are used directly. Because {!Log_fs.set_time} is driven from
+    the operation timestamps, idle gaps in the workload give the cleaner
+    its chance to run — the behaviour the paper's future work wants
+    aging to capture. *)
+
+type result = {
+  fs : Log_fs.t;
+  daily_scores : float array;
+  daily_utilization : float array;
+  daily_write_amplification : float array;
+  skipped_ops : int;
+}
+
+val run :
+  ?config:Log_fs.config ->
+  block_bytes:int ->
+  size_bytes:int ->
+  days:int ->
+  Workload.Op.t array ->
+  result

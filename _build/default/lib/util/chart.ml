@@ -1,0 +1,116 @@
+type series = { label : string; points : (float * float) array }
+
+let table ~header ~rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let cell row i = match List.nth_opt row i with Some c -> c | None -> "" in
+  let widths =
+    Array.init ncols (fun i ->
+        List.fold_left (fun acc row -> max acc (String.length (cell row i))) 0 all)
+  in
+  let buf = Buffer.create 256 in
+  let emit_row row =
+    for i = 0 to ncols - 1 do
+      if i > 0 then Buffer.add_string buf "  ";
+      let c = cell row i in
+      Buffer.add_string buf c;
+      Buffer.add_string buf (String.make (widths.(i) - String.length c) ' ')
+    done;
+    Buffer.add_char buf '\n'
+  in
+  emit_row header;
+  let total = Array.fold_left ( + ) 0 widths + (2 * (ncols - 1)) in
+  Buffer.add_string buf (String.make total '-');
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&' |]
+
+let line_chart ?(width = 72) ?(height = 20) ?(x_label = "") ?(y_label = "") ?(logx = false)
+    ~title series =
+  let tx x = if logx then Float.log2 x else x in
+  let all_points =
+    List.concat_map (fun s -> Array.to_list s.points) series
+    |> List.filter (fun (x, _) -> (not logx) || x > 0.0)
+  in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  if all_points = [] then begin
+    Buffer.add_string buf "  (no data)\n";
+    Buffer.contents buf
+  end
+  else begin
+    let xs = List.map (fun (x, _) -> tx x) all_points in
+    let ys = List.map snd all_points in
+    let xmin = List.fold_left min infinity xs and xmax = List.fold_left max neg_infinity xs in
+    let ymin = List.fold_left min infinity ys and ymax = List.fold_left max neg_infinity ys in
+    let xspan = if xmax > xmin then xmax -. xmin else 1.0 in
+    let yspan = if ymax > ymin then ymax -. ymin else 1.0 in
+    let grid = Array.make_matrix height width ' ' in
+    let plot gi (x, y) =
+      if (not logx) || x > 0.0 then begin
+        let cx =
+          int_of_float (Float.round ((tx x -. xmin) /. xspan *. float_of_int (width - 1)))
+        in
+        let cy =
+          height - 1
+          - int_of_float (Float.round ((y -. ymin) /. yspan *. float_of_int (height - 1)))
+        in
+        if cx >= 0 && cx < width && cy >= 0 && cy < height then
+          grid.(cy).(cx) <- glyphs.(gi mod Array.length glyphs)
+      end
+    in
+    List.iteri (fun gi s -> Array.iter (plot gi) s.points) series;
+    let y_axis_width = 9 in
+    if y_label <> "" then begin
+      Buffer.add_string buf y_label;
+      Buffer.add_char buf '\n'
+    end;
+    for row = 0 to height - 1 do
+      let y_here = ymax -. (float_of_int row /. float_of_int (height - 1) *. yspan) in
+      if row mod 4 = 0 || row = height - 1 then Buffer.add_string buf (Fmt.str "%8.3f " y_here)
+      else Buffer.add_string buf (String.make y_axis_width ' ');
+      Buffer.add_char buf '|';
+      Array.iter (Buffer.add_char buf) grid.(row);
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.add_string buf (String.make y_axis_width ' ');
+    Buffer.add_char buf '+';
+    Buffer.add_string buf (String.make width '-');
+    Buffer.add_char buf '\n';
+    let label_left = if logx then Fmt.str "%.3g" (2.0 ** xmin) else Fmt.str "%.3g" xmin in
+    let label_right = if logx then Fmt.str "%.3g" (2.0 ** xmax) else Fmt.str "%.3g" xmax in
+    let pad = width - String.length label_left - String.length label_right in
+    Buffer.add_string buf (String.make (y_axis_width + 1) ' ');
+    Buffer.add_string buf label_left;
+    Buffer.add_string buf (String.make (max 1 pad) ' ');
+    Buffer.add_string buf label_right;
+    if x_label <> "" then Buffer.add_string buf (Fmt.str "  (%s)" x_label);
+    Buffer.add_char buf '\n';
+    List.iteri
+      (fun gi s ->
+        Buffer.add_string buf
+          (Fmt.str "%s  %c %s\n"
+             (String.make y_axis_width ' ')
+             glyphs.(gi mod Array.length glyphs)
+             s.label))
+      series;
+    Buffer.contents buf
+  end
+
+let spark_levels = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#' |]
+
+let sparkline data =
+  let n = Array.length data in
+  if n = 0 then ""
+  else begin
+    let lo = Array.fold_left min infinity data in
+    let hi = Array.fold_left max neg_infinity data in
+    let span = if hi > lo then hi -. lo else 1.0 in
+    String.init n (fun i ->
+        let norm = (data.(i) -. lo) /. span in
+        let idx = int_of_float (norm *. float_of_int (Array.length spark_levels - 1)) in
+        spark_levels.(max 0 (min (Array.length spark_levels - 1) idx)))
+  end

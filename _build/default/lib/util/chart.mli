@@ -1,0 +1,27 @@
+(** Plain-text rendering of experiment output: aligned tables and ASCII
+    line charts. Every figure in the paper is regenerated as one of
+    these, so the bench harness can print paper-shaped output without a
+    plotting stack. *)
+
+type series = { label : string; points : (float * float) array }
+
+val table : header:string list -> rows:string list list -> string
+(** Render an aligned table with a separator under the header. Rows may
+    be ragged; missing cells render empty. *)
+
+val line_chart :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  ?logx:bool ->
+  title:string ->
+  series list ->
+  string
+(** Render series on a character grid. Each series is drawn with its own
+    glyph ([*], [+], [o], [x], ...) noted in the legend; later series
+    overwrite earlier ones where they collide. [logx] plots x on a log2
+    scale (all x must be positive). Default size 72x20. *)
+
+val sparkline : float array -> string
+(** One-line bar rendering of a data series, min–max normalised. *)

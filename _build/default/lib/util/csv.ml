@@ -1,0 +1,44 @@
+type t = { header : string list; mutable rows : string list list; mutable count : int }
+
+let create ~header = { header; rows = []; count = 0 }
+
+let add_row t row =
+  t.rows <- row :: t.rows;
+  t.count <- t.count + 1
+
+let row_count t = t.count
+
+let escape field =
+  let needs_quote =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') field
+  in
+  if not needs_quote then field
+  else begin
+    let buf = Buffer.create (String.length field + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      field;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  let emit row =
+    Buffer.add_string buf (String.concat "," (List.map escape row));
+    Buffer.add_char buf '\n'
+  in
+  emit t.header;
+  List.iter emit (List.rev t.rows);
+  Buffer.contents buf
+
+let save t ~path =
+  let dir = Filename.dirname path in
+  if dir <> "." && not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc
+
+let floats fs = List.map (Fmt.str "%.6g") fs

@@ -1,0 +1,19 @@
+(** Minimal CSV output for experiment data (results/ directory).
+
+    Quoting follows RFC 4180: fields containing commas, quotes or
+    newlines are quoted, embedded quotes doubled. *)
+
+type t
+
+val create : header:string list -> t
+val add_row : t -> string list -> unit
+val row_count : t -> int
+
+val to_string : t -> string
+(** Render all rows, header first. *)
+
+val save : t -> path:string -> unit
+(** Write to [path], creating parent directory if needed (one level). *)
+
+val floats : float list -> string list
+(** Convenience: format floats with [%.6g]. *)

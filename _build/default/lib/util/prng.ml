@@ -1,0 +1,89 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create ~seed = { state = mix64 (Int64.of_int seed) }
+let copy t = { state = t.state }
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = int64 t in
+  { state = mix64 s }
+
+let bits30 t = Int64.to_int (Int64.shift_right_logical (int64 t) 34)
+
+let int t bound =
+  assert (bound > 0);
+  if bound land (bound - 1) = 0 then
+    (* power of two: mask the top bits *)
+    Int64.to_int (Int64.shift_right_logical (int64 t) 40) land (bound - 1)
+  else begin
+    (* rejection sampling over 62 usable bits to avoid modulo bias *)
+    let rec loop () =
+      let raw = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+      let v = raw mod bound in
+      if raw - v + (bound - 1) >= 0 then v else loop ()
+    in
+    loop ()
+  end
+
+let int_in t lo hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let unit_float t =
+  (* 53 random bits into the mantissa *)
+  let bits = Int64.to_int (Int64.shift_right_logical (int64 t) 11) in
+  float_of_int bits *. 0x1p-53
+
+let float t bound = unit_float t *. bound
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let chance t p =
+  if p <= 0.0 then false
+  else if p >= 1.0 then true
+  else unit_float t < p
+
+let gaussian t =
+  (* polar Box-Muller; discard the second deviate for simplicity *)
+  let rec loop () =
+    let u = (2.0 *. unit_float t) -. 1.0 in
+    let v = (2.0 *. unit_float t) -. 1.0 in
+    let s = (u *. u) +. (v *. v) in
+    if s >= 1.0 || s = 0.0 then loop ()
+    else u *. sqrt (-2.0 *. log s /. s)
+  in
+  loop ()
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+let pick_weighted t pairs =
+  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 pairs in
+  assert (total > 0.0);
+  let target = float t total in
+  let n = Array.length pairs in
+  let rec loop i acc =
+    if i = n - 1 then fst pairs.(i)
+    else
+      let acc = acc +. snd pairs.(i) in
+      if target < acc then fst pairs.(i) else loop (i + 1) acc
+  in
+  loop 0 0.0

@@ -1,0 +1,85 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    sqrt (ss /. float_of_int (n - 1))
+  end
+
+let percentile_sorted sorted p =
+  let n = Array.length sorted in
+  assert (n > 0);
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let percentile xs p =
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  percentile_sorted sorted p
+
+let summarize xs =
+  assert (Array.length xs > 0);
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  {
+    count = Array.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = sorted.(0);
+    max = sorted.(Array.length sorted - 1);
+    p50 = percentile_sorted sorted 50.0;
+    p90 = percentile_sorted sorted 90.0;
+    p99 = percentile_sorted sorted 99.0;
+  }
+
+let ratio a b = if b = 0.0 then nan else a /. b
+
+let pct_change ~from_ ~to_ =
+  if from_ = 0.0 then nan else (to_ -. from_) /. from_ *. 100.0
+
+type histogram = { lo : float; counts : int array }
+
+let log2_histogram ~lo ~buckets =
+  assert (lo > 0.0 && buckets > 0);
+  { lo; counts = Array.make buckets 0 }
+
+let hist_add h v =
+  let n = Array.length h.counts in
+  let idx =
+    if v < h.lo then 0
+    else begin
+      let i = int_of_float (Float.floor (Float.log2 (v /. h.lo))) in
+      if i < 0 then 0 else if i >= n then n - 1 else i
+    end
+  in
+  h.counts.(idx) <- h.counts.(idx) + 1
+
+let hist_counts h =
+  Array.mapi (fun i c -> (h.lo *. (2.0 ** float_of_int i), c)) h.counts
+
+let weighted_mean pairs =
+  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 pairs in
+  if total = 0.0 then 0.0
+  else Array.fold_left (fun acc (v, w) -> acc +. (v *. w)) 0.0 pairs /. total

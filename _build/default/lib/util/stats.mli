@@ -1,0 +1,49 @@
+(** Descriptive statistics and histograms for experiment reporting. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val summarize : float array -> summary
+(** Summary statistics of a non-empty sample. The input array is not
+    modified. Percentiles use linear interpolation between order
+    statistics. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for an empty array. *)
+
+val stddev : float array -> float
+(** Sample standard deviation (n-1 denominator); 0 for fewer than two
+    points. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0,100]; array must be non-empty. *)
+
+val ratio : float -> float -> float
+(** [ratio a b] is [a /. b], or [nan] when [b = 0]. *)
+
+val pct_change : from_:float -> to_:float -> float
+(** Percentage change from [from_] to [to_]: [(to_ - from_) / from_ * 100].
+    [nan] when [from_ = 0]. *)
+
+type histogram
+
+val log2_histogram : lo:float -> buckets:int -> histogram
+(** Histogram with power-of-two bucket boundaries starting at [lo]:
+    bucket [i] holds values in [\[lo*2^i, lo*2^(i+1))]. Values below [lo]
+    land in bucket 0; values beyond the last boundary land in the last
+    bucket. *)
+
+val hist_add : histogram -> float -> unit
+val hist_counts : histogram -> (float * int) array
+(** [(lower_bound, count)] per bucket. *)
+
+val weighted_mean : (float * float) array -> float
+(** [weighted_mean [|(v, w); ...|]]; 0 when total weight is 0. *)

@@ -1,0 +1,54 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec.get";
+  t.data.(i)
+
+let set t i v =
+  if i < 0 || i >= t.len then invalid_arg "Vec.set";
+  t.data.(i) <- v
+
+let grow t v =
+  let cap = Array.length t.data in
+  let data = Array.make (max 8 (2 * cap)) v in
+  Array.blit t.data 0 data 0 t.len;
+  t.data <- data
+
+let push t v =
+  if t.len = Array.length t.data then grow t v;
+  t.data.(t.len) <- v;
+  t.len <- t.len + 1
+
+let last t = if t.len = 0 then None else Some t.data.(t.len - 1)
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    t.len <- t.len - 1;
+    Some t.data.(t.len)
+  end
+
+let clear t = t.len <- 0
+let to_array t = Array.sub t.data 0 t.len
+
+let of_array a = { data = Array.copy a; len = Array.length a }
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
+let fold_left f init t =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc

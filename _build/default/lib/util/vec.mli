@@ -1,0 +1,17 @@
+(** Growable arrays (OCaml 5.1 has no [Dynarray] yet). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> unit
+val last : 'a t -> 'a option
+val pop : 'a t -> 'a option
+val clear : 'a t -> unit
+val to_array : 'a t -> 'a array
+val of_array : 'a array -> 'a t
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc

@@ -1,0 +1,1 @@
+lib/workload/ground_truth.ml: Array Ffs Float Fun Hashtbl Inode_pool List Op Util

@@ -1,0 +1,1 @@
+lib/workload/ground_truth.mli: Ffs Op Util

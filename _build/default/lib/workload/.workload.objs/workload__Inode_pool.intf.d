@@ -1,0 +1,1 @@
+lib/workload/inode_pool.mli: Ffs

@@ -1,0 +1,1 @@
+lib/workload/nfs_source.mli:

@@ -1,0 +1,1 @@
+lib/workload/op.ml: Array Fmt Hashtbl Util

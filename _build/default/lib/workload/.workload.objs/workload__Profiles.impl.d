@@ -1,0 +1,1 @@
+lib/workload/profiles.ml: Array Ffs Ground_truth Hashtbl Inode_pool Op Queue Util

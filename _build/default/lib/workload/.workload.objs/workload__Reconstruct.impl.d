@@ -1,0 +1,1 @@
+lib/workload/reconstruct.ml: Array Ffs Float Fun Hashtbl List Nfs_source Op Option Snapshot Util

@@ -1,0 +1,1 @@
+lib/workload/reconstruct.mli: Ffs Nfs_source Op Snapshot

@@ -1,0 +1,1 @@
+lib/workload/snapshot.ml: Array Hashtbl Op Util

@@ -1,0 +1,1 @@
+lib/workload/snapshot.mli: Op

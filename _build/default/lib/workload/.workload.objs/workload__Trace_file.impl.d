@@ -1,0 +1,1 @@
+lib/workload/trace_file.ml: Array Buffer Fmt Fun List Op String Util

@@ -1,0 +1,23 @@
+(** Inode-number pools for the ground-truth generator.
+
+    The generator must hand out inode numbers the way the original file
+    system did — lowest free slot in the owning cylinder group, spilling
+    to later groups when one fills — because the replayer derives each
+    file's cylinder group from its inode number. *)
+
+type t
+
+val create : Ffs.Params.t -> t
+val copy : t -> t
+
+val alloc : t -> cg:int -> int option
+(** Lowest free inode number whose group is [cg]; if the group is out of
+    inodes, the nearest following group with a free slot (wrapping).
+    [None] only if every group is full. *)
+
+val free : t -> int -> unit
+val is_allocated : t -> int -> bool
+val allocated_count : t -> int
+
+val cg_of : t -> int -> int
+(** The cylinder group an inode number belongs to. *)

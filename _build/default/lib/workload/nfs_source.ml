@@ -1,0 +1,42 @@
+type pair = { offset : float; lifetime : float; size : int; dir_tag : int }
+type day_trace = pair array
+
+let size_dist =
+  Util.Dist.mixture
+    [|
+      (Util.Dist.lognormal_of_median ~median:2048.0 ~sigma:1.4, 0.80);
+      (Util.Dist.uniform ~lo:65536.0 ~hi:786432.0, 0.20);
+    |]
+  |> Util.Dist.truncate ~lo:256.0 ~hi:4194304.0
+
+let generate ~seed ~trace_days ~pairs_per_day =
+  let rng = Util.Prng.create ~seed in
+  let one_day () =
+    let n =
+      int_of_float
+        (Float.max 1.0 (pairs_per_day *. (1.0 +. (Util.Prng.gaussian rng *. 0.3))))
+    in
+    let ndirs = 4 + Util.Prng.int rng 8 in
+    (* activity bursts through the working day *)
+    let bursts = 3 + Util.Prng.int rng 4 in
+    let centers =
+      Array.init bursts (fun _ -> 3600.0 *. (8.0 +. Util.Prng.float rng 12.0))
+    in
+    let dir_zipf = Util.Dist.zipf ~n:ndirs ~s:1.1 in
+    Array.init n (fun _ ->
+        let center = centers.(Util.Prng.int rng bursts) in
+        let offset =
+          Float.max 0.0 (Float.min 85800.0 (center +. (Util.Prng.gaussian rng *. 1500.0)))
+        in
+        let lifetime = 30.0 -. (1500.0 *. log (1.0 -. Util.Prng.unit_float rng)) in
+        let lifetime = Float.min (86300.0 -. offset) lifetime in
+        {
+          offset;
+          lifetime = Float.max 1.0 lifetime;
+          size = int_of_float (Util.Dist.sample size_dist rng);
+          dir_tag = int_of_float (Util.Dist.sample dir_zipf rng) - 1;
+        })
+  in
+  Array.init trace_days (fun _ -> one_day ())
+
+let total_pairs traces = Array.fold_left (fun acc day -> acc + Array.length day) 0 traces

@@ -1,0 +1,25 @@
+(** Synthetic NFS-trace days: the short-lived file traffic.
+
+    Substitutes for the Network Appliance NFS traces the paper mined for
+    files created and deleted within one day. Each trace day is a set of
+    (create offset, lifetime, size, directory tag) tuples: sizes are
+    mostly small with occasional large temporaries, lifetimes are short
+    (exponential, minutes), and arrivals cluster in bursts. Directory
+    tags group the day's files the way the create requests' directories
+    did in the original traces; {!Reconstruct} maps tags onto the
+    busiest cylinder groups of each workload day. *)
+
+type pair = {
+  offset : float;  (** creation time, seconds from the trace day's start *)
+  lifetime : float;  (** seconds until deletion (same day) *)
+  size : int;
+  dir_tag : int;  (** directory grouping within this trace day *)
+}
+
+type day_trace = pair array
+
+val generate : seed:int -> trace_days:int -> pairs_per_day:float -> day_trace array
+(** Build a library of [trace_days] independent trace days averaging
+    [pairs_per_day] create/delete pairs. Deterministic in [seed]. *)
+
+val total_pairs : day_trace array -> int

@@ -1,0 +1,164 @@
+let day_seconds = Op.seconds_per_day
+
+(* Allocate unused inode numbers for a day's injected short-lived files.
+   A slot qualifies if no snapshot-visible or already-injected operation
+   touches it that day. A per-group cursor keeps the scan linear in the
+   number of allocations plus the density of used low slots. *)
+module Day_pool = struct
+  type t = {
+    ipg : int;
+    ncg : int;
+    cursors : int array;
+    blocked : (int, unit) Hashtbl.t;  (* inos unavailable today *)
+  }
+
+  let create params ~blocked =
+    {
+      ipg = Ffs.Params.inodes_per_group params;
+      ncg = params.Ffs.Params.ncg;
+      cursors = Array.make params.Ffs.Params.ncg 0;
+      blocked;
+    }
+
+  let alloc t ~cg =
+    let rec try_cg attempt =
+      if attempt >= t.ncg then None
+      else begin
+        let c = (cg + attempt) mod t.ncg in
+        let rec scan slot =
+          if slot >= t.ipg then None
+          else begin
+            let ino = (c * t.ipg) + slot in
+            if Hashtbl.mem t.blocked ino then scan (slot + 1)
+            else begin
+              t.cursors.(c) <- slot + 1;
+              Hashtbl.replace t.blocked ino ();
+              Some ino
+            end
+          end
+        in
+        match scan t.cursors.(c) with Some _ as r -> r | None -> try_cg (attempt + 1)
+      end
+    in
+    try_cg 0
+end
+
+let run params ~seed ~snapshots ~nfs =
+  assert (Array.length snapshots > 0);
+  let rng = Util.Prng.create ~seed in
+  let ncg = params.Ffs.Params.ncg in
+  let ipg = Ffs.Params.inodes_per_group params in
+  let cg_of_ino ino = ino / ipg in
+  let ops = Util.Vec.create () in
+  let empty = { Snapshot.day = -1; files = [||] } in
+  let ndays = Array.length snapshots in
+  for d = 0 to ndays - 1 do
+    let prev = if d = 0 then empty else snapshots.(d - 1) in
+    let cur = snapshots.(d) in
+    let day_start = float_of_int d *. day_seconds in
+    let day_end = day_start +. day_seconds in
+    let clamp time = Float.max (day_start +. 1.0) (Float.min (day_end -. 2.0) time) in
+    let day_ops = Util.Vec.create () in
+    let blocked : (int, unit) Hashtbl.t = Hashtbl.create 1024 in
+    (* every inode live at the start or end of the day is off-limits for
+       injected files *)
+    Array.iter (fun (r : Snapshot.file_record) -> Hashtbl.replace blocked r.ino ()) prev.files;
+    Array.iter (fun (r : Snapshot.file_record) -> Hashtbl.replace blocked r.ino ()) cur.files;
+    (* creates and modifies, from the snapshot diff *)
+    Array.iter
+      (fun (r : Snapshot.file_record) ->
+        match Snapshot.find prev r.ino with
+        | None ->
+            Util.Vec.push day_ops (Op.Create { ino = r.ino; size = r.size; time = clamp r.ctime })
+        | Some old ->
+            if old.size <> r.size || old.ctime <> r.ctime then
+              Util.Vec.push day_ops
+                (Op.Modify { ino = r.ino; size = r.size; time = clamp r.ctime }))
+      cur.files;
+    (* the span of known activity, for placing the guessed delete times *)
+    let lo, hi =
+      Util.Vec.fold_left
+        (fun (lo, hi) op -> (Float.min lo (Op.time_of op), Float.max hi (Op.time_of op)))
+        (infinity, neg_infinity) day_ops
+    in
+    let lo, hi =
+      if lo > hi then (day_start +. (8.0 *. 3600.0), day_start +. (20.0 *. 3600.0)) else (lo, hi)
+    in
+    (* deletes: in the previous snapshot, gone now; time unknown *)
+    Array.iter
+      (fun (r : Snapshot.file_record) ->
+        if Snapshot.find cur r.ino = None then begin
+          let time = clamp (lo +. Util.Prng.float rng (Float.max 1.0 (hi -. lo))) in
+          Util.Vec.push day_ops (Op.Delete { ino = r.ino; time })
+        end)
+      prev.files;
+    (* --- NFS short-lived injection --------------------------------- *)
+    if Array.length nfs > 0 then begin
+      let trace = nfs.(Util.Prng.int rng (Array.length nfs)) in
+      (* rank groups by today's change count *)
+      let changes = Array.make ncg 0 in
+      let time_sum = Array.make ncg 0.0 in
+      Util.Vec.iter
+        (fun op ->
+          let c = cg_of_ino (Op.ino_of op) in
+          changes.(c) <- changes.(c) + 1;
+          time_sum.(c) <- time_sum.(c) +. Op.time_of op)
+        day_ops;
+      let ranked =
+        Array.init ncg Fun.id |> Array.to_list
+        |> List.filter (fun c -> changes.(c) > 0)
+        |> List.sort (fun a b -> compare changes.(b) changes.(a))
+        |> Array.of_list
+      in
+      let ranked = if Array.length ranked = 0 then [| 0 |] else ranked in
+      let peak c =
+        if changes.(c) = 0 then day_start +. (14.0 *. 3600.0)
+        else time_sum.(c) /. float_of_int changes.(c)
+      in
+      (* rank trace directories by their pair counts *)
+      let tag_count : (int, int) Hashtbl.t = Hashtbl.create 16 in
+      let tag_offset_sum : (int, float) Hashtbl.t = Hashtbl.create 16 in
+      Array.iter
+        (fun (p : Nfs_source.pair) ->
+          Hashtbl.replace tag_count p.dir_tag
+            (1 + Option.value ~default:0 (Hashtbl.find_opt tag_count p.dir_tag));
+          Hashtbl.replace tag_offset_sum p.dir_tag
+            (p.offset +. Option.value ~default:0.0 (Hashtbl.find_opt tag_offset_sum p.dir_tag)))
+        trace;
+      let tags =
+        Hashtbl.fold (fun tag count acc -> (tag, count) :: acc) tag_count []
+        |> List.sort (fun (_, a) (_, b) -> compare b a)
+        |> List.map fst
+      in
+      let tag_target : (int, int * float) Hashtbl.t = Hashtbl.create 16 in
+      List.iteri
+        (fun rank tag ->
+          let cg = ranked.(rank mod Array.length ranked) in
+          let mean_offset =
+            Hashtbl.find tag_offset_sum tag /. float_of_int (Hashtbl.find tag_count tag)
+          in
+          (* shift the tag's operations so their mean lands on the
+             target group's activity peak *)
+          let shift = peak cg -. (day_start +. mean_offset) in
+          Hashtbl.replace tag_target tag (cg, shift))
+        tags;
+      let day_pool = Day_pool.create params ~blocked in
+      Array.iter
+        (fun (p : Nfs_source.pair) ->
+          let cg, shift = Hashtbl.find tag_target p.dir_tag in
+          match Day_pool.alloc day_pool ~cg with
+          | None -> ()
+          | Some ino ->
+              let create_time = clamp (day_start +. p.offset +. shift) in
+              let delete_time =
+                Float.max (create_time +. 1.0) (Float.min (day_end -. 1.0) (create_time +. p.lifetime))
+              in
+              Util.Vec.push day_ops (Op.Create { ino; size = p.size; time = create_time });
+              Util.Vec.push day_ops (Op.Delete { ino; time = delete_time }))
+        trace
+    end;
+    Util.Vec.iter (fun op -> Util.Vec.push ops op) day_ops
+  done;
+  let ops = Util.Vec.to_array ops in
+  Op.sort_by_time ops;
+  ops

@@ -1,0 +1,44 @@
+type file_record = { ino : int; size : int; ctime : float }
+type t = { day : int; files : file_record array }
+
+let capture_nightly ops ~days =
+  let live : (int, file_record) Hashtbl.t = Hashtbl.create 4096 in
+  let snapshots = Util.Vec.create () in
+  let snap day =
+    let files = Hashtbl.fold (fun _ r acc -> r :: acc) live [] in
+    let files = Array.of_list files in
+    Array.sort (fun a b -> compare a.ino b.ino) files;
+    Util.Vec.push snapshots { day; files }
+  in
+  let next_day = ref 0 in
+  let day_end d = float_of_int (d + 1) *. Op.seconds_per_day in
+  Array.iter
+    (fun op ->
+      while !next_day < days && Op.time_of op >= day_end !next_day do
+        snap !next_day;
+        incr next_day
+      done;
+      match op with
+      | Op.Create { ino; size; time } -> Hashtbl.replace live ino { ino; size; ctime = time }
+      | Op.Modify { ino; size; time } -> Hashtbl.replace live ino { ino; size; ctime = time }
+      | Op.Delete { ino; _ } -> Hashtbl.remove live ino)
+    ops;
+  while !next_day < days do
+    snap !next_day;
+    incr next_day
+  done;
+  Util.Vec.to_array snapshots
+
+let find t ino =
+  let files = t.files in
+  let rec search lo hi =
+    if lo >= hi then None
+    else begin
+      let mid = (lo + hi) / 2 in
+      let r = files.(mid) in
+      if r.ino = ino then Some r else if r.ino < ino then search (mid + 1) hi else search lo mid
+    end
+  in
+  search 0 (Array.length files)
+
+let live_bytes t = Array.fold_left (fun acc r -> acc + r.size) 0 t.files

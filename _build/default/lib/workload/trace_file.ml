@@ -1,0 +1,64 @@
+let header = "# ffs-repro workload v1"
+
+let emit buf op =
+  (match op with
+  | Op.Create { ino; size; time } -> Buffer.add_string buf (Fmt.str "C %d %d %.17g" ino size time)
+  | Op.Modify { ino; size; time } -> Buffer.add_string buf (Fmt.str "M %d %d %.17g" ino size time)
+  | Op.Delete { ino; time } -> Buffer.add_string buf (Fmt.str "D %d %.17g" ino time));
+  Buffer.add_char buf '\n'
+
+let to_string ops =
+  let buf = Buffer.create (Array.length ops * 24) in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  Array.iter (emit buf) ops;
+  Buffer.contents buf
+
+let save ~path ops =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string ops))
+
+let parse_line lineno line =
+  let fail msg = failwith (Fmt.str "trace line %d: %s: %S" lineno msg line) in
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "C"; ino; size; time ] -> (
+      match (int_of_string_opt ino, int_of_string_opt size, float_of_string_opt time) with
+      | Some ino, Some size, Some time -> Op.Create { ino; size; time }
+      | _ -> fail "malformed create")
+  | [ "M"; ino; size; time ] -> (
+      match (int_of_string_opt ino, int_of_string_opt size, float_of_string_opt time) with
+      | Some ino, Some size, Some time -> Op.Modify { ino; size; time }
+      | _ -> fail "malformed modify")
+  | [ "D"; ino; time ] -> (
+      match (int_of_string_opt ino, float_of_string_opt time) with
+      | Some ino, Some time -> Op.Delete { ino; time }
+      | _ -> fail "malformed delete")
+  | _ -> fail "unrecognized record"
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let ops = Util.Vec.create () in
+  (match lines with
+  | first :: rest ->
+      if String.trim first <> header then
+        failwith (Fmt.str "trace: bad header %S (expected %S)" first header);
+      List.iteri
+        (fun i line ->
+          let line = String.trim line in
+          if line <> "" && not (String.length line > 0 && line.[0] = '#') then
+            Util.Vec.push ops (parse_line (i + 2) line))
+        rest
+  | [] -> failwith "trace: empty input");
+  let ops = Util.Vec.to_array ops in
+  (match Op.check_well_formed ops with
+  | Ok () -> ()
+  | Error e -> failwith ("trace: not well-formed: " ^ e));
+  ops
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      of_string (really_input_string ic n))

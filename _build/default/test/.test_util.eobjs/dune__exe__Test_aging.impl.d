@@ -1,0 +1,1 @@
+test/test_aging.ml: Aging Alcotest Array Ffs Fmt Hashtbl List Workload

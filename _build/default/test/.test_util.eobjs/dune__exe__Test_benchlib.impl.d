@@ -1,0 +1,1 @@
+test/test_benchlib.ml: Aging Alcotest Benchlib Disk Ffs Filename Fmt List String Sys Workload

@@ -1,0 +1,1 @@
+test/test_bitmap.ml: Alcotest Array Ffs Gen List QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_cg.ml: Alcotest Array Ffs Gen List Option QCheck QCheck_alcotest Test

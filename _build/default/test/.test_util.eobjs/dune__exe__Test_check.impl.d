@@ -1,0 +1,1 @@
+test/test_check.ml: Aging Alcotest Array Ffs Fmt List String Workload

@@ -1,0 +1,1 @@
+test/test_disk.ml: Alcotest Disk Float Fmt List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_freespace.ml: Aging Alcotest Array Ffs Float Fmt List String

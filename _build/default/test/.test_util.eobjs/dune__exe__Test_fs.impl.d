@@ -1,0 +1,1 @@
+test/test_fs.ml: Alcotest Array Ffs Fmt Gen List QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_image.ml: Aging Alcotest Ffs Filename Sys Workload

@@ -1,0 +1,1 @@
+test/test_integration.ml: Aging Alcotest Array Disk Ffs Fmt Gen List QCheck QCheck_alcotest Workload

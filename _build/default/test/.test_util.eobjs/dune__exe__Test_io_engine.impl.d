@@ -1,0 +1,1 @@
+test/test_io_engine.ml: Alcotest Disk Ffs Fmt List

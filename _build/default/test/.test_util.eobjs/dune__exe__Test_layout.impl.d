@@ -1,0 +1,1 @@
+test/test_layout.ml: Aging Alcotest Array Ffs Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_lfs.ml: Alcotest Array Benchlib Disk Ffs Float Gen Lfs List QCheck QCheck_alcotest Workload

@@ -1,0 +1,1 @@
+test/test_params.ml: Alcotest Ffs Fmt List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_profiles.ml: Aging Alcotest Array Ffs List Option Workload

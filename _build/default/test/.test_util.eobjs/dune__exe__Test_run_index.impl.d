@@ -1,0 +1,1 @@
+test/test_run_index.ml: Alcotest Array Ffs Gen List QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_trace_file.ml: Alcotest Array Ffs Filename Sys Workload

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Ffs Fmt Hashtbl Option Result Workload

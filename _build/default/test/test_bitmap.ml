@@ -1,0 +1,170 @@
+(* Tests for the allocation bitmap, including a model-based property test
+   against a naive boolean-array reference. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_opt = Alcotest.(check (option int))
+
+let test_basic () =
+  let b = Ffs.Bitmap.create 20 in
+  check_int "length" 20 (Ffs.Bitmap.length b);
+  check_bool "initially clear" false (Ffs.Bitmap.get b 0);
+  Ffs.Bitmap.set b 7;
+  check_bool "set" true (Ffs.Bitmap.get b 7);
+  check_bool "neighbour untouched" false (Ffs.Bitmap.get b 8);
+  Ffs.Bitmap.clear b 7;
+  check_bool "cleared" false (Ffs.Bitmap.get b 7)
+
+let test_ranges () =
+  let b = Ffs.Bitmap.create 32 in
+  Ffs.Bitmap.set_range b ~pos:5 ~len:10;
+  check_bool "all set" true (Ffs.Bitmap.all_set b ~pos:5 ~len:10);
+  check_bool "not beyond" false (Ffs.Bitmap.get b 15);
+  check_bool "all_clear false" false (Ffs.Bitmap.all_clear b ~pos:0 ~len:10);
+  check_bool "all_clear prefix" true (Ffs.Bitmap.all_clear b ~pos:0 ~len:5);
+  Ffs.Bitmap.clear_range b ~pos:5 ~len:10;
+  check_bool "cleared back" true (Ffs.Bitmap.all_clear b ~pos:0 ~len:32);
+  check_bool "empty range all_set" true (Ffs.Bitmap.all_set b ~pos:3 ~len:0)
+
+let test_counts () =
+  let b = Ffs.Bitmap.create 100 in
+  check_int "all clear" 100 (Ffs.Bitmap.count_clear b);
+  Ffs.Bitmap.set_range b ~pos:10 ~len:25;
+  check_int "set count" 25 (Ffs.Bitmap.count_set b);
+  check_int "clear count" 75 (Ffs.Bitmap.count_clear b)
+
+let test_find_clear () =
+  let b = Ffs.Bitmap.create 16 in
+  Ffs.Bitmap.set_range b ~pos:0 ~len:8;
+  check_opt "skips the full byte" (Some 8) (Ffs.Bitmap.find_clear b ~start:0);
+  check_opt "from middle" (Some 8) (Ffs.Bitmap.find_clear b ~start:3);
+  Ffs.Bitmap.set_range b ~pos:8 ~len:8;
+  check_opt "full bitmap" None (Ffs.Bitmap.find_clear b ~start:0);
+  check_opt "start beyond end" None (Ffs.Bitmap.find_clear b ~start:99)
+
+let test_find_clear_wrap () =
+  let b = Ffs.Bitmap.create 10 in
+  Ffs.Bitmap.set_range b ~pos:5 ~len:5;
+  check_opt "wraps to the front" (Some 0) (Ffs.Bitmap.find_clear_wrap b ~start:7);
+  Ffs.Bitmap.set_range b ~pos:0 ~len:5;
+  check_opt "all set" None (Ffs.Bitmap.find_clear_wrap b ~start:7)
+
+let test_find_clear_run () =
+  let b = Ffs.Bitmap.create 24 in
+  Ffs.Bitmap.set b 3;
+  Ffs.Bitmap.set b 10;
+  check_opt "first run of 5" (Some 4) (Ffs.Bitmap.find_clear_run b ~start:0 ~len:5);
+  check_opt "run of 3 at start" (Some 0) (Ffs.Bitmap.find_clear_run b ~start:0 ~len:3);
+  check_opt "run of 13" (Some 11) (Ffs.Bitmap.find_clear_run b ~start:0 ~len:13);
+  check_opt "too long" None (Ffs.Bitmap.find_clear_run b ~start:0 ~len:14);
+  check_opt "run must fit before end" None (Ffs.Bitmap.find_clear_run b ~start:20 ~len:5)
+
+let test_find_clear_run_wrap () =
+  let b = Ffs.Bitmap.create 20 in
+  Ffs.Bitmap.set b 15;
+  (* from 16: run of 4 exists at [16,19]; run of 5 must wrap to position 0 *)
+  check_opt "fits at tail" (Some 16) (Ffs.Bitmap.find_clear_run_wrap b ~start:16 ~len:4);
+  check_opt "wraps to head" (Some 0) (Ffs.Bitmap.find_clear_run_wrap b ~start:16 ~len:5)
+
+let test_run_length_and_iter () =
+  let b = Ffs.Bitmap.create 16 in
+  Ffs.Bitmap.set b 4;
+  Ffs.Bitmap.set b 5;
+  Ffs.Bitmap.set b 10;
+  check_int "run at 0" 4 (Ffs.Bitmap.clear_run_length_at b 0);
+  check_int "run at set bit" 0 (Ffs.Bitmap.clear_run_length_at b 4);
+  check_int "run to end" 5 (Ffs.Bitmap.clear_run_length_at b 11);
+  let runs = ref [] in
+  Ffs.Bitmap.iter_clear_runs b (fun ~pos ~len -> runs := (pos, len) :: !runs);
+  Alcotest.(check (list (pair int int)))
+    "maximal runs in order"
+    [ (0, 4); (6, 4); (11, 5) ]
+    (List.rev !runs)
+
+let test_copy_independent () =
+  let a = Ffs.Bitmap.create 8 in
+  let b = Ffs.Bitmap.copy a in
+  Ffs.Bitmap.set a 3;
+  check_bool "copy untouched" false (Ffs.Bitmap.get b 3)
+
+(* model-based: a random script of operations matches a bool-array model *)
+let prop_model_based =
+  let open QCheck in
+  let op_gen =
+    Gen.(
+      frequency
+        [
+          (3, map (fun i -> `Set i) (int_bound 63));
+          (3, map (fun i -> `Clear i) (int_bound 63));
+          (1, map2 (fun p l -> `Set_range (p, l)) (int_bound 40) (int_bound 20));
+          (1, map2 (fun p l -> `Clear_range (p, l)) (int_bound 40) (int_bound 20));
+        ])
+  in
+  Test.make ~name:"bitmap matches boolean-array model" ~count:300
+    (make Gen.(list_size (int_bound 60) op_gen))
+    (fun script ->
+      let b = Ffs.Bitmap.create 64 in
+      let model = Array.make 64 false in
+      List.iter
+        (fun op ->
+          match op with
+          | `Set i ->
+              Ffs.Bitmap.set b i;
+              model.(i) <- true
+          | `Clear i ->
+              Ffs.Bitmap.clear b i;
+              model.(i) <- false
+          | `Set_range (p, l) ->
+              Ffs.Bitmap.set_range b ~pos:p ~len:l;
+              Array.fill model p l true
+          | `Clear_range (p, l) ->
+              Ffs.Bitmap.clear_range b ~pos:p ~len:l;
+              Array.fill model p l false)
+        script;
+      let ok = ref true in
+      for i = 0 to 63 do
+        if Ffs.Bitmap.get b i <> model.(i) then ok := false
+      done;
+      (* cross-check the scanners against the model *)
+      let naive_find_clear start =
+        let rec go i = if i >= 64 then None else if not model.(i) then Some i else go (i + 1) in
+        go start
+      in
+      let naive_run start len =
+        let rec go i =
+          if i + len > 64 then None
+          else begin
+            let all = ref true in
+            for j = i to i + len - 1 do
+              if model.(j) then all := false
+            done;
+            if !all then Some i else go (i + 1)
+          end
+        in
+        go start
+      in
+      !ok
+      && Ffs.Bitmap.find_clear b ~start:0 = naive_find_clear 0
+      && Ffs.Bitmap.find_clear b ~start:13 = naive_find_clear 13
+      && Ffs.Bitmap.find_clear_run b ~start:0 ~len:5 = naive_run 0 5
+      && Ffs.Bitmap.find_clear_run b ~start:9 ~len:3 = naive_run 9 3
+      && Ffs.Bitmap.count_set b = Array.fold_left (fun a v -> if v then a + 1 else a) 0 model)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "bitmap"
+    [
+      ( "unit",
+        [
+          tc "basic" test_basic;
+          tc "ranges" test_ranges;
+          tc "counts" test_counts;
+          tc "find_clear" test_find_clear;
+          tc "find_clear_wrap" test_find_clear_wrap;
+          tc "find_clear_run" test_find_clear_run;
+          tc "find_clear_run_wrap" test_find_clear_run_wrap;
+          tc "runs and iter" test_run_length_and_iter;
+          tc "copy" test_copy_independent;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_model_based ]);
+    ]

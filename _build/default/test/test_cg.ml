@@ -1,0 +1,257 @@
+(* Tests for cylinder-group allocation: block preference and the
+   cylinder-scatter fallback, fragment fits, cluster allocation, and
+   counter invariants under random operation sequences. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_opt = Alcotest.(check (option int))
+let params = Ffs.Params.small_test_fs
+let fresh () = Ffs.Cg.create params ~index:0
+let fpb = params.Ffs.Params.frags_per_block
+
+let test_initial_state () =
+  let cg = fresh () in
+  check_int "index" 0 (Ffs.Cg.index cg);
+  check_int "all blocks free" (Ffs.Cg.data_blocks cg) (Ffs.Cg.free_block_count cg);
+  check_int "all frags free" (Ffs.Cg.data_frags cg) (Ffs.Cg.free_frag_count cg);
+  check_int "frags = blocks * fpb" (Ffs.Cg.data_blocks cg * fpb) (Ffs.Cg.data_frags cg);
+  check_int "inodes" (Ffs.Params.inodes_per_group params) (Ffs.Cg.inodes_free cg);
+  Ffs.Cg.check_invariants cg
+
+let test_alloc_block_pref_exact () =
+  let cg = fresh () in
+  check_opt "preferred block taken" (Some 100) (Ffs.Cg.alloc_block cg ~pref:(Some 100));
+  check_bool "block now used" false (Ffs.Cg.block_is_free cg 100);
+  check_int "counter" (Ffs.Cg.data_blocks cg - 1) (Ffs.Cg.free_block_count cg);
+  Ffs.Cg.check_invariants cg
+
+let test_alloc_block_cylinder_scatter () =
+  let cg = fresh () in
+  (* occupy the preferred block; the fallback must take the next free in
+     the same fs cylinder, scanning cyclically from the preference *)
+  ignore (Ffs.Cg.alloc_block cg ~pref:(Some 10));
+  check_opt "next in cylinder" (Some 11) (Ffs.Cg.alloc_block cg ~pref:(Some 10));
+  (* fill the whole cylinder containing block 10 except block 3 *)
+  let cyl = params.Ffs.Params.fs_cylinder_blocks in
+  for b = 0 to cyl - 1 do
+    if Ffs.Cg.block_is_free cg b && b <> 3 then
+      match Ffs.Cg.alloc_block cg ~pref:(Some b) with
+      | Some got when got = b -> ()
+      | _ -> Alcotest.fail "setup alloc failed"
+  done;
+  (* pref 10 is used; only block 3 is free in the cylinder: the cyclic
+     scan wraps around and lands behind the preference *)
+  check_opt "wraps backward within cylinder" (Some 3) (Ffs.Cg.alloc_block cg ~pref:(Some 10));
+  (* cylinder now full: falls through to the forward bitmap scan *)
+  check_opt "mapsearch past the cylinder" (Some cyl) (Ffs.Cg.alloc_block cg ~pref:(Some 10));
+  Ffs.Cg.check_invariants cg
+
+let test_alloc_block_exhaustion () =
+  let cg = fresh () in
+  let n = Ffs.Cg.data_blocks cg in
+  for _ = 1 to n do
+    match Ffs.Cg.alloc_block cg ~pref:None with
+    | Some _ -> ()
+    | None -> Alcotest.fail "premature exhaustion"
+  done;
+  check_opt "full group" None (Ffs.Cg.alloc_block cg ~pref:None);
+  check_int "zero free" 0 (Ffs.Cg.free_block_count cg);
+  Ffs.Cg.check_invariants cg
+
+let test_free_block_roundtrip () =
+  let cg = fresh () in
+  let b = Option.get (Ffs.Cg.alloc_block cg ~pref:(Some 5)) in
+  Ffs.Cg.free_block cg b;
+  check_bool "free again" true (Ffs.Cg.block_is_free cg 5);
+  check_int "counters restored" (Ffs.Cg.data_blocks cg) (Ffs.Cg.free_block_count cg);
+  Ffs.Cg.check_invariants cg
+
+let test_alloc_frags_breaks_block () =
+  let cg = fresh () in
+  (* empty group: a 3-frag tail breaks a free block and returns the rest *)
+  let pos = Option.get (Ffs.Cg.alloc_frags cg ~pref:(Some 0) ~count:3) in
+  check_int "at block 0" 0 pos;
+  check_bool "block no longer whole" false (Ffs.Cg.block_is_free cg 0);
+  check_int "5 frags returned" (Ffs.Cg.data_frags cg - 3) (Ffs.Cg.free_frag_count cg);
+  Ffs.Cg.check_invariants cg
+
+let test_alloc_frags_prefers_partial () =
+  let cg = fresh () in
+  (* create a partial block at 0 with 5 free frags [3..7] *)
+  ignore (Ffs.Cg.alloc_frags cg ~pref:(Some 0) ~count:3);
+  (* a later request preferring block 50 must still land in the existing
+     partial block rather than break a new one *)
+  let pos = Option.get (Ffs.Cg.alloc_frags cg ~pref:(Some (50 * fpb)) ~count:4) in
+  check_int "fits in the partial block" 3 pos;
+  check_int "blocks unchanged" (Ffs.Cg.data_blocks cg - 1) (Ffs.Cg.free_block_count cg);
+  Ffs.Cg.check_invariants cg
+
+let test_alloc_frags_no_fit_breaks_new () =
+  let cg = fresh () in
+  ignore (Ffs.Cg.alloc_frags cg ~pref:(Some 0) ~count:6);
+  (* only 2 frags left in the partial block: a 4-frag request breaks a
+     fresh block *)
+  let pos = Option.get (Ffs.Cg.alloc_frags cg ~pref:(Some 0) ~count:4) in
+  check_int "new block broken" fpb pos;
+  Ffs.Cg.check_invariants cg
+
+let test_free_frags_merges_block () =
+  let cg = fresh () in
+  let pos = Option.get (Ffs.Cg.alloc_frags cg ~pref:(Some 0) ~count:5) in
+  Ffs.Cg.free_frags cg ~pos ~count:5;
+  check_bool "block whole again" true (Ffs.Cg.block_is_free cg 0);
+  Ffs.Cg.check_invariants cg
+
+let test_cluster_exact_at_pref () =
+  let cg = fresh () in
+  check_opt "pref honoured" (Some 40)
+    (Ffs.Cg.alloc_cluster cg ~policy:`First_fit ~pref:(Some 40) ~len:7);
+  check_int "7 blocks claimed" (Ffs.Cg.data_blocks cg - 7) (Ffs.Cg.free_block_count cg);
+  Ffs.Cg.check_invariants cg
+
+let test_cluster_first_fit_scans_forward () =
+  let cg = fresh () in
+  (* block the preferred run *)
+  ignore (Ffs.Cg.alloc_block cg ~pref:(Some 42));
+  check_opt "first fit after pref" (Some 43)
+    (Ffs.Cg.alloc_cluster cg ~policy:`First_fit ~pref:(Some 40) ~len:5);
+  Ffs.Cg.check_invariants cg
+
+let test_cluster_best_fit () =
+  let cg = fresh () in
+  let nblocks = Ffs.Cg.data_blocks cg in
+  (* carve the free space into runs: [0..2] free, [3] used, [4..6] free,
+     [7] used, rest used except a huge tail; best fit for len 3 should
+     pick an exact 3-run, not the big tail *)
+  for b = 8 to nblocks - 100 do
+    ignore (Ffs.Cg.alloc_block cg ~pref:(Some b))
+  done;
+  ignore (Ffs.Cg.alloc_block cg ~pref:(Some 3));
+  ignore (Ffs.Cg.alloc_block cg ~pref:(Some 7));
+  (* the preference points into the allocated region, so the exact-fit
+     fast path cannot trigger; best fit must pick a 3-run over the big
+     tail run *)
+  check_opt "smallest adequate run" (Some 0)
+    (Ffs.Cg.alloc_cluster cg ~policy:`Best_fit ~pref:(Some 8) ~len:3);
+  (* whereas a free run exactly at the preference short-circuits *)
+  check_opt "exact fit at pref wins" (Some (nblocks - 50))
+    (Ffs.Cg.alloc_cluster cg ~policy:`Best_fit ~pref:(Some (nblocks - 50)) ~len:3);
+  Ffs.Cg.check_invariants cg
+
+let test_cluster_unavailable () =
+  let cg = fresh () in
+  let nblocks = Ffs.Cg.data_blocks cg in
+  (* poke a hole every 3rd block so no 3-run survives *)
+  let b = ref 0 in
+  while !b < nblocks do
+    ignore (Ffs.Cg.alloc_block cg ~pref:(Some !b));
+    b := !b + 3
+  done;
+  check_opt "no run long enough" None
+    (Ffs.Cg.alloc_cluster cg ~policy:`First_fit ~pref:None ~len:3);
+  Ffs.Cg.check_invariants cg
+
+let test_free_run_histogram () =
+  let cg = fresh () in
+  let nblocks = Ffs.Cg.data_blocks cg in
+  check_int "longest run = whole group" nblocks (Ffs.Cg.longest_free_run cg);
+  let h = Ffs.Cg.free_run_histogram cg ~max:8 in
+  check_int "one giant run in last bucket" 1 h.(7);
+  ignore (Ffs.Cg.alloc_block cg ~pref:(Some 1));
+  let h = Ffs.Cg.free_run_histogram cg ~max:8 in
+  check_int "isolated length-1 run" 1 h.(0)
+
+let test_inodes () =
+  let cg = fresh () in
+  check_opt "first inode" (Some 0) (Ffs.Cg.alloc_inode cg);
+  check_opt "second inode" (Some 1) (Ffs.Cg.alloc_inode cg);
+  Ffs.Cg.free_inode cg 0;
+  check_opt "lowest free reused" (Some 0) (Ffs.Cg.alloc_inode cg);
+  check_int "dirs" 0 (Ffs.Cg.dirs cg);
+  Ffs.Cg.add_dir cg;
+  check_int "one dir" 1 (Ffs.Cg.dirs cg);
+  Ffs.Cg.remove_dir cg;
+  check_int "removed" 0 (Ffs.Cg.dirs cg)
+
+let test_copy_independent () =
+  let cg = fresh () in
+  let dup = Ffs.Cg.copy cg in
+  ignore (Ffs.Cg.alloc_block cg ~pref:(Some 0));
+  check_bool "copy untouched" true (Ffs.Cg.block_is_free dup 0);
+  check_int "copy counter untouched" (Ffs.Cg.data_blocks dup) (Ffs.Cg.free_block_count dup)
+
+(* random op sequences keep counters consistent with bitmaps *)
+let prop_invariants_under_random_ops =
+  let open QCheck in
+  let op_gen =
+    Gen.(
+      frequency
+        [
+          (4, map (fun p -> `Block (Some p)) (int_bound 400));
+          (1, return (`Block None));
+          (3, map2 (fun p c -> `Frags (p, 1 + (c mod 7))) (int_bound 3000) (int_bound 6));
+          (2, map (fun p -> `Cluster (p, 2)) (int_bound 400));
+          (2, return `Free_something);
+        ])
+  in
+  Test.make ~name:"cg invariants hold under random alloc/free scripts" ~count:60
+    (make Gen.(list_size (int_bound 120) op_gen))
+    (fun script ->
+      let cg = fresh () in
+      let held = ref [] in
+      List.iter
+        (fun op ->
+          match op with
+          | `Block pref -> (
+              match Ffs.Cg.alloc_block cg ~pref with
+              | Some b -> held := (b * fpb, fpb) :: !held
+              | None -> ())
+          | `Frags (pref, count) -> (
+              match Ffs.Cg.alloc_frags cg ~pref:(Some pref) ~count with
+              | Some pos -> held := (pos, count) :: !held
+              | None -> ())
+          | `Cluster (pref, len) -> (
+              match Ffs.Cg.alloc_cluster cg ~policy:`First_fit ~pref:(Some pref) ~len with
+              | Some b -> held := (b * fpb, len * fpb) :: !held
+              | None -> ())
+          | `Free_something -> (
+              match !held with
+              | (pos, count) :: rest ->
+                  Ffs.Cg.free_frags cg ~pos ~count;
+                  held := rest
+              | [] -> ()))
+        script;
+      Ffs.Cg.check_invariants cg;
+      true)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "cg"
+    [
+      ( "blocks",
+        [
+          tc "initial state" test_initial_state;
+          tc "pref exact" test_alloc_block_pref_exact;
+          tc "cylinder scatter" test_alloc_block_cylinder_scatter;
+          tc "exhaustion" test_alloc_block_exhaustion;
+          tc "free roundtrip" test_free_block_roundtrip;
+        ] );
+      ( "fragments",
+        [
+          tc "breaks a block" test_alloc_frags_breaks_block;
+          tc "prefers partial blocks" test_alloc_frags_prefers_partial;
+          tc "no fit breaks new" test_alloc_frags_no_fit_breaks_new;
+          tc "free merges" test_free_frags_merges_block;
+        ] );
+      ( "clusters",
+        [
+          tc "exact at pref" test_cluster_exact_at_pref;
+          tc "first fit forward" test_cluster_first_fit_scans_forward;
+          tc "best fit" test_cluster_best_fit;
+          tc "unavailable" test_cluster_unavailable;
+          tc "free run histogram" test_free_run_histogram;
+        ] );
+      ( "inodes/misc",
+        [ tc "inodes" test_inodes; tc "copy" test_copy_independent ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_invariants_under_random_ops ]);
+    ]

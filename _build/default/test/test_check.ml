@@ -1,0 +1,97 @@
+(* Tests for the fsck-style consistency checker: a healthy image is
+   clean; injected corruptions are detected and classified. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let params = Ffs.Params.small_test_fs
+let block = params.Ffs.Params.block_bytes
+
+let populated () =
+  let fs = Ffs.Fs.create params in
+  let d = Ffs.Fs.mkdir fs ~parent:(Ffs.Fs.root fs) ~name:"d" in
+  let a = Ffs.Fs.create_file fs ~dir:d ~name:"a" ~size:(3 * block) in
+  let b = Ffs.Fs.create_file fs ~dir:d ~name:"b" ~size:(2 * block) in
+  (fs, a, b)
+
+let test_clean_image () =
+  let fs, _, _ = populated () in
+  let r = Ffs.Check.run fs in
+  check_bool "clean" true (Ffs.Check.is_clean r);
+  check_int "files" 2 r.Ffs.Check.files;
+  check_int "directories" 2 r.Ffs.Check.directories;
+  (* 5 file blocks + 2 dir fragments *)
+  check_int "fragments claimed" ((5 * 8) + 2) r.Ffs.Check.fragments_claimed
+
+let test_clean_after_aging () =
+  let profile =
+    { (Workload.Ground_truth.scaled params ~days:6) with Workload.Ground_truth.seed = 5 }
+  in
+  let gt = Workload.Ground_truth.generate params profile in
+  List.iter
+    (fun config ->
+      let r = Aging.Replay.run ~config ~params ~days:6 gt.Workload.Ground_truth.ops in
+      check_bool "aged image clean" true
+        (Ffs.Check.is_clean (Ffs.Check.run r.Aging.Replay.fs)))
+    [ Ffs.Fs.default_config; Ffs.Fs.realloc_config ]
+
+let has_problem r pred = List.exists pred r.Ffs.Check.problems
+
+let test_detects_double_claim () =
+  let fs, a, b = populated () in
+  let ia = Ffs.Fs.inode fs a and ib = Ffs.Fs.inode fs b in
+  (* make b claim a's first block as well *)
+  ib.Ffs.Inode.entries <- ia.Ffs.Inode.entries;
+  let r = Ffs.Check.run fs in
+  check_bool "not clean" false (Ffs.Check.is_clean r);
+  check_bool "double claim reported" true
+    (has_problem r (function Ffs.Check.Double_claim _ -> true | _ -> false));
+  (* b's real blocks are now allocated but unowned: usage mismatch *)
+  check_bool "usage mismatch reported" true
+    (has_problem r (function Ffs.Check.Usage_mismatch _ -> true | _ -> false))
+
+let test_detects_claim_of_free_fragment () =
+  let fs, a, b = populated () in
+  ignore a;
+  let ib = Ffs.Fs.inode fs b in
+  let stolen = ib.Ffs.Inode.entries in
+  (* delete b but keep a dangling reference to its (now free) blocks via
+     a's inode *)
+  Ffs.Fs.delete_inum fs b;
+  let ia = Ffs.Fs.inode fs a in
+  ia.Ffs.Inode.entries <- Array.append ia.Ffs.Inode.entries stolen;
+  let r = Ffs.Check.run fs in
+  check_bool "claim-not-allocated reported" true
+    (has_problem r (function Ffs.Check.Claim_not_allocated _ -> true | _ -> false))
+
+let test_detects_bad_run () =
+  let fs, a, _ = populated () in
+  let ia = Ffs.Fs.inode fs a in
+  ia.Ffs.Inode.entries <- [| { Ffs.Inode.addr = -5; frags = 8 } |];
+  let r = Ffs.Check.run fs in
+  check_bool "bad run reported" true
+    (has_problem r (function Ffs.Check.Bad_run _ -> true | _ -> false))
+
+let test_pp_smoke () =
+  let fs, a, _ = populated () in
+  let clean = Fmt.str "%a" Ffs.Check.pp (Ffs.Check.run fs) in
+  check_bool "clean report mentions clean" true
+    (String.length clean > 0 && String.sub clean 0 5 = "clean");
+  let ia = Ffs.Fs.inode fs a in
+  ia.Ffs.Inode.entries <- [| { Ffs.Inode.addr = -1; frags = 1 } |];
+  let dirty = Fmt.str "%a" Ffs.Check.pp (Ffs.Check.run fs) in
+  check_bool "dirty report nonempty" true (String.length dirty > 10)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "check"
+    [
+      ( "checker",
+        [
+          tc "clean image" test_clean_image;
+          tc "clean after aging" test_clean_after_aging;
+          tc "detects double claim" test_detects_double_claim;
+          tc "detects claim of free fragment" test_detects_claim_of_free_fragment;
+          tc "detects bad run" test_detects_bad_run;
+          tc "pp smoke" test_pp_smoke;
+        ] );
+    ]

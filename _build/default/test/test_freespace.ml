@@ -1,0 +1,94 @@
+(* Tests for the free-space structure analysis. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+let params = Ffs.Params.small_test_fs
+let block = params.Ffs.Params.block_bytes
+
+let test_empty_fs () =
+  let fs = Ffs.Fs.create params in
+  let r = Aging.Freespace.analyze fs in
+  (* the root directory's fragment occupies the first block of group 0,
+     so every group contributes exactly one maximal run *)
+  check_int "runs" params.Ffs.Params.ncg r.Aging.Freespace.free_runs;
+  check_float "all free space cluster-capable (nearly)" 1.0
+    (Float.round r.Aging.Freespace.cluster_capacity_fraction);
+  check_bool "longest run is most of a group" true
+    (r.Aging.Freespace.longest_run >= Ffs.Params.data_blocks_per_group params - 1)
+
+let test_full_group () =
+  let cg = Ffs.Cg.create params ~index:0 in
+  for _ = 1 to Ffs.Cg.data_blocks cg do
+    ignore (Ffs.Cg.alloc_block cg ~pref:None)
+  done;
+  let r = Aging.Freespace.analyze_cg params cg in
+  check_int "no free blocks" 0 r.Aging.Freespace.total_free_blocks;
+  check_int "no runs" 0 r.Aging.Freespace.free_runs;
+  check_float "fraction zero" 0.0 r.Aging.Freespace.cluster_capacity_fraction
+
+let test_sieve_structure () =
+  let cg = Ffs.Cg.create params ~index:0 in
+  (* allocate blocks 0,2,...,38: nineteen one-block holes at odd
+     positions, then the big tail run from block 39 *)
+  for i = 0 to 19 do
+    ignore (Ffs.Cg.alloc_block cg ~pref:(Some (2 * i)))
+  done;
+  let r = Aging.Freespace.analyze_cg params cg in
+  check_int "free blocks" (Ffs.Cg.data_blocks cg - 20) r.Aging.Freespace.total_free_blocks;
+  check_int "20 runs" 20 r.Aging.Freespace.free_runs;
+  let ones = List.assoc 1 (Array.to_list r.Aging.Freespace.run_histogram) in
+  check_int "nineteen 1-runs" 19 ones;
+  (* only the tail run is cluster-sized *)
+  check_int "cluster blocks" (Ffs.Cg.data_blocks cg - 39)
+    r.Aging.Freespace.blocks_in_cluster_runs;
+  check_bool "median is 1" true (r.Aging.Freespace.median_run = 1.0)
+
+let test_matches_fs_accounting () =
+  let fs = Ffs.Fs.create params in
+  let d = Ffs.Fs.root fs in
+  for i = 0 to 9 do
+    ignore (Ffs.Fs.create_file fs ~dir:d ~name:(Fmt.str "f%d" i) ~size:(3 * block))
+  done;
+  let r = Aging.Freespace.analyze fs in
+  check_int "fragment accounting agrees" (Ffs.Fs.free_data_frags fs)
+    r.Aging.Freespace.total_free_fragments
+
+let test_blockmap () =
+  let fs = Ffs.Fs.create params in
+  let d = Ffs.Fs.root fs in
+  (* fill most of group 0 with direct-block files (12 blocks each stay
+     in the directory's group; an indirect block would hop groups) *)
+  for i = 0 to 37 do
+    ignore (Ffs.Fs.create_file fs ~dir:d ~name:(Fmt.str "f%d" i) ~size:(12 * block))
+  done;
+  let map = Aging.Blockmap.render ~width:32 fs in
+  let lines = String.split_on_char '\n' map |> List.filter (fun l -> l <> "") in
+  check_int "one row per group" params.Ffs.Params.ncg (List.length lines);
+  let row0 = List.nth lines 0 and row1 = List.nth lines 1 in
+  check_bool "group 0 mostly full" true
+    (String.contains row0 '#');
+  check_bool "group 1 all free" true
+    (not (String.contains row1 '#') && String.contains row1 '.');
+  (* single-group rendering agrees in width *)
+  check_int "cg render width" 32 (String.length (Aging.Blockmap.render_cg ~width:32 (Ffs.Fs.cg_states fs).(1)))
+
+let test_pp_smoke () =
+  let fs = Ffs.Fs.create params in
+  let s = Fmt.str "%a" Aging.Freespace.pp (Aging.Freespace.analyze fs) in
+  check_bool "report nonempty" true (String.length s > 40)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "freespace"
+    [
+      ( "analysis",
+        [
+          tc "empty fs" test_empty_fs;
+          tc "full group" test_full_group;
+          tc "sieve structure" test_sieve_structure;
+          tc "matches fs accounting" test_matches_fs_accounting;
+          tc "blockmap rendering" test_blockmap;
+          tc "pp smoke" test_pp_smoke;
+        ] );
+    ]

@@ -1,0 +1,396 @@
+(* Tests for the file-system facade: creation, deletion, rewrite,
+   directory placement, the realloc pass, indirect-block group switches,
+   space accounting, rollback on no-space, and whole-image invariants
+   under random workloads. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let params = Ffs.Params.small_test_fs
+let fpb = params.Ffs.Params.frags_per_block
+let block = params.Ffs.Params.block_bytes
+
+let fresh ?config () = Ffs.Fs.create ?config params
+
+let create fs ~dir ~name ~size = Ffs.Fs.create_file fs ~dir ~name ~size
+
+let entries fs inum = (Ffs.Fs.inode fs inum).Ffs.Inode.entries
+
+let is_contiguous fs inum =
+  let e = entries fs inum in
+  let ok = ref true in
+  for i = 1 to Array.length e - 1 do
+    if e.(i).Ffs.Inode.addr <> e.(i - 1).Ffs.Inode.addr + e.(i - 1).Ffs.Inode.frags then
+      ok := false
+  done;
+  !ok
+
+(* --- basics ---------------------------------------------------------------- *)
+
+let test_empty_fs () =
+  let fs = fresh () in
+  check_int "no files" 0 (Ffs.Fs.file_count fs);
+  check_bool "root exists" true (Ffs.Fs.root fs >= 0);
+  (* only the root directory's fragment is allocated *)
+  check_int "one fragment used" 1 (Ffs.Fs.used_data_frags fs);
+  Ffs.Fs.check_invariants fs
+
+let test_create_small_file () =
+  let fs = fresh () in
+  let inum = create fs ~dir:(Ffs.Fs.root fs) ~name:"a" ~size:5000 in
+  let ino = Ffs.Fs.inode fs inum in
+  check_int "size recorded" 5000 ino.Ffs.Inode.size;
+  check_int "one run" 1 (Array.length ino.Ffs.Inode.entries);
+  check_int "5 fragments" 5 (Ffs.Inode.frag_count ino);
+  check_int "file counted" 1 (Ffs.Fs.file_count fs);
+  check_bool "exists" true (Ffs.Fs.file_exists fs inum);
+  Ffs.Fs.check_invariants fs
+
+let test_create_multi_block_contiguous_on_empty () =
+  let fs = fresh () in
+  let inum = create fs ~dir:(Ffs.Fs.root fs) ~name:"a" ~size:(5 * block) in
+  check_int "five runs" 5 (Array.length (entries fs inum));
+  check_bool "contiguous on an empty fs" true (is_contiguous fs inum);
+  Ffs.Fs.check_invariants fs
+
+let test_tail_fragments () =
+  let fs = fresh () in
+  let inum = create fs ~dir:(Ffs.Fs.root fs) ~name:"a" ~size:((2 * block) + 3000) in
+  let e = entries fs inum in
+  check_int "three runs" 3 (Array.length e);
+  check_int "tail is 3 frags" 3 e.(2).Ffs.Inode.frags;
+  (* FFS prefers an existing partial block for the tail over breaking a
+     free one: here the root directory's block has 7 free fragments, so
+     the tail lands right after the directory fragment *)
+  check_int "tail fills the partial block" (Ffs.Params.data_base params 0 + 1)
+    e.(2).Ffs.Inode.addr;
+  check_bool "full blocks still contiguous" true
+    (e.(1).Ffs.Inode.addr = e.(0).Ffs.Inode.addr + fpb);
+  Ffs.Fs.check_invariants fs
+
+let test_duplicate_name_rejected () =
+  let fs = fresh () in
+  ignore (create fs ~dir:(Ffs.Fs.root fs) ~name:"a" ~size:100);
+  (match create fs ~dir:(Ffs.Fs.root fs) ~name:"a" ~size:100 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument");
+  Ffs.Fs.check_invariants fs
+
+let test_delete_releases_space () =
+  let fs = fresh () in
+  let before = Ffs.Fs.free_data_frags fs in
+  let inum = create fs ~dir:(Ffs.Fs.root fs) ~name:"a" ~size:(3 * block) in
+  check_bool "space consumed" true (Ffs.Fs.free_data_frags fs < before);
+  Ffs.Fs.delete_inum fs inum;
+  check_int "space restored" before (Ffs.Fs.free_data_frags fs);
+  check_bool "gone" false (Ffs.Fs.file_exists fs inum);
+  (match Ffs.Fs.inode fs inum with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "inode should be gone");
+  Ffs.Fs.check_invariants fs
+
+let test_delete_by_name () =
+  let fs = fresh () in
+  ignore (create fs ~dir:(Ffs.Fs.root fs) ~name:"x" ~size:100);
+  Ffs.Fs.delete_file fs ~dir:(Ffs.Fs.root fs) ~name:"x";
+  Alcotest.(check (option int)) "lookup fails" None
+    (Ffs.Fs.lookup fs ~dir:(Ffs.Fs.root fs) ~name:"x");
+  check_int "no files" 0 (Ffs.Fs.file_count fs)
+
+let test_rewrite_keeps_inode () =
+  let fs = fresh () in
+  let inum = create fs ~dir:(Ffs.Fs.root fs) ~name:"a" ~size:(2 * block) in
+  Ffs.Fs.set_time fs 99.0;
+  Ffs.Fs.rewrite_file fs ~inum ~size:(4 * block);
+  let ino = Ffs.Fs.inode fs inum in
+  check_int "new size" (4 * block) ino.Ffs.Inode.size;
+  check_int "four runs" 4 (Array.length ino.Ffs.Inode.entries);
+  Alcotest.(check (float 0.0)) "mtime stamped" 99.0 ino.Ffs.Inode.mtime;
+  Ffs.Fs.check_invariants fs
+
+(* --- directories -------------------------------------------------------------- *)
+
+let test_mkdir_in_cg_pins_group () =
+  let fs = fresh () in
+  for cg = 0 to params.Ffs.Params.ncg - 1 do
+    let d = Ffs.Fs.mkdir_in_cg fs ~parent:(Ffs.Fs.root fs) ~name:(Fmt.str "d%d" cg) ~cg in
+    check_int (Fmt.str "dir in group %d" cg) cg (Ffs.Fs.cg_of_inum fs d)
+  done;
+  Ffs.Fs.check_invariants fs
+
+let test_files_follow_directory_group () =
+  let fs = fresh () in
+  let d = Ffs.Fs.mkdir_in_cg fs ~parent:(Ffs.Fs.root fs) ~name:"d" ~cg:2 in
+  let inum = create fs ~dir:d ~name:"f" ~size:block in
+  check_int "inode in dir's group" 2 (Ffs.Fs.cg_of_inum fs inum);
+  let e = entries fs inum in
+  check_int "data in dir's group" 2
+    (Ffs.Params.group_of_frag params e.(0).Ffs.Inode.addr);
+  check_int "parent recorded" d (Ffs.Fs.dir_of_inum fs inum)
+
+let test_dirpref_spreads () =
+  let fs = fresh () in
+  let cgs =
+    List.init 8 (fun i ->
+        Ffs.Fs.cg_of_inum fs (Ffs.Fs.mkdir fs ~parent:(Ffs.Fs.root fs) ~name:(Fmt.str "d%d" i)))
+  in
+  let distinct = List.sort_uniq compare cgs in
+  (* 8 fresh directories over 4 groups: dirpref must not pile them up *)
+  check_int "uses every group" params.Ffs.Params.ncg (List.length distinct)
+
+let test_dir_entries_order () =
+  let fs = fresh () in
+  let d = Ffs.Fs.mkdir fs ~parent:(Ffs.Fs.root fs) ~name:"d" in
+  let a = create fs ~dir:d ~name:"a" ~size:10 in
+  let b = create fs ~dir:d ~name:"b" ~size:10 in
+  Alcotest.(check (list (pair string int)))
+    "insertion order" [ ("a", a); ("b", b) ] (Ffs.Fs.dir_entries fs d);
+  Ffs.Fs.delete_file fs ~dir:d ~name:"a";
+  Alcotest.(check (list (pair string int))) "after delete" [ ("b", b) ] (Ffs.Fs.dir_entries fs d)
+
+let test_rmdir () =
+  let fs = fresh () in
+  let before = Ffs.Fs.free_data_frags fs in
+  let d = Ffs.Fs.mkdir fs ~parent:(Ffs.Fs.root fs) ~name:"d" in
+  ignore (create fs ~dir:d ~name:"f" ~size:100);
+  (match Ffs.Fs.rmdir fs ~parent:(Ffs.Fs.root fs) ~name:"d" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for non-empty directory");
+  Ffs.Fs.delete_file fs ~dir:d ~name:"f";
+  Ffs.Fs.rmdir fs ~parent:(Ffs.Fs.root fs) ~name:"d";
+  check_int "space returned" before (Ffs.Fs.free_data_frags fs);
+  Alcotest.(check (option int)) "gone" None (Ffs.Fs.lookup fs ~dir:(Ffs.Fs.root fs) ~name:"d");
+  (match Ffs.Fs.rmdir fs ~parent:(Ffs.Fs.root fs) ~name:"d" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "expected Not_found");
+  Ffs.Fs.check_invariants fs
+
+let test_dir_growth () =
+  let fs = fresh () in
+  let d = Ffs.Fs.mkdir fs ~parent:(Ffs.Fs.root fs) ~name:"d" in
+  let frags_of_dir () = Ffs.Inode.frag_count (Ffs.Fs.inode fs d) in
+  check_int "one fragment initially" 1 (frags_of_dir ());
+  for i = 0 to 39 do
+    ignore (create fs ~dir:d ~name:(Fmt.str "f%d" i) ~size:100)
+  done;
+  (* 40 entries: 1 + 40/16 = 3 fragments *)
+  check_int "grew with entries" 3 (frags_of_dir ());
+  Ffs.Fs.check_invariants fs
+
+(* --- allocation policy --------------------------------------------------------- *)
+
+(* Fill then free alternating single blocks near the front of a group to
+   create a sieve of one-block holes; a multi-block file then shows the
+   difference between the two allocators. *)
+let make_sieve fs ~dir ~holes =
+  let victims = ref [] in
+  for i = 0 to (2 * holes) - 1 do
+    let inum = create fs ~dir ~name:(Fmt.str "sieve%d" i) ~size:block in
+    if i mod 2 = 0 then victims := inum :: !victims
+  done;
+  List.iter (Ffs.Fs.delete_inum fs) !victims
+
+let test_traditional_fragments_in_sieve () =
+  let fs = fresh () in
+  let d = Ffs.Fs.mkdir_in_cg fs ~parent:(Ffs.Fs.root fs) ~name:"d" ~cg:1 in
+  make_sieve fs ~dir:d ~holes:30;
+  let inum = create fs ~dir:d ~name:"big" ~size:(6 * block) in
+  (* the traditional allocator fills the one-block holes: fragmented *)
+  check_bool "fragmented" false (is_contiguous fs inum);
+  Ffs.Fs.check_invariants fs
+
+let test_realloc_defragments_in_sieve () =
+  let fs = fresh ~config:Ffs.Fs.realloc_config () in
+  let d = Ffs.Fs.mkdir_in_cg fs ~parent:(Ffs.Fs.root fs) ~name:"d" ~cg:1 in
+  make_sieve fs ~dir:d ~holes:30;
+  let inum = create fs ~dir:d ~name:"big" ~size:(6 * block) in
+  (* the realloc pass relocates the window into a free cluster *)
+  check_bool "contiguous" true (is_contiguous fs inum);
+  check_bool "realloc moved something" true
+    ((Ffs.Fs.stats fs).Ffs.Fs.realloc_moves >= 1);
+  Ffs.Fs.check_invariants fs
+
+let test_realloc_not_invoked_below_two_blocks () =
+  let fs = fresh ~config:Ffs.Fs.realloc_config () in
+  let d = Ffs.Fs.mkdir_in_cg fs ~parent:(Ffs.Fs.root fs) ~name:"d" ~cg:1 in
+  make_sieve fs ~dir:d ~holes:10;
+  let before = (Ffs.Fs.stats fs).Ffs.Fs.realloc_attempts in
+  (* one full block plus a fragment tail: "does not fill the second
+     block", so the realloc pass must not run *)
+  ignore (create fs ~dir:d ~name:"small" ~size:(block + 3000));
+  check_int "no attempt" before (Ffs.Fs.stats fs).Ffs.Fs.realloc_attempts;
+  (* two full blocks do trigger it *)
+  ignore (create fs ~dir:d ~name:"two" ~size:(2 * block));
+  check_bool "attempted" true ((Ffs.Fs.stats fs).Ffs.Fs.realloc_attempts > before)
+
+let test_indirect_block_switches_group () =
+  let fs = fresh () in
+  let d = Ffs.Fs.mkdir_in_cg fs ~parent:(Ffs.Fs.root fs) ~name:"d" ~cg:0 in
+  let size = 16 * block in
+  let inum = create fs ~dir:d ~name:"big" ~size in
+  let ino = Ffs.Fs.inode fs inum in
+  check_int "16 data runs" 16 (Array.length ino.Ffs.Inode.entries);
+  check_int "one indirect block" 1 (Array.length ino.Ffs.Inode.indirect_addrs);
+  let cg_of a = Ffs.Params.group_of_frag params a in
+  let first_cg = cg_of ino.Ffs.Inode.entries.(0).Ffs.Inode.addr in
+  let ind_cg = cg_of ino.Ffs.Inode.indirect_addrs.(0) in
+  let thirteenth_cg = cg_of ino.Ffs.Inode.entries.(12).Ffs.Inode.addr in
+  check_int "first block in home group" 0 first_cg;
+  check_bool "indirect in a different group" true (ind_cg <> first_cg);
+  check_int "13th block follows the indirect block" ind_cg thirteenth_cg;
+  check_int "space charge includes indirect"
+    ((16 * fpb) + fpb)
+    (Ffs.Inode.total_frags_with_metadata ino);
+  Ffs.Fs.check_invariants fs
+
+let test_contiguous_stat () =
+  let fs = fresh () in
+  ignore (create fs ~dir:(Ffs.Fs.root fs) ~name:"a" ~size:(4 * block));
+  let s = Ffs.Fs.stats fs in
+  check_int "4 blocks allocated" 4 s.Ffs.Fs.blocks_allocated;
+  check_int "3 contiguous continuations" 3 s.Ffs.Fs.contiguous_allocations
+
+let test_rotdelay_spaces_blocks () =
+  let params = Ffs.Params.v ~ncg:4 ~rotdelay_blocks:1 ~size_bytes:(16 * 1024 * 1024) () in
+  let fs = Ffs.Fs.create params in
+  let inum = Ffs.Fs.create_file fs ~dir:(Ffs.Fs.root fs) ~name:"gapped" ~size:(4 * block) in
+  let e = (Ffs.Fs.inode fs inum).Ffs.Inode.entries in
+  (* every consecutive pair sits one whole block apart *)
+  for i = 1 to Array.length e - 1 do
+    check_int
+      (Fmt.str "gap before block %d" i)
+      (e.(i - 1).Ffs.Inode.addr + (2 * fpb))
+      e.(i).Ffs.Inode.addr
+  done;
+  Ffs.Fs.check_invariants fs
+
+(* --- capacity and rollback ------------------------------------------------------ *)
+
+let test_out_of_space_rollback () =
+  let fs = fresh () in
+  let d = Ffs.Fs.root fs in
+  (* fill almost everything with one giant file per group *)
+  let total = Ffs.Fs.total_data_frags fs in
+  let chunk = total / 4 * 1024 / 2 in
+  let made = ref 0 in
+  (try
+     for i = 0 to 20 do
+       ignore (create fs ~dir:d ~name:(Fmt.str "filler%d" i) ~size:chunk);
+       incr made
+     done
+   with Ffs.Fs.Out_of_space -> ());
+  check_bool "filled some" true (!made >= 2);
+  let free_before = Ffs.Fs.free_data_frags fs in
+  let files_before = Ffs.Fs.file_count fs in
+  (match create fs ~dir:d ~name:"toobig" ~size:(total * 1024) with
+  | exception Ffs.Fs.Out_of_space -> ()
+  | _ -> Alcotest.fail "expected Out_of_space");
+  check_int "free space unchanged after failed create" free_before
+    (Ffs.Fs.free_data_frags fs);
+  check_int "file count unchanged" files_before (Ffs.Fs.file_count fs);
+  Ffs.Fs.check_invariants fs
+
+let test_copy_independence () =
+  let fs = fresh () in
+  let inum = create fs ~dir:(Ffs.Fs.root fs) ~name:"a" ~size:(2 * block) in
+  let dup = Ffs.Fs.copy fs in
+  Ffs.Fs.delete_inum fs inum;
+  check_bool "copy still has the file" true (Ffs.Fs.file_exists dup inum);
+  ignore (create dup ~dir:(Ffs.Fs.root dup) ~name:"b" ~size:block);
+  check_int "original unaffected" 0 (Ffs.Fs.file_count fs);
+  Ffs.Fs.check_invariants fs;
+  Ffs.Fs.check_invariants dup
+
+let test_utilization () =
+  let fs = fresh () in
+  Alcotest.(check bool) "starts near zero" true (Ffs.Fs.utilization fs < 0.001);
+  ignore (create fs ~dir:(Ffs.Fs.root fs) ~name:"a" ~size:(Ffs.Params.data_bytes params / 10));
+  let u = Ffs.Fs.utilization fs in
+  check_bool "about 10%" true (u > 0.09 && u < 0.12)
+
+(* --- property: random workload keeps the image consistent ------------------------ *)
+
+let prop_random_workload_invariants =
+  let open QCheck in
+  let op_gen =
+    Gen.(
+      frequency
+        [
+          (6, map (fun s -> `Create (1 + (s mod 200_000))) (int_bound 1_000_000));
+          (3, return `Delete_random);
+          (2, map (fun s -> `Rewrite (1 + (s mod 100_000))) (int_bound 1_000_000));
+        ])
+  in
+  Test.make ~name:"random create/delete/rewrite keeps invariants (both allocators)"
+    ~count:20
+    (pair bool (make Gen.(list_size (int_bound 80) op_gen)))
+    (fun (realloc, script) ->
+      let config = if realloc then Ffs.Fs.realloc_config else Ffs.Fs.default_config in
+      let fs = fresh ~config () in
+      let d = Ffs.Fs.mkdir fs ~parent:(Ffs.Fs.root fs) ~name:"w" in
+      let live = ref [] in
+      let name = ref 0 in
+      List.iter
+        (fun op ->
+          match op with
+          | `Create size -> (
+              incr name;
+              match create fs ~dir:d ~name:(Fmt.str "f%d" !name) ~size with
+              | inum -> live := inum :: !live
+              | exception Ffs.Fs.Out_of_space -> ())
+          | `Delete_random -> (
+              match !live with
+              | inum :: rest ->
+                  Ffs.Fs.delete_inum fs inum;
+                  live := rest
+              | [] -> ())
+          | `Rewrite size -> (
+              match !live with
+              | inum :: _ -> (
+                  try Ffs.Fs.rewrite_file fs ~inum ~size
+                  with Ffs.Fs.Out_of_space -> ())
+              | [] -> ()))
+        script;
+      Ffs.Fs.check_invariants fs;
+      true)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "fs"
+    [
+      ( "basics",
+        [
+          tc "empty fs" test_empty_fs;
+          tc "small file" test_create_small_file;
+          tc "multi-block contiguous" test_create_multi_block_contiguous_on_empty;
+          tc "tail fragments" test_tail_fragments;
+          tc "duplicate name" test_duplicate_name_rejected;
+          tc "delete releases space" test_delete_releases_space;
+          tc "delete by name" test_delete_by_name;
+          tc "rewrite keeps inode" test_rewrite_keeps_inode;
+        ] );
+      ( "directories",
+        [
+          tc "mkdir_in_cg pins" test_mkdir_in_cg_pins_group;
+          tc "files follow dir group" test_files_follow_directory_group;
+          tc "dirpref spreads" test_dirpref_spreads;
+          tc "entry order" test_dir_entries_order;
+          tc "rmdir" test_rmdir;
+          tc "dir growth" test_dir_growth;
+        ] );
+      ( "allocation policy",
+        [
+          tc "traditional fragments in sieve" test_traditional_fragments_in_sieve;
+          tc "realloc defragments in sieve" test_realloc_defragments_in_sieve;
+          tc "realloc 2-block threshold" test_realloc_not_invoked_below_two_blocks;
+          tc "indirect switches group" test_indirect_block_switches_group;
+          tc "contiguity stats" test_contiguous_stat;
+          tc "rotdelay spaces blocks" test_rotdelay_spaces_blocks;
+        ] );
+      ( "capacity",
+        [
+          tc "out-of-space rollback" test_out_of_space_rollback;
+          tc "copy independence" test_copy_independence;
+          tc "utilization" test_utilization;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_random_workload_invariants ]);
+    ]

@@ -1,0 +1,72 @@
+(* Tests for aged-image persistence. *)
+
+let check_bool = Alcotest.(check bool)
+let params = Ffs.Params.small_test_fs
+let days = 5
+
+let aged () =
+  let profile =
+    { (Workload.Ground_truth.scaled params ~days) with Workload.Ground_truth.seed = 77 }
+  in
+  let gt = Workload.Ground_truth.generate params profile in
+  Aging.Replay.run ~params ~days gt.Workload.Ground_truth.ops
+
+let test_roundtrip () =
+  let result = aged () in
+  let path = Filename.temp_file "ffs_image" ".img" in
+  Aging.Image.save ~path { Aging.Image.days; description = "test"; result };
+  let loaded = Aging.Image.load ~path in
+  Sys.remove path;
+  Alcotest.(check int) "days" days loaded.Aging.Image.days;
+  Alcotest.(check string) "description" "test" loaded.Aging.Image.description;
+  Alcotest.(check (array (float 1e-12)))
+    "daily scores preserved" result.Aging.Replay.daily_scores
+    loaded.Aging.Image.result.Aging.Replay.daily_scores;
+  Alcotest.(check int) "file count preserved"
+    (Ffs.Fs.file_count result.Aging.Replay.fs)
+    (Ffs.Fs.file_count loaded.Aging.Image.result.Aging.Replay.fs);
+  (* the loaded image is fully functional *)
+  Ffs.Fs.check_invariants loaded.Aging.Image.result.Aging.Replay.fs;
+  check_bool "loaded image audits clean" true
+    (Ffs.Check.is_clean (Ffs.Check.run loaded.Aging.Image.result.Aging.Replay.fs));
+  (* and usable: create a file on it *)
+  let fs = loaded.Aging.Image.result.Aging.Replay.fs in
+  let inum = Ffs.Fs.create_file fs ~dir:(Ffs.Fs.root fs) ~name:"post-load" ~size:16384 in
+  check_bool "writable after load" true (Ffs.Fs.file_exists fs inum)
+
+let expect_failure name f =
+  match f () with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail (name ^ ": expected Failure")
+
+let test_missing_file () =
+  expect_failure "missing" (fun () -> Aging.Image.load ~path:"/nonexistent/image.img")
+
+let test_wrong_magic () =
+  let path = Filename.temp_file "ffs_image" ".img" in
+  let oc = open_out path in
+  output_string oc "not an image at all, definitely not one\n";
+  close_out oc;
+  expect_failure "bad magic" (fun () -> Aging.Image.load ~path);
+  Sys.remove path
+
+let test_truncated () =
+  let path = Filename.temp_file "ffs_image" ".img" in
+  let oc = open_out path in
+  output_string oc "FFS-REPRO";
+  close_out oc;
+  expect_failure "truncated" (fun () -> Aging.Image.load ~path);
+  Sys.remove path
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "image"
+    [
+      ( "persistence",
+        [
+          tc "roundtrip" test_roundtrip;
+          tc "missing file" test_missing_file;
+          tc "wrong magic" test_wrong_magic;
+          tc "truncated" test_truncated;
+        ] );
+    ]

@@ -1,0 +1,119 @@
+(* Tests for the timed I/O engine: request planning, metadata caching,
+   and the qualitative timing relationships the paper's benchmarks rely
+   on (contiguous beats fragmented, creates pay synchronous metadata,
+   reads ride the read-ahead while writes lose rotations). *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let _ = check_int
+let params = Ffs.Params.small_test_fs
+let block = params.Ffs.Params.block_bytes
+
+let fresh ?config () =
+  let fs = Ffs.Fs.create ?config params in
+  let drive = Disk.Drive.create (Disk.Drive.paper_config ()) in
+  (fs, Ffs.Io_engine.create ~fs ~drive ())
+
+let test_clock_advances () =
+  let fs, e = fresh () in
+  let inum = Ffs.Fs.create_file fs ~dir:(Ffs.Fs.root fs) ~name:"a" ~size:(4 * block) in
+  Alcotest.(check (float 0.0)) "starts at zero" 0.0 (Ffs.Io_engine.clock e);
+  Ffs.Io_engine.read_file e ~inum;
+  check_bool "clock moved" true (Ffs.Io_engine.clock e > 0.0);
+  Ffs.Io_engine.reset e;
+  Alcotest.(check (float 0.0)) "reset" 0.0 (Ffs.Io_engine.clock e)
+
+let test_elapsed_of () =
+  let fs, e = fresh () in
+  let inum = Ffs.Fs.create_file fs ~dir:(Ffs.Fs.root fs) ~name:"a" ~size:block in
+  let t1 = Ffs.Io_engine.elapsed_of e (fun () -> Ffs.Io_engine.read_file e ~inum) in
+  check_bool "positive elapsed" true (t1 > 0.0);
+  let t0 = Ffs.Io_engine.elapsed_of e (fun () -> ()) in
+  Alcotest.(check (float 0.0)) "no-op costs nothing" 0.0 t0
+
+let test_metadata_cache () =
+  let fs, e = fresh () in
+  let d = Ffs.Fs.root fs in
+  let a = Ffs.Fs.create_file fs ~dir:d ~name:"a" ~size:block in
+  let b = Ffs.Fs.create_file fs ~dir:d ~name:"b" ~size:block in
+  let t_first = Ffs.Io_engine.elapsed_of e (fun () -> Ffs.Io_engine.read_file e ~inum:a) in
+  (* same directory, adjacent inode: all metadata reads now hit the cache *)
+  let t_second = Ffs.Io_engine.elapsed_of e (fun () -> Ffs.Io_engine.read_file e ~inum:b) in
+  check_bool "second file cheaper (metadata cached)" true (t_second < t_first);
+  ignore t_second
+
+let test_create_pays_sync_metadata () =
+  let fs, e = fresh () in
+  let d = Ffs.Fs.root fs in
+  let before = Ffs.Io_engine.clock e in
+  ignore (Ffs.Io_engine.create_and_write e ~dir:d ~name:"a" ~size:block);
+  let create_time = Ffs.Io_engine.clock e -. before in
+  (* an 8 KB data write alone takes well under 15 ms; the synchronous
+     inode + directory writes push a small-file create beyond that *)
+  check_bool "create dominated by metadata" true (create_time > 0.015)
+
+let test_contiguous_reads_faster_than_fragmented () =
+  (* build one contiguous and one fragmented 6-block file using the
+     sieve trick, then compare read times *)
+  let make realloc =
+    let config = if realloc then Ffs.Fs.realloc_config else Ffs.Fs.default_config in
+    let fs, e = fresh ~config () in
+    let d = Ffs.Fs.mkdir_in_cg fs ~parent:(Ffs.Fs.root fs) ~name:"d" ~cg:1 in
+    let victims = ref [] in
+    for i = 0 to 59 do
+      let inum = Ffs.Fs.create_file fs ~dir:d ~name:(Fmt.str "s%d" i) ~size:block in
+      if i mod 2 = 0 then victims := inum :: !victims
+    done;
+    List.iter (Ffs.Fs.delete_inum fs) !victims;
+    let inum = Ffs.Fs.create_file fs ~dir:d ~name:"big" ~size:(6 * block) in
+    Ffs.Io_engine.elapsed_of e (fun () -> Ffs.Io_engine.read_file e ~inum)
+  in
+  let fragmented = make false in
+  let contiguous = make true in
+  check_bool "contiguous read faster" true (contiguous < fragmented)
+
+let test_overwrite_slower_than_read_for_contiguous () =
+  let fs, e = fresh () in
+  let inum = Ffs.Fs.create_file fs ~dir:(Ffs.Fs.root fs) ~name:"a" ~size:(32 * block) in
+  let read = Ffs.Io_engine.elapsed_of e (fun () -> Ffs.Io_engine.read_file e ~inum) in
+  let write = Ffs.Io_engine.elapsed_of e (fun () -> Ffs.Io_engine.overwrite_file e ~inum) in
+  (* reads stream via the track buffer; writes lose a rotation per
+     cluster boundary *)
+  check_bool "write slower than read" true (write > read)
+
+let test_soft_updates_cheaper_creates () =
+  let time metadata =
+    let fs = Ffs.Fs.create params in
+    let drive = Disk.Drive.create (Disk.Drive.paper_config ()) in
+    let e = Ffs.Io_engine.create ~fs ~drive ~metadata () in
+    let d = Ffs.Fs.mkdir fs ~parent:(Ffs.Fs.root fs) ~name:"d" in
+    Ffs.Io_engine.elapsed_of e (fun () ->
+        for i = 0 to 19 do
+          ignore (Ffs.Io_engine.create_and_write e ~dir:d ~name:(Fmt.str "f%d" i) ~size:8192)
+        done)
+  in
+  let sync = time Ffs.Io_engine.Synchronous in
+  let soft = time Ffs.Io_engine.Soft_updates in
+  check_bool "soft updates at least 1.5x faster for small creates" true
+    (sync > 1.5 *. soft)
+
+let test_fs_accessor () =
+  let fs, e = fresh () in
+  check_bool "same fs" true (Ffs.Io_engine.fs e == fs)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "io_engine"
+    [
+      ( "engine",
+        [
+          tc "clock advances" test_clock_advances;
+          tc "elapsed_of" test_elapsed_of;
+          tc "metadata cache" test_metadata_cache;
+          tc "create pays sync metadata" test_create_pays_sync_metadata;
+          tc "contiguous reads faster" test_contiguous_reads_faster_than_fragmented;
+          tc "writes slower than reads" test_overwrite_slower_than_read_for_contiguous;
+          tc "soft updates cheaper creates" test_soft_updates_cheaper_creates;
+          tc "fs accessor" test_fs_accessor;
+        ] );
+    ]

@@ -1,0 +1,223 @@
+(* Tests for the log-structured file system substrate: log append
+   semantics, segment accounting, the cleaner (foreground and idle),
+   liveness under churn, and the aging replay. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let block = 8192
+
+let small ?(config = Lfs.Log_fs.default_config) () =
+  (* 16 MB log of 512 KB segments: 32 segments *)
+  Lfs.Log_fs.create ~config ~block_bytes:block ~size_bytes:(16 * 1024 * 1024) ()
+
+let test_create_appends_contiguously () =
+  let fs = small () in
+  Lfs.Log_fs.create_file fs ~ino:1 ~size:(5 * block);
+  let blocks = Lfs.Log_fs.file_blocks fs ~ino:1 in
+  Alcotest.(check (array int)) "first five log blocks" [| 0; 1; 2; 3; 4 |] blocks;
+  Lfs.Log_fs.create_file fs ~ino:2 ~size:(2 * block);
+  Alcotest.(check (array int)) "next two" [| 5; 6 |] (Lfs.Log_fs.file_blocks fs ~ino:2);
+  Alcotest.(check (float 1e-9)) "perfect layout" 1.0 (Lfs.Log_fs.layout_score fs);
+  Lfs.Log_fs.check_invariants fs
+
+let test_zero_size_file () =
+  let fs = small () in
+  Lfs.Log_fs.create_file fs ~ino:1 ~size:0;
+  check_int "one block minimum" 1 (Array.length (Lfs.Log_fs.file_blocks fs ~ino:1))
+
+let test_duplicate_ino_rejected () =
+  let fs = small () in
+  Lfs.Log_fs.create_file fs ~ino:1 ~size:block;
+  match Lfs.Log_fs.create_file fs ~ino:1 ~size:block with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected Invalid_argument"
+
+let test_delete_frees_dead_segments () =
+  let fs = small () in
+  let seg_blocks = (Lfs.Log_fs.config fs).Lfs.Log_fs.segment_blocks in
+  let before = Lfs.Log_fs.clean_segments fs in
+  (* fill exactly one segment with one file, then start the next *)
+  Lfs.Log_fs.create_file fs ~ino:1 ~size:(seg_blocks * block);
+  Lfs.Log_fs.create_file fs ~ino:2 ~size:block;
+  check_int "two segments consumed" (before - 1) (Lfs.Log_fs.clean_segments fs);
+  (* killing the first file makes its whole segment clean again *)
+  Lfs.Log_fs.delete_file fs ~ino:1;
+  check_int "segment reclaimed without cleaning" before (Lfs.Log_fs.clean_segments fs);
+  check_int "no cleaner involvement" 0 (Lfs.Log_fs.stats fs).Lfs.Log_fs.segments_cleaned;
+  Lfs.Log_fs.check_invariants fs
+
+let test_rewrite_moves_to_head () =
+  let fs = small () in
+  Lfs.Log_fs.create_file fs ~ino:1 ~size:(2 * block);
+  Lfs.Log_fs.create_file fs ~ino:2 ~size:(2 * block);
+  Lfs.Log_fs.rewrite_file fs ~ino:1 ~size:(2 * block);
+  let blocks = Lfs.Log_fs.file_blocks fs ~ino:1 in
+  check_bool "no update in place" true (blocks.(0) > 3);
+  Lfs.Log_fs.check_invariants fs
+
+let test_foreground_cleaner_reclaims () =
+  let fs = small () in
+  let seg_blocks = (Lfs.Log_fs.config fs).Lfs.Log_fs.segment_blocks in
+  let nseg = Lfs.Log_fs.segment_count fs in
+  (* fill the log with 4-block files, then delete three of every four:
+     every segment is 25% live, so only cleaning can make room *)
+  let per_seg = seg_blocks / 4 in
+  let total = (nseg - 4) * per_seg in
+  for i = 0 to total - 1 do
+    Lfs.Log_fs.create_file fs ~ino:i ~size:(4 * block)
+  done;
+  for i = 0 to total - 1 do
+    if i mod 4 <> 0 then Lfs.Log_fs.delete_file fs ~ino:i
+  done;
+  check_int "nothing reclaimed yet" 0 (Lfs.Log_fs.stats fs).Lfs.Log_fs.segments_cleaned;
+  (* keep writing: the cleaner must kick in rather than running dry *)
+  for i = total to total + (2 * per_seg) do
+    Lfs.Log_fs.create_file fs ~ino:i ~size:(4 * block)
+  done;
+  check_bool "cleaner ran" true ((Lfs.Log_fs.stats fs).Lfs.Log_fs.segments_cleaned > 0);
+  check_bool "copies accounted" true
+    ((Lfs.Log_fs.stats fs).Lfs.Log_fs.cleaner_blocks_copied > 0);
+  check_bool "write amplification grew" true (Lfs.Log_fs.write_amplification fs > 1.0);
+  Lfs.Log_fs.check_invariants fs
+
+let test_idle_cleaning () =
+  let fs = small () in
+  let seg_blocks = (Lfs.Log_fs.config fs).Lfs.Log_fs.segment_blocks in
+  let nseg = Lfs.Log_fs.segment_count fs in
+  (* leave every written segment half dead and few segments clean, so
+     the idle trigger has work to do *)
+  let per_seg = seg_blocks / 2 in
+  let total = (nseg - 6) * per_seg in
+  for i = 0 to total - 1 do
+    Lfs.Log_fs.create_file fs ~ino:i ~size:(2 * block)
+  done;
+  for i = 0 to total - 1 do
+    if i mod 2 = 0 then Lfs.Log_fs.delete_file fs ~ino:i
+  done;
+  check_bool "setup: few clean segments" true
+    (Lfs.Log_fs.clean_segments fs < (Lfs.Log_fs.config fs).Lfs.Log_fs.high_water);
+  check_int "setup: cleaner idle so far" 0 (Lfs.Log_fs.stats fs).Lfs.Log_fs.idle_cleanings;
+  (* a long idle period lets the background cleaner run *)
+  Lfs.Log_fs.set_time fs 10_000_000.0;
+  check_bool "idle cleaning ran" true ((Lfs.Log_fs.stats fs).Lfs.Log_fs.idle_cleanings > 0);
+  check_bool "clean pool replenished" true
+    (Lfs.Log_fs.clean_segments fs >= (Lfs.Log_fs.config fs).Lfs.Log_fs.high_water);
+  (* survivors re-coalesce: each surviving 2-block file is contiguous *)
+  Lfs.Log_fs.check_invariants fs
+
+let test_out_of_space () =
+  let fs = small () in
+  match
+    for i = 0 to 10_000 do
+      Lfs.Log_fs.create_file fs ~ino:i ~size:(16 * block)
+    done
+  with
+  | exception Lfs.Log_fs.Out_of_space ->
+      (* the image must remain consistent after the failure *)
+      Lfs.Log_fs.check_invariants fs;
+      check_bool "high utilization at failure" true (Lfs.Log_fs.utilization fs > 0.85)
+  | () -> Alcotest.fail "expected Out_of_space"
+
+let test_utilization_accounting () =
+  let fs = small () in
+  Lfs.Log_fs.create_file fs ~ino:1 ~size:(32 * block);
+  let u = Lfs.Log_fs.utilization fs in
+  let expected = 32.0 /. float_of_int (Lfs.Log_fs.segment_count fs * 64) in
+  check_bool "utilization matches" true (Float.abs (u -. expected) < 1e-9)
+
+(* --- replay ------------------------------------------------------------------- *)
+
+let test_replay_home_workload () =
+  let params = Ffs.Params.small_test_fs in
+  let days = 8 in
+  let ops = Workload.Profiles.build params Workload.Profiles.Home ~days ~seed:3 in
+  let r = Lfs.Replay.run ~block_bytes:1024 ~size_bytes:params.Ffs.Params.size_bytes ~days ops in
+  check_int "days of scores" days (Array.length r.Lfs.Replay.daily_scores);
+  check_int "no skips" 0 r.Lfs.Replay.skipped_ops;
+  Array.iter
+    (fun s -> check_bool "score in [0,1]" true (s >= 0.0 && s <= 1.0))
+    r.Lfs.Replay.daily_scores;
+  check_bool "write amp >= 1" true
+    (Array.for_all (fun w -> w >= 1.0) r.Lfs.Replay.daily_write_amplification);
+  Lfs.Log_fs.check_invariants r.Lfs.Replay.fs
+
+let test_replay_deterministic () =
+  let params = Ffs.Params.small_test_fs in
+  let ops = Workload.Profiles.build params Workload.Profiles.Home ~days:5 ~seed:3 in
+  let a = Lfs.Replay.run ~block_bytes:1024 ~size_bytes:params.Ffs.Params.size_bytes ~days:5 ops in
+  let b = Lfs.Replay.run ~block_bytes:1024 ~size_bytes:params.Ffs.Params.size_bytes ~days:5 ops in
+  Alcotest.(check (array (float 1e-12)))
+    "same scores" a.Lfs.Replay.daily_scores b.Lfs.Replay.daily_scores
+
+(* --- timed reads ----------------------------------------------------------------- *)
+
+let test_lfs_io_reads () =
+  let fs = small () in
+  Lfs.Log_fs.create_file fs ~ino:1 ~size:(64 * block);
+  let drive = Disk.Drive.create (Disk.Drive.paper_config ()) in
+  let io = Lfs.Lfs_io.create ~fs ~drive () in
+  let elapsed = Lfs.Lfs_io.elapsed_of io (fun () -> Lfs.Lfs_io.read_file io ~ino:1) in
+  check_bool "positive time" true (elapsed > 0.0);
+  (* 512 KB contiguous at ~5 MB/s media rate: well under a second *)
+  check_bool "reasonable time" true (elapsed < 0.5);
+  Lfs.Lfs_io.reset io;
+  Alcotest.(check (float 0.0)) "reset" 0.0 (Lfs.Lfs_io.clock io)
+
+(* --- comparison smoke -------------------------------------------------------------- *)
+
+let test_compare_smoke () =
+  let rows = Benchlib.Lfs_compare.run ~days:6 ~seed:11 () in
+  check_int "four systems" 4 (List.length rows);
+  List.iter
+    (fun (r : Benchlib.Lfs_compare.row) ->
+      check_bool (r.system ^ " layout in [0,1]") true
+        (r.layout_score >= 0.0 && r.layout_score <= 1.0);
+      check_bool (r.system ^ " wamp >= 1") true (r.write_amplification >= 1.0);
+      check_bool (r.system ^ " read throughput positive") true (r.hot_read_throughput > 0.0))
+    rows
+
+let prop_invariants_under_churn =
+  QCheck.Test.make ~name:"log stays consistent under random churn" ~count:30
+    QCheck.(make Gen.(list_size (int_bound 150) (pair (int_bound 50) (int_range 1 40))))
+    (fun script ->
+      let fs = small () in
+      List.iter
+        (fun (ino, nblocks) ->
+          try
+            if Lfs.Log_fs.file_exists fs ~ino then
+              if nblocks mod 3 = 0 then Lfs.Log_fs.delete_file fs ~ino
+              else Lfs.Log_fs.rewrite_file fs ~ino ~size:(nblocks * block)
+            else Lfs.Log_fs.create_file fs ~ino ~size:(nblocks * block)
+          with Lfs.Log_fs.Out_of_space -> ())
+        script;
+      Lfs.Log_fs.check_invariants fs;
+      true)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "lfs"
+    [
+      ( "log",
+        [
+          tc "append contiguous" test_create_appends_contiguously;
+          tc "zero-size file" test_zero_size_file;
+          tc "duplicate ino" test_duplicate_ino_rejected;
+          tc "dead segment reclaim" test_delete_frees_dead_segments;
+          tc "rewrite moves to head" test_rewrite_moves_to_head;
+          tc "utilization" test_utilization_accounting;
+        ] );
+      ( "cleaner",
+        [
+          tc "foreground reclaim" test_foreground_cleaner_reclaims;
+          tc "idle cleaning" test_idle_cleaning;
+          tc "out of space" test_out_of_space;
+        ] );
+      ( "replay",
+        [
+          tc "home workload" test_replay_home_workload;
+          tc "deterministic" test_replay_deterministic;
+        ] );
+      ("io", [ tc "timed reads" test_lfs_io_reads ]);
+      ("comparison", [ Alcotest.test_case "smoke" `Slow test_compare_smoke ]);
+      ("properties", [ QCheck_alcotest.to_alcotest prop_invariants_under_churn ]);
+    ]

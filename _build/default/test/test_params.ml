@@ -1,0 +1,131 @@
+(* Tests for the file-system parameter derivations and address
+   arithmetic. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let p = Ffs.Params.paper_fs
+
+let test_paper_constants () =
+  check_int "block" 8192 p.Ffs.Params.block_bytes;
+  check_int "frag" 1024 p.Ffs.Params.frag_bytes;
+  check_int "frags/block" 8 p.Ffs.Params.frags_per_block;
+  check_int "groups" 27 p.Ffs.Params.ncg;
+  check_int "maxcontig" 7 p.Ffs.Params.maxcontig;
+  check_int "direct pointers" 12 p.Ffs.Params.ndaddr;
+  check_int "indirect fanout" 2048 p.Ffs.Params.nindir;
+  check_int "fs cylinder" 162 p.Ffs.Params.fs_cylinder_blocks
+
+let test_layout_consistency () =
+  let fpg = Ffs.Params.frags_per_group p in
+  check_int "group frags block-aligned" 0 (fpg mod p.Ffs.Params.frags_per_block);
+  check_bool "metadata fits" true (Ffs.Params.metadata_frags p < fpg);
+  check_int "metadata block-aligned" 0
+    (Ffs.Params.metadata_frags p mod p.Ffs.Params.frags_per_block);
+  check_int "data blocks" (Ffs.Params.blocks_per_group p - (Ffs.Params.metadata_frags p / 8))
+    (Ffs.Params.data_blocks_per_group p);
+  check_bool "data capacity below fs size" true (Ffs.Params.data_bytes p < p.Ffs.Params.size_bytes);
+  check_bool "data capacity above 90% of fs size" true
+    (float_of_int (Ffs.Params.data_bytes p) > 0.9 *. float_of_int p.Ffs.Params.size_bytes)
+
+let test_group_addressing () =
+  let fpg = Ffs.Params.frags_per_group p in
+  check_int "group base" (2 * fpg) (Ffs.Params.group_base p 2);
+  check_int "data base" ((2 * fpg) + Ffs.Params.metadata_frags p) (Ffs.Params.data_base p 2);
+  check_int "group of frag" 2 (Ffs.Params.group_of_frag p (Ffs.Params.data_base p 2));
+  check_int "group of last frag of group 0" 0 (Ffs.Params.group_of_frag p (fpg - 1));
+  check_bool "block aligned" true (Ffs.Params.frag_is_block_aligned p 16);
+  check_bool "not aligned" false (Ffs.Params.frag_is_block_aligned p 17)
+
+let test_inode_block_addr () =
+  let ipg = Ffs.Params.inodes_per_group p in
+  (* inode 0: first inode block, after sb + cg descriptor *)
+  check_int "inode 0" 16 (Ffs.Params.inode_block_addr p 0);
+  (* inodes sharing a block share the address: 8 KB / 128 B = 64 per block *)
+  check_int "inode 63 same block" 16 (Ffs.Params.inode_block_addr p 63);
+  check_int "inode 64 next block" 24 (Ffs.Params.inode_block_addr p 64);
+  (* an inode of group 1 lands inside group 1's metadata *)
+  let a = Ffs.Params.inode_block_addr p ipg in
+  check_int "group 1 inode block" (Ffs.Params.group_base p 1 + 16) a;
+  check_bool "within metadata area" true (a < Ffs.Params.data_base p 1)
+
+let test_lba_mapping () =
+  check_int "frag 0" 0 (Ffs.Params.lba_of_frag p ~sector_bytes:512 0);
+  check_int "1 KB frag = 2 sectors" 14 (Ffs.Params.lba_of_frag p ~sector_bytes:512 7);
+  check_int "sectors per frag" 2 (Ffs.Params.sectors_per_frag p ~sector_bytes:512);
+  check_int "sectors per block" 16 (Ffs.Params.sectors_per_block p ~sector_bytes:512)
+
+let test_blocks_of_size () =
+  let check size expect =
+    Alcotest.(check (pair int int)) (Fmt.str "size %d" size) expect
+      (Ffs.Params.blocks_of_size p size)
+  in
+  check 0 (0, 0);
+  check 1 (0, 1);
+  check 1024 (0, 1);
+  check 1025 (0, 2);
+  check 8192 (1, 0);
+  check 8193 (1, 1);
+  (* regression: a tail rounding up to 8 fragments is a full block *)
+  check (8192 + 7169) (2, 0);
+  check (16 * 1024) (2, 0);
+  check (96 * 1024) (12, 0);
+  (* past the direct blocks the tail always rounds to a full block *)
+  check ((96 * 1024) + 1) (13, 0);
+  check (104 * 1024) (13, 0)
+
+let test_validation () =
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+  in
+  expect_invalid "non-pow2 block" (fun () ->
+      Ffs.Params.v ~block_bytes:6000 ~size_bytes:(64 * 1024 * 1024) ());
+  expect_invalid "frag > block" (fun () ->
+      Ffs.Params.v ~block_bytes:1024 ~frag_bytes:8192 ~size_bytes:(64 * 1024 * 1024) ());
+  expect_invalid "too many frags per block" (fun () ->
+      Ffs.Params.v ~block_bytes:16384 ~frag_bytes:1024 ~size_bytes:(64 * 1024 * 1024) ());
+  expect_invalid "tiny fs" (fun () -> Ffs.Params.v ~size_bytes:1024 ());
+  expect_invalid "bad minfree" (fun () ->
+      Ffs.Params.v ~minfree_pct:80 ~size_bytes:(64 * 1024 * 1024) ())
+
+let test_small_fs () =
+  let s = Ffs.Params.small_test_fs in
+  check_int "groups" 4 s.Ffs.Params.ncg;
+  check_bool "nontrivial data area" true (Ffs.Params.data_blocks_per_group s > 100)
+
+let prop_blocks_of_size_conserves =
+  QCheck.Test.make ~name:"blocks_of_size covers the size without waste" ~count:1000
+    QCheck.(int_bound (2 * 1024 * 1024))
+    (fun size ->
+      let full, tail = Ffs.Params.blocks_of_size p size in
+      let bytes_covered = (full * 8192) + (tail * 1024) in
+      let lower = bytes_covered - 8192 < size || bytes_covered - 1024 < size in
+      bytes_covered >= size && lower && tail >= 0 && tail < 8)
+
+let prop_group_of_frag_inverse =
+  QCheck.Test.make ~name:"group_of_frag inverts group_base" ~count:500
+    QCheck.(pair (int_bound 26) (int_bound 1000))
+    (fun (cg, off) ->
+      let frag = Ffs.Params.group_base p cg + off in
+      Ffs.Params.group_of_frag p frag = cg)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "params"
+    [
+      ( "unit",
+        [
+          tc "paper constants" test_paper_constants;
+          tc "layout consistency" test_layout_consistency;
+          tc "group addressing" test_group_addressing;
+          tc "inode block addr" test_inode_block_addr;
+          tc "lba mapping" test_lba_mapping;
+          tc "blocks_of_size" test_blocks_of_size;
+          tc "validation" test_validation;
+          tc "small fs" test_small_fs;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_blocks_of_size_conserves; prop_group_of_frag_inverse ] );
+    ]

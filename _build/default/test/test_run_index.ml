@@ -1,0 +1,110 @@
+(* Tests for the incremental free-run summary (the simulator's
+   cg_clustersum), including a model-based property test against a
+   boolean-array recount. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_initial () =
+  let r = Ffs.Run_index.create 100 in
+  check_int "size" 100 (Ffs.Run_index.size r);
+  check_int "one run of 100" 1 (Ffs.Run_index.count_of_length r 100);
+  check_int "longest" 100 (Ffs.Run_index.longest r);
+  check_bool "has run 100" true (Ffs.Run_index.has_run r ~len:100);
+  check_bool "no run 101" false (Ffs.Run_index.has_run r ~len:101);
+  check_int "run length at 50" 100 (Ffs.Run_index.run_length_at r 50)
+
+let test_split_and_merge () =
+  let r = Ffs.Run_index.create 10 in
+  Ffs.Run_index.allocate r 4;
+  check_int "left run" 1 (Ffs.Run_index.count_of_length r 4);
+  check_int "right run" 1 (Ffs.Run_index.count_of_length r 5);
+  check_int "longest" 5 (Ffs.Run_index.longest r);
+  check_int "used slot has no run" 0 (Ffs.Run_index.run_length_at r 4);
+  Ffs.Run_index.free r 4;
+  check_int "merged back" 1 (Ffs.Run_index.count_of_length r 10);
+  check_int "longest restored" 10 (Ffs.Run_index.longest r)
+
+let test_endpoint_allocations () =
+  let r = Ffs.Run_index.create 6 in
+  Ffs.Run_index.allocate r 0;
+  Ffs.Run_index.allocate r 5;
+  check_int "middle run" 1 (Ffs.Run_index.count_of_length r 4);
+  Ffs.Run_index.allocate r 1;
+  Ffs.Run_index.allocate r 2;
+  Ffs.Run_index.allocate r 3;
+  Ffs.Run_index.allocate r 4;
+  check_int "nothing left" 0 (Ffs.Run_index.longest r);
+  Ffs.Run_index.free r 3;
+  check_int "single slot back" 1 (Ffs.Run_index.count_of_length r 1)
+
+let test_exhaust_and_rebuild () =
+  let r = Ffs.Run_index.create 64 in
+  for i = 0 to 63 do
+    Ffs.Run_index.allocate r i
+  done;
+  check_int "empty" 0 (Ffs.Run_index.longest r);
+  (* free every other slot: 32 singletons *)
+  for i = 0 to 31 do
+    Ffs.Run_index.free r (2 * i)
+  done;
+  check_int "32 singletons" 32 (Ffs.Run_index.count_of_length r 1);
+  check_int "longest is 1" 1 (Ffs.Run_index.longest r);
+  (* fill the gaps: one run of 64 *)
+  for i = 0 to 31 do
+    Ffs.Run_index.free r ((2 * i) + 1)
+  done;
+  check_int "one full run" 1 (Ffs.Run_index.count_of_length r 64)
+
+let test_histogram_folding () =
+  let r = Ffs.Run_index.create 20 in
+  Ffs.Run_index.allocate r 3;
+  (* runs: 3 and 16 *)
+  let h = Ffs.Run_index.histogram r ~max:8 in
+  check_int "3-run counted" 1 h.(2);
+  check_int "16-run folded into last slot" 1 h.(7)
+
+let test_copy_independent () =
+  let r = Ffs.Run_index.create 10 in
+  let d = Ffs.Run_index.copy r in
+  Ffs.Run_index.allocate r 5;
+  check_int "copy untouched" 1 (Ffs.Run_index.count_of_length d 10);
+  check_int "original split" 0 (Ffs.Run_index.count_of_length r 10)
+
+let prop_matches_model =
+  let open QCheck in
+  Test.make ~name:"run index matches a boolean-array recount" ~count:300
+    (make Gen.(list_size (int_bound 200) (int_bound 63)))
+    (fun script ->
+      let r = Ffs.Run_index.create 64 in
+      let model = Array.make 64 false in
+      (* toggle: allocate if free, free if used *)
+      List.iter
+        (fun i ->
+          if model.(i) then begin
+            Ffs.Run_index.free r i;
+            model.(i) <- false
+          end
+          else begin
+            Ffs.Run_index.allocate r i;
+            model.(i) <- true
+          end)
+        script;
+      Ffs.Run_index.check r ~bitmap_free:(fun i -> not model.(i));
+      true)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "run_index"
+    [
+      ( "unit",
+        [
+          tc "initial" test_initial;
+          tc "split and merge" test_split_and_merge;
+          tc "endpoints" test_endpoint_allocations;
+          tc "exhaust and rebuild" test_exhaust_and_rebuild;
+          tc "histogram folding" test_histogram_folding;
+          tc "copy" test_copy_independent;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_matches_model ]);
+    ]

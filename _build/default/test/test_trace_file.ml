@@ -1,0 +1,67 @@
+(* Tests for the plain-text workload trace format. *)
+
+let check_bool = Alcotest.(check bool)
+let params = Ffs.Params.small_test_fs
+
+let sample_ops () =
+  let profile =
+    { (Workload.Ground_truth.scaled params ~days:4) with Workload.Ground_truth.seed = 3 }
+  in
+  (Workload.Ground_truth.generate params profile).Workload.Ground_truth.ops
+
+let test_roundtrip_string () =
+  let ops = sample_ops () in
+  let ops' = Workload.Trace_file.of_string (Workload.Trace_file.to_string ops) in
+  check_bool "identical after roundtrip" true (ops = ops')
+
+let test_roundtrip_file () =
+  let ops = sample_ops () in
+  let path = Filename.temp_file "ffs_trace" ".txt" in
+  Workload.Trace_file.save ~path ops;
+  let ops' = Workload.Trace_file.load ~path in
+  Sys.remove path;
+  check_bool "identical after file roundtrip" true (ops = ops')
+
+let expect_failure name f =
+  match f () with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail (name ^ ": expected Failure")
+
+let test_bad_header () =
+  expect_failure "bad header" (fun () -> Workload.Trace_file.of_string "# wrong\nC 1 2 3\n")
+
+let test_malformed_lines () =
+  let header = "# ffs-repro workload v1\n" in
+  expect_failure "garbage" (fun () -> Workload.Trace_file.of_string (header ^ "X 1 2 3\n"));
+  expect_failure "missing field" (fun () -> Workload.Trace_file.of_string (header ^ "C 1 2\n"));
+  expect_failure "non-numeric" (fun () ->
+      Workload.Trace_file.of_string (header ^ "C one 2 3.0\n"))
+
+let test_rejects_ill_formed_semantics () =
+  let header = "# ffs-repro workload v1\n" in
+  (* delete of a dead inode parses but fails validation *)
+  expect_failure "semantic check" (fun () ->
+      Workload.Trace_file.of_string (header ^ "D 5 10.0\n"))
+
+let test_tolerates_comments_and_blanks () =
+  let header = "# ffs-repro workload v1\n" in
+  let ops =
+    Workload.Trace_file.of_string
+      (header ^ "\n# a comment\nC 1 1000 10.0\n\nD 1 20.0\n")
+  in
+  check_bool "two ops" true (Array.length ops = 2)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "trace_file"
+    [
+      ( "format",
+        [
+          tc "string roundtrip" test_roundtrip_string;
+          tc "file roundtrip" test_roundtrip_file;
+          tc "bad header" test_bad_header;
+          tc "malformed lines" test_malformed_lines;
+          tc "semantic validation" test_rejects_ill_formed_semantics;
+          tc "comments and blanks" test_tolerates_comments_and_blanks;
+        ] );
+    ]

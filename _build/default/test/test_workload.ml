@@ -1,0 +1,293 @@
+(* Tests for the workload layer: operations, inode pools, the
+   ground-truth generator, nightly snapshots, the NFS trace source, and
+   the paper-faithful reconstruction. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let params = Ffs.Params.small_test_fs
+let ipg = Ffs.Params.inodes_per_group params
+
+(* --- Op -------------------------------------------------------------------- *)
+
+let test_op_accessors () =
+  let c = Workload.Op.Create { ino = 7; size = 100; time = 90000.0 } in
+  check_int "ino" 7 (Workload.Op.ino_of c);
+  Alcotest.(check (float 0.0)) "time" 90000.0 (Workload.Op.time_of c);
+  check_int "day" 1 (Workload.Op.day_of c);
+  check_bool "create writes" true (Workload.Op.is_write c);
+  check_int "bytes" 100 (Workload.Op.bytes_written c);
+  let d = Workload.Op.Delete { ino = 7; time = 90001.0 } in
+  check_bool "delete does not write" false (Workload.Op.is_write d);
+  check_int "delete bytes" 0 (Workload.Op.bytes_written d)
+
+let test_op_stats () =
+  let ops =
+    [|
+      Workload.Op.Create { ino = 1; size = 10; time = 1.0 };
+      Workload.Op.Modify { ino = 1; size = 20; time = 2.0 };
+      Workload.Op.Delete { ino = 1; time = 100000.0 };
+    |]
+  in
+  let s = Workload.Op.stats ops in
+  check_int "ops" 3 s.Workload.Op.operations;
+  check_int "creates" 1 s.Workload.Op.creates;
+  check_int "deletes" 1 s.Workload.Op.deletes;
+  check_int "modifies" 1 s.Workload.Op.modifies;
+  check_int "bytes" 30 s.Workload.Op.total_bytes_written;
+  check_int "days" 2 s.Workload.Op.days
+
+let test_op_sort_stable () =
+  let ops =
+    [|
+      Workload.Op.Create { ino = 2; size = 1; time = 5.0 };
+      Workload.Op.Create { ino = 1; size = 1; time = 1.0 };
+      Workload.Op.Delete { ino = 3; time = 5.0 };
+    |]
+  in
+  Workload.Op.sort_by_time ops;
+  check_int "first by time" 1 (Workload.Op.ino_of ops.(0));
+  (* equal timestamps keep generation order: ino 2 before ino 3 *)
+  check_int "stable tie" 2 (Workload.Op.ino_of ops.(1))
+
+let test_op_well_formed_detects () =
+  let bad_backwards =
+    [|
+      Workload.Op.Create { ino = 1; size = 1; time = 5.0 };
+      Workload.Op.Create { ino = 2; size = 1; time = 1.0 };
+    |]
+  in
+  check_bool "time reversal caught" true
+    (Result.is_error (Workload.Op.check_well_formed bad_backwards));
+  let bad_double_create =
+    [|
+      Workload.Op.Create { ino = 1; size = 1; time = 1.0 };
+      Workload.Op.Create { ino = 1; size = 1; time = 2.0 };
+    |]
+  in
+  check_bool "double create caught" true
+    (Result.is_error (Workload.Op.check_well_formed bad_double_create));
+  let bad_dead_delete = [| Workload.Op.Delete { ino = 1; time = 1.0 } |] in
+  check_bool "dead delete caught" true
+    (Result.is_error (Workload.Op.check_well_formed bad_dead_delete));
+  let ok =
+    [|
+      Workload.Op.Create { ino = 1; size = 1; time = 1.0 };
+      Workload.Op.Modify { ino = 1; size = 2; time = 2.0 };
+      Workload.Op.Delete { ino = 1; time = 3.0 };
+    |]
+  in
+  check_bool "valid accepted" true (Result.is_ok (Workload.Op.check_well_formed ok))
+
+(* --- Inode_pool --------------------------------------------------------------- *)
+
+let test_pool_alloc_in_group () =
+  let p = Workload.Inode_pool.create params in
+  let a = Option.get (Workload.Inode_pool.alloc p ~cg:2) in
+  check_int "group of first" 2 (Workload.Inode_pool.cg_of p a);
+  check_int "lowest slot" (2 * ipg) a;
+  let b = Option.get (Workload.Inode_pool.alloc p ~cg:2) in
+  check_int "next slot" ((2 * ipg) + 1) b;
+  check_bool "allocated" true (Workload.Inode_pool.is_allocated p a);
+  Workload.Inode_pool.free p a;
+  check_bool "freed" false (Workload.Inode_pool.is_allocated p a);
+  let c = Option.get (Workload.Inode_pool.alloc p ~cg:2) in
+  check_int "lowest reused" a c;
+  check_int "count" 2 (Workload.Inode_pool.allocated_count p)
+
+let test_pool_spills () =
+  let p = Workload.Inode_pool.create params in
+  for _ = 1 to ipg do
+    ignore (Option.get (Workload.Inode_pool.alloc p ~cg:1))
+  done;
+  let spilled = Option.get (Workload.Inode_pool.alloc p ~cg:1) in
+  check_int "spills to next group" 2 (Workload.Inode_pool.cg_of p spilled)
+
+(* --- Ground truth ----------------------------------------------------------------- *)
+
+let small_profile days =
+  let base = Workload.Ground_truth.scaled params ~days in
+  { base with Workload.Ground_truth.seed = 4242 }
+
+let test_ground_truth_well_formed () =
+  let gt = Workload.Ground_truth.generate params (small_profile 12) in
+  (match Workload.Op.check_well_formed gt.Workload.Ground_truth.ops with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let s = Workload.Op.stats gt.Workload.Ground_truth.ops in
+  check_bool "nontrivial" true (s.Workload.Op.operations > 500);
+  check_bool "spans the days" true (s.Workload.Op.days <= 12)
+
+let test_ground_truth_deterministic () =
+  let a = Workload.Ground_truth.generate params (small_profile 6) in
+  let b = Workload.Ground_truth.generate params (small_profile 6) in
+  check_bool "same ops" true (a.Workload.Ground_truth.ops = b.Workload.Ground_truth.ops)
+
+let test_ground_truth_seed_matters () =
+  let p1 = small_profile 6 in
+  let p2 = { p1 with Workload.Ground_truth.seed = 777 } in
+  let a = Workload.Ground_truth.generate params p1 in
+  let b = Workload.Ground_truth.generate params p2 in
+  check_bool "different ops" false (a.Workload.Ground_truth.ops = b.Workload.Ground_truth.ops)
+
+let test_ground_truth_utilization_targets () =
+  let profile = small_profile 20 in
+  let gt = Workload.Ground_truth.generate params profile in
+  let t = gt.Workload.Ground_truth.utilization_targets in
+  check_int "one per day" 20 (Array.length t);
+  Alcotest.(check (float 1e-9))
+    "starts at the configured level" profile.Workload.Ground_truth.utilization_start t.(0);
+  Array.iter
+    (fun v -> check_bool "within [0,hi]" true (v >= 0.0 && v <= profile.Workload.Ground_truth.utilization_hi +. 1e-9))
+    t
+
+let test_ground_truth_inos_map_to_groups () =
+  let gt = Workload.Ground_truth.generate params (small_profile 6) in
+  Array.iter
+    (fun op ->
+      let cg = Workload.Op.ino_of op / ipg in
+      check_bool "valid group" true (cg >= 0 && cg < params.Ffs.Params.ncg))
+    gt.Workload.Ground_truth.ops
+
+(* --- Snapshots ----------------------------------------------------------------------- *)
+
+let test_snapshot_capture () =
+  let ops =
+    [|
+      Workload.Op.Create { ino = 1; size = 10; time = 3600.0 };
+      Workload.Op.Create { ino = 2; size = 20; time = 7200.0 };
+      Workload.Op.Delete { ino = 1; time = 9000.0 };
+      (* day 1 *)
+      Workload.Op.Create { ino = 3; size = 30; time = 90000.0 };
+      Workload.Op.Modify { ino = 2; size = 25; time = 91000.0 };
+    |]
+  in
+  let snaps = Workload.Snapshot.capture_nightly ops ~days:3 in
+  check_int "three snapshots" 3 (Array.length snaps);
+  check_int "day 0 live files" 1 (Array.length snaps.(0).Workload.Snapshot.files);
+  check_int "day 1 live files" 2 (Array.length snaps.(1).Workload.Snapshot.files);
+  check_int "day 2 unchanged" 2 (Array.length snaps.(2).Workload.Snapshot.files);
+  (match Workload.Snapshot.find snaps.(1) 2 with
+  | Some r ->
+      check_int "modified size" 25 r.Workload.Snapshot.size;
+      Alcotest.(check (float 0.0)) "ctime updated" 91000.0 r.Workload.Snapshot.ctime
+  | None -> Alcotest.fail "ino 2 missing");
+  check_bool "deleted not present" true (Workload.Snapshot.find snaps.(1) 1 = None);
+  check_int "live bytes" 55 (Workload.Snapshot.live_bytes snaps.(1))
+
+let test_snapshot_find_binary_search () =
+  let files =
+    Array.init 100 (fun i -> { Workload.Snapshot.ino = i * 3; size = i; ctime = 0.0 })
+  in
+  let snap = { Workload.Snapshot.day = 0; files } in
+  (match Workload.Snapshot.find snap 99 with
+  | Some r -> check_int "found" 33 r.Workload.Snapshot.size
+  | None -> Alcotest.fail "missing");
+  check_bool "absent" true (Workload.Snapshot.find snap 100 = None)
+
+(* --- NFS source ------------------------------------------------------------------------ *)
+
+let test_nfs_source () =
+  let traces = Workload.Nfs_source.generate ~seed:5 ~trace_days:4 ~pairs_per_day:50.0 in
+  check_int "trace days" 4 (Array.length traces);
+  check_bool "pairs generated" true (Workload.Nfs_source.total_pairs traces > 50);
+  Array.iter
+    (fun day ->
+      Array.iter
+        (fun (p : Workload.Nfs_source.pair) ->
+          check_bool "offset within day" true (p.offset >= 0.0 && p.offset < 86400.0);
+          check_bool "lifetime positive" true (p.lifetime >= 1.0);
+          check_bool "dies same day" true (p.offset +. p.lifetime < 86400.0);
+          check_bool "size sane" true (p.size >= 256 && p.size <= 4 * 1024 * 1024))
+        day)
+    traces
+
+let test_nfs_deterministic () =
+  let a = Workload.Nfs_source.generate ~seed:5 ~trace_days:2 ~pairs_per_day:20.0 in
+  let b = Workload.Nfs_source.generate ~seed:5 ~trace_days:2 ~pairs_per_day:20.0 in
+  check_bool "reproducible" true (a = b)
+
+(* --- Reconstruction ----------------------------------------------------------------------- *)
+
+let reconstruct_small days =
+  let gt = Workload.Ground_truth.generate params (small_profile days) in
+  let snaps = Workload.Snapshot.capture_nightly gt.Workload.Ground_truth.ops ~days in
+  let nfs = Workload.Nfs_source.generate ~seed:9 ~trace_days:3 ~pairs_per_day:40.0 in
+  (gt, snaps, Workload.Reconstruct.run params ~seed:11 ~snapshots:snaps ~nfs)
+
+let test_reconstruct_well_formed () =
+  let _, _, recon = reconstruct_small 10 in
+  match Workload.Op.check_well_formed recon with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_reconstruct_preserves_final_live_set () =
+  let _, snaps, recon = reconstruct_small 10 in
+  (* replay the reconstruction logically; the final live set must match
+     the final snapshot exactly (inode numbers and sizes) *)
+  let live = Hashtbl.create 64 in
+  Array.iter
+    (fun op ->
+      match op with
+      | Workload.Op.Create { ino; size; _ } | Workload.Op.Modify { ino; size; _ } ->
+          Hashtbl.replace live ino size
+      | Workload.Op.Delete { ino; _ } -> Hashtbl.remove live ino)
+    recon;
+  let final = snaps.(Array.length snaps - 1) in
+  check_int "same file count" (Array.length final.Workload.Snapshot.files)
+    (Hashtbl.length live);
+  Array.iter
+    (fun (r : Workload.Snapshot.file_record) ->
+      match Hashtbl.find_opt live r.ino with
+      | Some size -> check_int (Fmt.str "size of ino %d" r.ino) r.size size
+      | None -> Alcotest.fail (Fmt.str "ino %d missing after reconstruction" r.ino))
+    final.Workload.Snapshot.files
+
+let test_reconstruct_injects_short_lived () =
+  let gt, _, recon = reconstruct_small 10 in
+  let s_gt = Workload.Op.stats gt.Workload.Ground_truth.ops in
+  let s_re = Workload.Op.stats recon in
+  (* snapshots alone lose all same-day files; the NFS injection must
+     bring the operation count back to the same order of magnitude *)
+  check_bool "creates comparable" true
+    (float_of_int s_re.Workload.Op.creates
+    > 0.3 *. float_of_int s_gt.Workload.Op.creates)
+
+let test_reconstruct_deterministic () =
+  let _, snaps, recon1 = reconstruct_small 6 in
+  let nfs = Workload.Nfs_source.generate ~seed:9 ~trace_days:3 ~pairs_per_day:40.0 in
+  let recon2 = Workload.Reconstruct.run params ~seed:11 ~snapshots:snaps ~nfs in
+  check_bool "reproducible" true (recon1 = recon2)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "workload"
+    [
+      ( "op",
+        [
+          tc "accessors" test_op_accessors;
+          tc "stats" test_op_stats;
+          tc "stable sort" test_op_sort_stable;
+          tc "well-formedness checks" test_op_well_formed_detects;
+        ] );
+      ( "inode pool",
+        [ tc "alloc in group" test_pool_alloc_in_group; tc "spills" test_pool_spills ] );
+      ( "ground truth",
+        [
+          tc "well-formed" test_ground_truth_well_formed;
+          tc "deterministic" test_ground_truth_deterministic;
+          tc "seed matters" test_ground_truth_seed_matters;
+          tc "utilization targets" test_ground_truth_utilization_targets;
+          tc "inos map to groups" test_ground_truth_inos_map_to_groups;
+        ] );
+      ( "snapshots",
+        [ tc "capture" test_snapshot_capture; tc "binary search" test_snapshot_find_binary_search ] );
+      ( "nfs source",
+        [ tc "ranges" test_nfs_source; tc "deterministic" test_nfs_deterministic ] );
+      ( "reconstruction",
+        [
+          tc "well-formed" test_reconstruct_well_formed;
+          tc "preserves final live set" test_reconstruct_preserves_final_live_set;
+          tc "injects short-lived" test_reconstruct_injects_short_lived;
+          tc "deterministic" test_reconstruct_deterministic;
+        ] );
+    ]
