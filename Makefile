@@ -1,0 +1,34 @@
+# Convenience targets; `make verify` is the tier-1 gate.
+
+.PHONY: all build test verify fmt bench figures clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# the full gate: everything compiles and every suite passes
+verify:
+	dune build
+	dune runtest
+
+# formatting check, gated on ocamlformat being installed (the build
+# container ships without it)
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune build @fmt; \
+	else \
+		echo "ocamlformat not installed; skipping format check"; \
+	fi
+
+bench:
+	dune exec bench/main.exe
+
+figures:
+	dune exec bin/ffs_figures.exe -- --csv-dir results
+
+clean:
+	dune clean

@@ -6,7 +6,7 @@
    the allocator hot paths.
 
    Usage:
-     main.exe [--days N] [--seed N] [--csv-dir DIR|--no-csv] [EXPERIMENT ...]
+     main.exe [--days N] [--seed N] [--jobs N] [--csv-dir DIR|--no-csv] [EXPERIMENT ...]
    where EXPERIMENT is one of: table1 fig1 fig2 fig3 fig4 fig5 fig6
    table2 checks ablations lfs micro. The default runs everything at
    the paper's full scale (300 days; several minutes). *)
@@ -142,6 +142,7 @@ let run_micro () =
 let () =
   let days = ref 300 in
   let seed = ref 960117 in
+  let jobs = ref (Par.Pool.default_jobs ()) in
   let csv_dir = ref (Some "results") in
   let picked = ref [] in
   let rec parse = function
@@ -151,6 +152,9 @@ let () =
         parse rest
     | "--seed" :: v :: rest ->
         seed := int_of_string v;
+        parse rest
+    | "--jobs" :: v :: rest ->
+        jobs := int_of_string v;
         parse rest
     | "--csv-dir" :: v :: rest ->
         csv_dir := Some v;
@@ -172,12 +176,14 @@ let () =
   in
   Fmt.pr
     "FFS disk-allocation policy reproduction — Smith & Seltzer, USENIX 1996@.%d-day \
-     workload, seed %d@.@."
-    !days !seed;
+     workload, seed %d, %d jobs@.@."
+    !days !seed !jobs;
+  Par.Pool.with_pool ~jobs:!jobs @@ fun pool ->
+  let timings = Par.Timings.create () in
   let context =
     if needs_context then begin
       let log msg = Fmt.epr "[bench] %s@." msg in
-      Some (Benchlib.Experiments.build ~days:!days ~seed:!seed ~log ())
+      Some (Benchlib.Experiments.build ~days:!days ~seed:!seed ~pool ~timings ~log ())
     end
     else None
   in
@@ -201,7 +207,9 @@ let () =
   if wanted "ablations" then begin
     (* the studies compare configurations against each other, so they
        run at a reduced 90-day scale regardless of --days *)
-    print_string (Benchlib.Ablations.all ~seed:!seed ())
+    print_string (Benchlib.Ablations.all ~seed:!seed ~pool ~timings ())
   end;
-  if wanted "lfs" then print_string (Benchlib.Lfs_compare.report ~seed:!seed ());
-  if wanted "micro" then run_micro ()
+  if wanted "lfs" then print_string (Benchlib.Lfs_compare.report ~seed:!seed ~pool ~timings ());
+  if wanted "micro" then run_micro ();
+  if not (Par.Timings.is_empty timings) then
+    Fmt.pr "@.=== Task timings ===@.@.%s@." (Par.Timings.report timings)

@@ -1,1 +1,1 @@
-bin/common.ml: Aging Arg Cmdliner Ffs Fmt List Workload
+bin/common.ml: Aging Arg Cmdliner Ffs Fmt List Par Workload

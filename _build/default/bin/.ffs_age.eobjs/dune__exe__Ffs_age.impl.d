@@ -1,1 +1,1 @@
-bin/ffs_age.ml: Aging Arg Array Cmd Cmdliner Common Ffs Fmt Term Util Workload
+bin/ffs_age.ml: Aging Arg Array Benchlib Cmd Cmdliner Common Ffs Fmt Par Term Util Workload

@@ -1,1 +1,1 @@
-bin/ffs_bench.ml: Aging Arg Benchlib Cmd Cmdliner Common Disk Fmt List Term Util
+bin/ffs_bench.ml: Aging Arg Benchlib Cmd Cmdliner Common Disk Fmt List Par Term Util

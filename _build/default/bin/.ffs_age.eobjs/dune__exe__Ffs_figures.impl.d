@@ -1,1 +1,1 @@
-bin/ffs_figures.ml: Arg Benchlib Cmd Cmdliner Common Fmt List Term
+bin/ffs_figures.ml: Arg Benchlib Cmd Cmdliner Common Fmt List Par Term

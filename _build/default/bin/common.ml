@@ -68,6 +68,17 @@ let policy_term =
 
 let quiet_term = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress progress output.")
 
+let jobs_term =
+  Arg.(value & opt int (Par.Pool.default_jobs ())
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Run up to $(docv) independent tasks in parallel (worker domains + the \
+                 caller). Results are bit-identical for every value; $(b,--jobs 1) is \
+                 fully serial. Defaults to the machine's recommended domain count.")
+
+let print_timings ~quiet timings =
+  if not (quiet || Par.Timings.is_empty timings) then
+    Fmt.epr "@.=== Task timings ===@.@.%s@." (Par.Timings.report timings)
+
 let workload_kind_term =
   let kind_conv =
     Arg.enum [ ("ground-truth", Ground_truth); ("reconstructed", Reconstructed) ]

@@ -3,8 +3,21 @@
 
 open Cmdliner
 
-let run days seed realloc policy kind profile_kind quiet image_out csv_out workload_in
-    workload_out =
+let run_multi_seed ~days ~seed ~nseeds ~jobs ~quiet =
+  let seeds = Benchlib.Experiments.default_seeds ~seed ~n:nseeds in
+  let timings = Par.Timings.create () in
+  let log msg = if not quiet then Fmt.epr "[age] %s@." msg in
+  let summary =
+    Par.Pool.with_pool ~jobs (fun pool ->
+        Benchlib.Experiments.build_seeds ~days ~pool ~timings ~log ~seeds ())
+  in
+  print_string (Benchlib.Experiments.seed_report summary);
+  Common.print_timings ~quiet timings
+
+let run days seed nseeds jobs realloc policy kind profile_kind quiet image_out csv_out
+    workload_in workload_out =
+  if nseeds > 1 then run_multi_seed ~days ~seed ~nseeds ~jobs ~quiet
+  else begin
   let params = Ffs.Params.paper_fs in
   let config = Common.config_of ~realloc ~policy in
   let ops =
@@ -57,6 +70,7 @@ let run days seed realloc policy kind profile_kind quiet image_out csv_out workl
       in
       Aging.Image.save ~path { Aging.Image.days; description; result };
       Fmt.pr "aged image written to %s@." path
+  end
 
 let cmd =
   let image_out =
@@ -76,11 +90,19 @@ let cmd =
     Arg.(value & opt (some string) None
          & info [ "save-workload" ] ~docv:"PATH" ~doc:"Save the generated workload trace.")
   in
+  let seeds =
+    Arg.(value & opt int 1
+         & info [ "seeds" ] ~docv:"N"
+             ~doc:"Age $(docv) independent workload draws (child seeds split off \
+                   $(b,--seed)) through both allocators in parallel and report \
+                   mean/stddev end-of-run layout scores instead of a single image.")
+  in
   let term =
     Term.(
-      const run $ Common.days_term $ Common.seed_term $ Common.realloc_term
-      $ Common.policy_term $ Common.workload_kind_term $ Common.profile_kind_term
-      $ Common.quiet_term $ image_out $ csv_out $ workload_in $ workload_out)
+      const run $ Common.days_term $ Common.seed_term $ seeds $ Common.jobs_term
+      $ Common.realloc_term $ Common.policy_term $ Common.workload_kind_term
+      $ Common.profile_kind_term $ Common.quiet_term $ image_out $ csv_out $ workload_in
+      $ workload_out)
   in
   Cmd.v
     (Cmd.info "ffs_age" ~doc:"Artificially age an FFS file system by replaying a ten-month workload")

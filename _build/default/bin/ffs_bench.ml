@@ -27,19 +27,21 @@ let raw_cmd =
 
 (* --- seqio ----------------------------------------------------------------- *)
 
-let run_seqio image_path corpus_mb sizes_kb =
+let run_seqio image_path corpus_mb sizes_kb jobs quiet =
   let image = load_image image_path in
   let sizes =
     match sizes_kb with
     | [] -> Benchlib.Seqio.default_sizes
     | kbs -> List.map (fun kb -> kb * 1024) kbs
   in
+  let timings = Par.Timings.create () in
   let points =
-    Benchlib.Seqio.run
-      ~aged:image.Aging.Image.result.Aging.Replay.fs
-      ~drive:(fresh_drive ())
-      ~corpus_bytes:(corpus_mb * 1024 * 1024)
-      ~sizes ()
+    Par.Pool.with_pool ~jobs (fun pool ->
+        Benchlib.Seqio.run ~pool ~timings
+          ~aged:image.Aging.Image.result.Aging.Replay.fs
+          ~mk_drive:fresh_drive
+          ~corpus_bytes:(corpus_mb * 1024 * 1024)
+          ~sizes ())
   in
   let rows =
     List.map
@@ -56,7 +58,8 @@ let run_seqio image_path corpus_mb sizes_kb =
   print_string
     (Util.Chart.table
        ~header:[ "size KB"; "files"; "write MB/s"; "read MB/s"; "layout" ]
-       ~rows)
+       ~rows);
+  Common.print_timings ~quiet timings
 
 let seqio_cmd =
   let corpus =
@@ -67,7 +70,8 @@ let seqio_cmd =
   in
   Cmd.v
     (Cmd.info "seqio" ~doc:"Sequential create/write/read benchmark on an aged image (Figures 4 and 5)")
-    Term.(const run_seqio $ Common.image_arg ~doc:"Aged image to benchmark." $ corpus $ sizes)
+    Term.(const run_seqio $ Common.image_arg ~doc:"Aged image to benchmark." $ corpus $ sizes
+          $ Common.jobs_term $ Common.quiet_term)
 
 (* --- hot files -------------------------------------------------------------- *)
 

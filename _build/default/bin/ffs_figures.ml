@@ -3,9 +3,10 @@
 
 open Cmdliner
 
-let run days seed quiet csv_dir only =
+let run days seed jobs quiet csv_dir only =
+  Par.Pool.with_pool ~jobs @@ fun pool ->
   let log msg = if not quiet then Fmt.epr "%s@." msg in
-  let ctx = Benchlib.Experiments.build ~days ~seed ~log () in
+  let ctx = Benchlib.Experiments.build ~days ~seed ~pool ~log () in
   let pick name f = if only = [] || List.mem name only then print_string (f ()) in
   pick "table1" (fun () -> Benchlib.Experiments.table1 ());
   pick "fig1" (fun () -> Benchlib.Experiments.fig1 ?csv_dir ctx);
@@ -15,6 +16,7 @@ let run days seed quiet csv_dir only =
   pick "fig5" (fun () -> Benchlib.Experiments.fig5 ?csv_dir ctx);
   pick "fig6" (fun () -> Benchlib.Experiments.fig6 ?csv_dir ctx);
   pick "table2" (fun () -> Benchlib.Experiments.table2 ?csv_dir ctx);
+  Common.print_timings ~quiet (Benchlib.Experiments.timings ctx);
   if only = [] || List.mem "checks" only then begin
     print_endline "\n=== Shape checks vs the paper ===\n";
     let checks = Benchlib.Experiments.shape_checks ctx in
@@ -33,7 +35,8 @@ let cmd =
              ~doc:"Run only the named experiment (table1, fig1..fig6, table2, checks); repeatable.")
   in
   let term =
-    Term.(const run $ Common.days_term $ Common.seed_term $ Common.quiet_term $ csv_dir $ only)
+    Term.(const run $ Common.days_term $ Common.seed_term $ Common.jobs_term
+          $ Common.quiet_term $ csv_dir $ only)
   in
   Cmd.v
     (Cmd.info "ffs_figures"

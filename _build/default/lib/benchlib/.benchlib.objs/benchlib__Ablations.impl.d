@@ -1,1 +1,1 @@
-lib/benchlib/ablations.ml: Aging Array Disk Domain Ffs Fmt List Seqio String Util Workload
+lib/benchlib/ablations.ml: Aging Array Disk Ffs Fmt List Par Seqio String Util Workload

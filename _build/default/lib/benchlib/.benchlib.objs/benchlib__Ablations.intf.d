@@ -1,1 +1,1 @@
-lib/benchlib/ablations.mli:
+lib/benchlib/ablations.mli: Par

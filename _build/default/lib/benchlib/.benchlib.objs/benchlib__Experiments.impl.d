@@ -1,1 +1,1 @@
-lib/benchlib/experiments.ml: Aging Array Buffer Disk Domain Ffs Filename Float Fmt Hotfiles List Paper_expect Seqio String Util Workload
+lib/benchlib/experiments.ml: Aging Array Buffer Disk Ffs Filename Float Fmt Hotfiles List Paper_expect Par Seqio String Util Workload

@@ -1,1 +1,1 @@
-lib/benchlib/experiments.mli: Aging Ffs Paper_expect Workload
+lib/benchlib/experiments.mli: Aging Ffs Paper_expect Par Workload

@@ -1,1 +1,1 @@
-lib/benchlib/lfs_compare.ml: Aging Array Disk Ffs Fmt Hashtbl Lfs List Option Util Workload
+lib/benchlib/lfs_compare.ml: Aging Array Disk Ffs Fmt Hashtbl Lfs List Option Par Util Workload

@@ -1,1 +1,1 @@
-lib/benchlib/lfs_compare.mli:
+lib/benchlib/lfs_compare.mli: Par

@@ -1,1 +1,1 @@
-lib/benchlib/seqio.ml: Aging Array Ffs Fmt List
+lib/benchlib/seqio.ml: Aging Array Ffs Fmt List Par

@@ -1,1 +1,1 @@
-lib/benchlib/seqio.mli: Disk Ffs
+lib/benchlib/seqio.mli: Disk Ffs Par

@@ -246,7 +246,7 @@ let seed_sensitivity ?(days = default_days) ?(seed = default_seed) () =
         let t = last trad.Aging.Replay.daily_scores in
         let r = last re.Aging.Replay.daily_scores in
         (s, t, r, 100.0 *. ((1.0 -. t) -. (1.0 -. r)) /. (1.0 -. t)))
-      (List.init 5 (fun i -> seed + (i * 1009)))
+      (List.init 5 (fun i -> Util.Prng.derive ~seed ~index:i))
   in
   let rows =
     List.map
@@ -298,7 +298,7 @@ let workload_profiles ?(days = default_days) ?(seed = default_seed) () =
         [ "profile"; "ops"; "end util"; "FFS score"; "realloc score"; "non-opt reduction" ]
       ~rows
 
-let all ?(days = default_days) ?(seed = default_seed) () =
+let all ?(days = default_days) ?(seed = default_seed) ?pool ?timings () =
   let studies : (string * (?days:int -> ?seed:int -> unit -> string)) list =
     [
       ("cluster policy", cluster_policy);
@@ -312,22 +312,17 @@ let all ?(days = default_days) ?(seed = default_seed) () =
       ("workload profiles", workload_profiles);
     ]
   in
-  (* the studies are independent: fan them out across domains *)
-  if Domain.recommended_domain_count () > 2 then begin
-    let handles =
-      List.map
-        (fun (name, study) ->
-          Domain.spawn (fun () ->
-              Fmt.epr "[bench] ablation: %s...@." name;
-              study ?days:(Some days) ?seed:(Some seed) ()))
-        studies
-    in
-    String.concat "" (List.map Domain.join handles)
-  end
-  else
+  (* the studies are independent: fan the grid out on the pool (each
+     study derives its randomness from [seed] alone, so the report is
+     identical for any job count) *)
+  let run_grid p =
     String.concat ""
-      (List.map
+      (Par.Pool.parallel_list_map ?timings
+         ~label:(fun (name, _) -> "ablation: " ^ name)
+         p
          (fun (name, study) ->
            Fmt.epr "[bench] ablation: %s...@." name;
            study ?days:(Some days) ?seed:(Some seed) ())
          studies)
+  in
+  match pool with Some p -> run_grid p | None -> Par.Pool.with_pool run_grid

@@ -7,6 +7,8 @@ type context = {
   aged_real : Aging.Replay.result;  (* ground truth on traditional FFS *)
   aged_trad : Aging.Replay.result;  (* reconstruction on traditional FFS *)
   aged_re : Aging.Replay.result;  (* reconstruction on FFS+realloc *)
+  pool : Par.Pool.t option;  (* for the lazy sweeps; caller-owned *)
+  timings : Par.Timings.t;
   log : string -> unit;
   mutable seqio_trad : Seqio.point list option;
   mutable seqio_re : Seqio.point list option;
@@ -17,13 +19,21 @@ type context = {
 
 let params t = t.params
 let days t = t.days
+let timings t = t.timings
 let aged_traditional t = t.aged_trad
 let aged_realloc t = t.aged_re
 let workload_stats t = Workload.Op.stats t.recon
 
 let fresh_drive () = Disk.Drive.create (Disk.Drive.paper_config ())
 
-let build ?(params = Ffs.Params.paper_fs) ?(days = 300) ?seed ?(log = ignore) () =
+(* Run [f] on the caller's pool, or on a temporary one when the caller
+   did not supply any. Library-level fan-outs always go through
+   [Par.Pool] so the parallelism policy lives in one place. *)
+let with_pool ?pool f =
+  match pool with Some p -> f p | None -> Par.Pool.with_pool f
+
+let build ?(params = Ffs.Params.paper_fs) ?(days = 300) ?seed ?pool ?timings
+    ?(log = ignore) () =
   let profile =
     if days = 300 then Workload.Ground_truth.default params
     else Workload.Ground_truth.scaled params ~days
@@ -42,17 +52,22 @@ let build ?(params = Ffs.Params.paper_fs) ?(days = 300) ?seed ?(log = ignore) ()
     Workload.Reconstruct.run params ~seed:(profile.seed + 23) ~snapshots ~nfs
   in
   log (Fmt.str "  %a" Workload.Op.pp_stats (Workload.Op.stats recon));
-  (* the three replays are independent; run them on separate domains *)
+  (* the three replays are independent; fan them out on the pool *)
   log "aging: ground truth + reconstruction x both allocators (3 replays, parallel)...";
-  let spawn f =
-    if Domain.recommended_domain_count () > 2 then `Domain (Domain.spawn f) else `Now (f ())
+  let timings = match timings with Some t -> t | None -> Par.Timings.create () in
+  let replays =
+    with_pool ?pool (fun p ->
+        Par.Pool.parallel_map ~timings ~label:(fun (name, _, _) -> name) p
+          (fun (_, config, ops) -> Aging.Replay.run ~config ~params ~days ops)
+          [|
+            ("replay ground-truth/ffs", Ffs.Fs.default_config, gt.Workload.Ground_truth.ops);
+            ("replay reconstructed/ffs", Ffs.Fs.default_config, recon);
+            ("replay reconstructed/realloc", Ffs.Fs.realloc_config, recon);
+          |])
   in
-  let join = function `Domain d -> Domain.join d | `Now v -> v in
-  let real_handle = spawn (fun () -> Aging.Replay.run ~params ~days gt.Workload.Ground_truth.ops) in
-  let trad_handle = spawn (fun () -> Aging.Replay.run ~params ~days recon) in
-  let aged_re = Aging.Replay.run ~config:Ffs.Fs.realloc_config ~params ~days recon in
-  let aged_real = join real_handle in
-  let aged_trad = join trad_handle in
+  let aged_real = replays.(0) in
+  let aged_trad = replays.(1) in
+  let aged_re = replays.(2) in
   {
     params;
     days;
@@ -62,6 +77,8 @@ let build ?(params = Ffs.Params.paper_fs) ?(days = 300) ?seed ?(log = ignore) ()
     aged_real;
     aged_trad;
     aged_re;
+    pool;
+    timings;
     log;
     seqio_trad = None;
     seqio_re = None;
@@ -69,6 +86,116 @@ let build ?(params = Ffs.Params.paper_fs) ?(days = 300) ?seed ?(log = ignore) ()
     hot_trad = None;
     hot_re = None;
   }
+
+(* --- multi-seed aggregation ----------------------------------------------- *)
+
+type seed_run = {
+  seed : int;
+  trad_scores : float array;
+  realloc_scores : float array;
+}
+
+type seed_summary = {
+  runs : seed_run list;
+  mean_trad : float;
+  stddev_trad : float;
+  mean_realloc : float;
+  stddev_realloc : float;
+  mean_reduction_pct : float;
+  stddev_reduction_pct : float;
+}
+
+let default_seeds ~seed ~n = List.init n (fun i -> Util.Prng.derive ~seed ~index:i)
+
+let last a = a.(Array.length a - 1)
+
+let reduction_pct ~trad ~re = 100.0 *. ((1.0 -. trad) -. (1.0 -. re)) /. (1.0 -. trad)
+
+let build_seeds ?(params = Ffs.Params.paper_fs) ?(days = 300) ?pool ?timings
+    ?(log = ignore) ~seeds () =
+  let timings = match timings with Some t -> t | None -> Par.Timings.create () in
+  log
+    (Fmt.str "multi-seed run: %d seeds x 2 allocators, %d days each" (List.length seeds)
+       days);
+  (* stage 1: one independent workload per seed (each task builds its own
+     Prng stream from its seed, so the fan-out is order-independent) *)
+  let seeds_a = Array.of_list seeds in
+  let grid =
+    with_pool ?pool (fun p ->
+        let workloads =
+          Par.Pool.parallel_map ~timings
+            ~label:(fun seed -> Fmt.str "workload seed %d" seed)
+            p
+            (fun seed ->
+              Workload.Profiles.build params Workload.Profiles.Home ~days ~seed)
+            seeds_a
+        in
+        (* stage 2: the (seed, allocator) replay grid *)
+        let tasks =
+          Array.concat
+            (Array.to_list
+               (Array.mapi
+                  (fun i seed ->
+                    [|
+                      (seed, "ffs", Ffs.Fs.default_config, workloads.(i));
+                      (seed, "realloc", Ffs.Fs.realloc_config, workloads.(i));
+                    |])
+                  seeds_a))
+        in
+        Par.Pool.parallel_map ~timings
+          ~label:(fun (seed, which, _, _) -> Fmt.str "replay seed %d/%s" seed which)
+          p
+          (fun (_, _, config, ops) ->
+            (Aging.Replay.run ~config ~params ~days ops).Aging.Replay.daily_scores)
+          tasks)
+  in
+  let runs =
+    List.mapi
+      (fun i seed ->
+        { seed; trad_scores = grid.(2 * i); realloc_scores = grid.((2 * i) + 1) })
+      seeds
+  in
+  let stats f =
+    let xs = Array.of_list (List.map f runs) in
+    (Util.Stats.mean xs, Util.Stats.stddev xs)
+  in
+  let mean_trad, stddev_trad = stats (fun r -> last r.trad_scores) in
+  let mean_realloc, stddev_realloc = stats (fun r -> last r.realloc_scores) in
+  let mean_reduction_pct, stddev_reduction_pct =
+    stats (fun r -> reduction_pct ~trad:(last r.trad_scores) ~re:(last r.realloc_scores))
+  in
+  {
+    runs;
+    mean_trad;
+    stddev_trad;
+    mean_realloc;
+    stddev_realloc;
+    mean_reduction_pct;
+    stddev_reduction_pct;
+  }
+
+let seed_report s =
+  let rows =
+    List.map
+      (fun r ->
+        [
+          string_of_int r.seed;
+          Fmt.str "%.3f" (last r.trad_scores);
+          Fmt.str "%.3f" (last r.realloc_scores);
+          Fmt.str "%.0f%%"
+            (reduction_pct ~trad:(last r.trad_scores) ~re:(last r.realloc_scores));
+        ])
+      s.runs
+  in
+  Fmt.str "@.=== Multi-seed aggregate (end-of-run layout scores) ===@.@."
+  ^ Util.Chart.table
+      ~header:[ "seed"; "end score (FFS)"; "end score (realloc)"; "non-opt reduction" ]
+      ~rows
+  ^ Fmt.str
+      "FFS %.3f +/- %.3f, realloc %.3f +/- %.3f; non-optimal blocks reduced by %.0f%% \
+       +/- %.0f%% across %d seeds\n"
+      s.mean_trad s.stddev_trad s.mean_realloc s.stddev_realloc s.mean_reduction_pct
+      s.stddev_reduction_pct (List.length s.runs)
 
 (* --- cached expensive pieces -------------------------------------------- *)
 
@@ -97,8 +224,8 @@ let seqio_points t which =
         (Fmt.str "sequential I/O sweep on the aged %s image..."
            (match which with `Traditional -> "FFS" | `Realloc -> "FFS+realloc"));
       let points =
-        Seqio.run ~aged:aged.Aging.Replay.fs ~drive:(fresh_drive ())
-          ~corpus_bytes:(corpus_bytes t) ~sizes:(seqio_sizes t) ()
+        Seqio.run ?pool:t.pool ~timings:t.timings ~aged:aged.Aging.Replay.fs
+          ~mk_drive:fresh_drive ~corpus_bytes:(corpus_bytes t) ~sizes:(seqio_sizes t) ()
       in
       (match which with
       | `Traditional -> t.seqio_trad <- Some points

@@ -16,17 +16,73 @@ val build :
   ?params:Ffs.Params.t ->
   ?days:int ->
   ?seed:int ->
+  ?pool:Par.Pool.t ->
+  ?timings:Par.Timings.t ->
   ?log:(string -> unit) ->
   unit ->
   context
 (** Defaults: the paper file system, 300 days, fixed seed. [log]
-    receives progress lines. *)
+    receives progress lines.
+
+    The three replays (and the lazy sequential-I/O sweeps) fan out on
+    [pool]; without one a temporary pool sized to the machine is used
+    for the replays and the lazy sweeps run serially. Results are
+    bit-identical for every pool size: each task derives its randomness
+    from its own seed, never from execution order. Per-task wall-clock
+    times accumulate into [timings] (also available as {!timings}). *)
 
 val params : context -> Ffs.Params.t
 val days : context -> int
+
+val timings : context -> Par.Timings.t
+(** The per-task timing report collected so far (replays, sweeps). *)
+
 val aged_traditional : context -> Aging.Replay.result
 val aged_realloc : context -> Aging.Replay.result
 val workload_stats : context -> Workload.Op.stats
+
+(** {2 Multi-seed aggregation}
+
+    The paper draws every figure from a single workload draw. The
+    multi-seed driver replays [seeds] independent home-directory
+    workloads through both allocators — a (seed x allocator) grid fanned
+    out on the pool — and aggregates the end-of-run layout scores, so
+    the headline numbers come with a mean and spread. *)
+
+type seed_run = {
+  seed : int;
+  trad_scores : float array;  (** daily aggregate scores, traditional FFS *)
+  realloc_scores : float array;  (** daily aggregate scores, FFS+realloc *)
+}
+
+type seed_summary = {
+  runs : seed_run list;  (** in the order the seeds were given *)
+  mean_trad : float;
+  stddev_trad : float;
+  mean_realloc : float;
+  stddev_realloc : float;
+  mean_reduction_pct : float;
+      (** mean reduction in non-optimally allocated blocks, percent *)
+  stddev_reduction_pct : float;
+}
+
+val default_seeds : seed:int -> n:int -> int list
+(** [n] child seeds split off [seed] via {!Util.Prng.derive}. *)
+
+val build_seeds :
+  ?params:Ffs.Params.t ->
+  ?days:int ->
+  ?pool:Par.Pool.t ->
+  ?timings:Par.Timings.t ->
+  ?log:(string -> unit) ->
+  seeds:int list ->
+  unit ->
+  seed_summary
+(** Deterministic for any pool size (and for no pool at all): the
+    summary depends only on [params], [days] and [seeds]. *)
+
+val seed_report : seed_summary -> string
+(** Printable per-seed table plus mean/stddev summary line. *)
 
 val table1 : unit -> string
 (** The benchmark configuration (hardware + file system parameters). *)

@@ -69,5 +69,13 @@ let run_size ~aged ~drive ?(corpus_bytes = 32 * 1024 * 1024) ?metadata ~file_byt
     layout_score;
   }
 
-let run ~aged ~drive ?corpus_bytes ~sizes () =
-  List.map (fun file_bytes -> run_size ~aged ~drive ?corpus_bytes ~file_bytes ()) sizes
+let run ?pool ?timings ~aged ~mk_drive ?corpus_bytes ~sizes () =
+  (* each size gets a fresh drive, so the points are independent and the
+     sweep parallelizes without changing any number *)
+  let point file_bytes = run_size ~aged ~drive:(mk_drive ()) ?corpus_bytes ~file_bytes () in
+  match pool with
+  | None -> List.map point sizes
+  | Some pool ->
+      Par.Pool.parallel_list_map ?timings
+        ~label:(fun size -> Fmt.str "seqio %d KB" (size / 1024))
+        pool point sizes

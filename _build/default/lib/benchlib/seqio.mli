@@ -32,4 +32,15 @@ val run_size :
 (** One benchmark run (default corpus 32 MB, synchronous metadata). *)
 
 val run :
-  aged:Ffs.Fs.t -> drive:Disk.Drive.t -> ?corpus_bytes:int -> sizes:int list -> unit -> point list
+  ?pool:Par.Pool.t ->
+  ?timings:Par.Timings.t ->
+  aged:Ffs.Fs.t ->
+  mk_drive:(unit -> Disk.Drive.t) ->
+  ?corpus_bytes:int ->
+  sizes:int list ->
+  unit ->
+  point list
+(** The full sweep. Every size runs against its own fresh drive from
+    [mk_drive], so the points are mutually independent and, when [pool]
+    is given, the sweep fans out across domains with bit-identical
+    results for any job count. *)

@@ -1,0 +1,1 @@
+lib/par/pool.ml: Array Condition Domain Fmt Fun List Mutex Printexc Queue Timings Unix

@@ -1,0 +1,1 @@
+lib/par/timings.ml: Float Fmt Format List Mutex Util

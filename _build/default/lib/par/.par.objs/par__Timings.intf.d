@@ -1,0 +1,1 @@
+lib/par/timings.mli: Format

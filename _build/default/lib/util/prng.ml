@@ -10,6 +10,16 @@ let mix64 z =
 let create ~seed = { state = mix64 (Int64.of_int seed) }
 let copy t = { state = t.state }
 
+let derive ~seed ~index =
+  (* the [index]-th split of a fresh generator seeded with [seed],
+     collapsed back to a non-negative int seed *)
+  let z =
+    mix64
+      (Int64.add (mix64 (Int64.of_int seed))
+         (Int64.mul golden_gamma (Int64.of_int (index + 1))))
+  in
+  Int64.to_int (Int64.shift_right_logical z 2)
+
 let int64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix64 t.state

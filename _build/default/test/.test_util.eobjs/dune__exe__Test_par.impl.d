@@ -1,0 +1,1 @@
+test/test_par.ml: Aging Alcotest Array Benchlib Ffs Fmt Fun List Par QCheck QCheck_alcotest String Util

@@ -23,6 +23,12 @@ let get_aged () =
         Aging.Replay.run ~config:Ffs.Fs.realloc_config ~params ~days
           gt.Workload.Ground_truth.ops
       in
+      List.iter
+        (fun (r : Aging.Replay.result) ->
+          let report = Ffs.Check.run r.Aging.Replay.fs in
+          if not (Ffs.Check.is_clean report) then
+            Alcotest.failf "aged image fails fsck: %a" Ffs.Check.pp report)
+        [ trad; re ];
       aged := Some (trad, re);
       (trad, re)
 

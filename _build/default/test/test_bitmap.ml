@@ -150,6 +150,43 @@ let prop_model_based =
       && Ffs.Bitmap.find_clear_run b ~start:9 ~len:3 = naive_run 9 3
       && Ffs.Bitmap.count_set b = Array.fold_left (fun a v -> if v then a + 1 else a) 0 model)
 
+(* alloc/free round-trip: treating [find_clear_wrap]+[set] as an
+   allocator, no bit is ever handed out twice while held, and the
+   popcounts track an external allocation counter exactly *)
+let prop_alloc_free_roundtrip =
+  let open QCheck in
+  Test.make ~name:"alloc/free round-trip never double-claims; popcount matches counter"
+    ~count:200
+    (make Gen.(list_size (int_bound 80) (pair bool (int_bound 63))))
+    (fun script ->
+      let b = Ffs.Bitmap.create 64 in
+      let held = ref [] in
+      let count = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (alloc, hint) ->
+          if alloc then
+            match Ffs.Bitmap.find_clear_wrap b ~start:hint with
+            | Some i ->
+                if Ffs.Bitmap.get b i then ok := false;
+                if List.mem i !held then ok := false;
+                Ffs.Bitmap.set b i;
+                held := i :: !held;
+                incr count
+            | None -> if !count <> 64 then ok := false
+          else
+            match !held with
+            | i :: rest ->
+                if not (Ffs.Bitmap.get b i) then ok := false;
+                Ffs.Bitmap.clear b i;
+                held := rest;
+                decr count
+            | [] -> ())
+        script;
+      !ok
+      && Ffs.Bitmap.count_set b = !count
+      && Ffs.Bitmap.count_clear b = 64 - !count)
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "bitmap"
@@ -166,5 +203,9 @@ let () =
           tc "runs and iter" test_run_length_and_iter;
           tc "copy" test_copy_independent;
         ] );
-      ("properties", [ QCheck_alcotest.to_alcotest prop_model_based ]);
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_model_based;
+          QCheck_alcotest.to_alcotest prop_alloc_free_roundtrip;
+        ] );
     ]

@@ -224,6 +224,114 @@ let prop_invariants_under_random_ops =
       Ffs.Cg.check_invariants cg;
       true)
 
+(* shared generator for the allocation-script properties *)
+let cg_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map (fun p -> `Block (Some p)) (int_bound 400));
+        (1, return (`Block None));
+        (3, map2 (fun p c -> `Frags (p, 1 + (c mod 7))) (int_bound 3000) (int_bound 6));
+        (2, map (fun p -> `Cluster (p, 2)) (int_bound 400));
+        (2, return `Free_something);
+      ])
+
+(* run a script, tracking per-fragment ownership externally; [on_alloc]
+   sees every run the allocator hands out *)
+let run_cg_script ~on_alloc ~on_free script =
+  let cg = fresh () in
+  let held = ref [] in
+  List.iter
+    (fun op ->
+      let got =
+        match op with
+        | `Block pref -> Option.map (fun b -> (b * fpb, fpb)) (Ffs.Cg.alloc_block cg ~pref)
+        | `Frags (pref, count) ->
+            Option.map (fun pos -> (pos, count)) (Ffs.Cg.alloc_frags cg ~pref:(Some pref) ~count)
+        | `Cluster (pref, len) ->
+            Option.map
+              (fun b -> (b * fpb, len * fpb))
+              (Ffs.Cg.alloc_cluster cg ~policy:`First_fit ~pref:(Some pref) ~len)
+        | `Free_something -> None
+      in
+      match (op, got) with
+      | `Free_something, _ -> (
+          match !held with
+          | (pos, count) :: rest ->
+              Ffs.Cg.free_frags cg ~pos ~count;
+              on_free cg ~pos ~count;
+              held := rest
+          | [] -> ())
+      | _, Some (pos, count) ->
+          on_alloc cg ~pos ~count;
+          held := (pos, count) :: !held
+      | _, None -> ())
+    script;
+  cg
+
+(* every fragment the allocator returns must be one it did not already
+   hand out: no double-claims, and the free-fragment counter always
+   equals capacity minus what we hold *)
+let prop_alloc_never_double_claims =
+  let open QCheck in
+  Test.make ~name:"cg allocation never double-claims a fragment" ~count:60
+    (make Gen.(list_size (int_bound 120) cg_op_gen))
+    (fun script ->
+      let owned = Array.make (Ffs.Cg.data_frags (fresh ())) false in
+      let owned_count = ref 0 in
+      let ok = ref true in
+      let cg =
+        run_cg_script script
+          ~on_alloc:(fun cg ~pos ~count ->
+            for f = pos to pos + count - 1 do
+              if owned.(f) then ok := false;
+              if Ffs.Cg.frag_is_free cg f then ok := false;
+              owned.(f) <- true;
+              incr owned_count
+            done)
+          ~on_free:(fun _cg ~pos ~count ->
+            for f = pos to pos + count - 1 do
+              if not owned.(f) then ok := false;
+              owned.(f) <- false;
+              decr owned_count
+            done)
+      in
+      !ok && Ffs.Cg.free_frag_count cg = Ffs.Cg.data_frags cg - !owned_count)
+
+(* the cluster summary (free-block count, longest run, run histogram)
+   must agree with a naive scan of the block bitmap *)
+let prop_cluster_summary_consistent =
+  let open QCheck in
+  Test.make ~name:"cg cluster summary agrees with a naive block scan" ~count:60
+    (make Gen.(list_size (int_bound 120) cg_op_gen))
+    (fun script ->
+      let cg =
+        run_cg_script script ~on_alloc:(fun _ ~pos:_ ~count:_ -> ())
+          ~on_free:(fun _ ~pos:_ ~count:_ -> ())
+      in
+      let nblocks = Ffs.Cg.data_blocks cg in
+      (* collect maximal free runs from the public per-block view *)
+      let runs = ref [] in
+      let current = ref 0 in
+      for b = 0 to nblocks - 1 do
+        if Ffs.Cg.block_is_free cg b then incr current
+        else if !current > 0 then begin
+          runs := !current :: !runs;
+          current := 0
+        end
+      done;
+      if !current > 0 then runs := !current :: !runs;
+      let free_blocks = List.fold_left ( + ) 0 !runs in
+      let longest = List.fold_left max 0 !runs in
+      let max_bucket = 8 in
+      let hist = Array.make max_bucket 0 in
+      List.iter
+        (fun len -> hist.(min len max_bucket - 1) <- hist.(min len max_bucket - 1) + 1)
+        !runs;
+      Ffs.Cg.free_block_count cg = free_blocks
+      && Ffs.Cg.longest_free_run cg = longest
+      && Ffs.Cg.free_run_histogram cg ~max:max_bucket = hist)
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "cg"
@@ -253,5 +361,10 @@ let () =
         ] );
       ( "inodes/misc",
         [ tc "inodes" test_inodes; tc "copy" test_copy_independent ] );
-      ("properties", [ QCheck_alcotest.to_alcotest prop_invariants_under_random_ops ]);
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_invariants_under_random_ops;
+          QCheck_alcotest.to_alcotest prop_alloc_never_double_claims;
+          QCheck_alcotest.to_alcotest prop_cluster_summary_consistent;
+        ] );
     ]

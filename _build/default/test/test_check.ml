@@ -63,6 +63,22 @@ let test_detects_claim_of_free_fragment () =
   check_bool "claim-not-allocated reported" true
     (has_problem r (function Ffs.Check.Claim_not_allocated _ -> true | _ -> false))
 
+let test_detects_corrupted_bitmap () =
+  let fs, a, _ = populated () in
+  let ia = Ffs.Fs.inode fs a in
+  let addr = ia.Ffs.Inode.entries.(0).Ffs.Inode.addr in
+  let cg = Ffs.Params.group_of_frag params addr in
+  let local = addr - Ffs.Params.data_base params cg in
+  (* flip one of a's fragments free behind the inode's back: the bitmap
+     now disagrees with the claim *)
+  Ffs.Cg.free_frags (Ffs.Fs.cg_states fs).(cg) ~pos:local ~count:1;
+  let r = Ffs.Check.run fs in
+  check_bool "not clean" false (Ffs.Check.is_clean r);
+  check_bool "claim of the corrupted fragment reported" true
+    (has_problem r (function
+      | Ffs.Check.Claim_not_allocated { fragment; _ } -> fragment = addr
+      | _ -> false))
+
 let test_detects_bad_run () =
   let fs, a, _ = populated () in
   let ia = Ffs.Fs.inode fs a in
@@ -91,6 +107,7 @@ let () =
           tc "clean after aging" test_clean_after_aging;
           tc "detects double claim" test_detects_double_claim;
           tc "detects claim of free fragment" test_detects_claim_of_free_fragment;
+          tc "detects corrupted bitmap" test_detects_corrupted_bitmap;
           tc "detects bad run" test_detects_bad_run;
           tc "pp smoke" test_pp_smoke;
         ] );

@@ -7,6 +7,11 @@ let check_int = Alcotest.(check int)
 let params = Ffs.Params.small_test_fs
 let block = params.Ffs.Params.block_bytes
 
+let assert_fsck_clean (r : Aging.Replay.result) =
+  let report = Ffs.Check.run r.Aging.Replay.fs in
+  if not (Ffs.Check.is_clean report) then
+    Alcotest.failf "aged image fails fsck: %a" Ffs.Check.pp report
+
 (* --- the I/O plan reads exactly the data + metadata ---------------------- *)
 
 let test_read_accounts_every_sector () =
@@ -61,7 +66,9 @@ let test_realloc_dominates_across_seeds () =
           gt.Workload.Ground_truth.ops
       in
       check_bool (Fmt.str "seed %d: realloc >= traditional - margin" seed) true
-        (last re >= last trad -. 0.01))
+        (last re >= last trad -. 0.01);
+      assert_fsck_clean trad;
+      assert_fsck_clean re)
     [ 1; 42; 777; 31337 ]
 
 (* --- trace round-trips for every profile -------------------------------------- *)
@@ -115,7 +122,8 @@ let test_metric_matches_manual_count () =
   let manual = float_of_int !optimal /. float_of_int !counted in
   Alcotest.(check (float 1e-12))
     "aggregate agrees with manual count" manual
-    (Aging.Layout_score.aggregate r.Aging.Replay.fs)
+    (Aging.Layout_score.aggregate r.Aging.Replay.fs);
+  assert_fsck_clean r
 
 let () =
   let tc name f = Alcotest.test_case name `Quick f in

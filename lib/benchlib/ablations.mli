@@ -46,7 +46,10 @@ val seed_sensitivity : ?days:int -> ?seed:int -> unit -> string
 
 val workload_profiles : ?days:int -> ?seed:int -> unit -> string
 
-val all : ?days:int -> ?seed:int -> unit -> string
-(** Every study, concatenated. Default scale: 90 days (the studies
-    compare configurations against each other, so they do not need the
-    full ten months). *)
+val all :
+  ?days:int -> ?seed:int -> ?pool:Par.Pool.t -> ?timings:Par.Timings.t -> unit -> string
+(** Every study, concatenated in a fixed order. Default scale: 90 days
+    (the studies compare configurations against each other, so they do
+    not need the full ten months). The studies are independent and fan
+    out on [pool] (a temporary machine-sized pool when absent); the
+    report is identical for any job count. *)

@@ -43,7 +43,7 @@ let hot_bytes ops hot =
     ops;
   List.fold_left (fun acc ino -> acc + Option.value ~default:0 (Hashtbl.find_opt sizes ino)) 0 hot
 
-let run ?(days = 60) ?(seed = 960117) () =
+let run ?(days = 60) ?(seed = 960117) ?pool ?timings () =
   let params = Ffs.Params.paper_fs in
   (* run the disk hot (82-90%) so the log cleaner has real work; at the
      paper's 70-80% the log mostly reclaims whole dead segments free *)
@@ -98,15 +98,27 @@ let run ?(days = 60) ?(seed = 960117) () =
       skipped_ops = aged.Lfs.Replay.skipped_ops;
     }
   in
-  [
-    ffs_row "FFS (traditional)" Ffs.Fs.default_config;
-    ffs_row "FFS + realloc" Ffs.Fs.realloc_config;
-    lfs_row "LFS (greedy cleaner)" `Greedy;
-    lfs_row "LFS (cost-benefit cleaner)" `Cost_benefit;
-  ]
+  (* the four systems age independently from the same (read-only) op
+     stream: fan them out on the pool *)
+  let tasks =
+    [
+      ("FFS (traditional)", fun name -> ffs_row name Ffs.Fs.default_config);
+      ("FFS + realloc", fun name -> ffs_row name Ffs.Fs.realloc_config);
+      ("LFS (greedy cleaner)", fun name -> lfs_row name `Greedy);
+      ("LFS (cost-benefit cleaner)", fun name -> lfs_row name `Cost_benefit);
+    ]
+  in
+  let run_grid p =
+    Par.Pool.parallel_list_map ?timings
+      ~label:(fun (name, _) -> "lfs-compare: " ^ name)
+      p
+      (fun (name, f) -> f name)
+      tasks
+  in
+  match pool with Some p -> run_grid p | None -> Par.Pool.with_pool run_grid
 
-let report ?days ?seed () =
-  let rows = run ?days ?seed () in
+let report ?days ?seed ?pool ?timings () =
+  let rows = run ?days ?seed ?pool ?timings () in
   Fmt.str "@.=== Clustering vs logging under aging (cf. Seltzer95; Section 6) ===@.@."
   ^ Util.Chart.table
       ~header:[ "system"; "layout"; "util"; "write amp"; "hot read MB/s"; "skipped" ]

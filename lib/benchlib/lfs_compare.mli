@@ -23,7 +23,11 @@ type row = {
   skipped_ops : int;
 }
 
-val run : ?days:int -> ?seed:int -> unit -> row list
-(** Default: 60 days at the paper's 70–90% utilization. *)
+val run :
+  ?days:int -> ?seed:int -> ?pool:Par.Pool.t -> ?timings:Par.Timings.t -> unit -> row list
+(** Default: 60 days at the paper's 70–90% utilization. The four
+    systems age in parallel on [pool] (temporary machine-sized pool when
+    absent) with identical rows for any job count. *)
 
-val report : ?days:int -> ?seed:int -> unit -> string
+val report :
+  ?days:int -> ?seed:int -> ?pool:Par.Pool.t -> ?timings:Par.Timings.t -> unit -> string

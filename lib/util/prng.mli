@@ -18,6 +18,14 @@ val copy : t -> t
 (** Independent copy of the current state; the copy and the original
     produce identical subsequent streams. *)
 
+val derive : seed:int -> index:int -> int
+(** [derive ~seed ~index] is a child seed: the [index]-th split of a
+    generator seeded with [seed], collapsed to a non-negative int.
+    Distinct indices give statistically independent streams, so a
+    parallel fan-out can hand stream [i] to task [i] and produce
+    bit-identical results regardless of execution order or the number
+    of domains. *)
+
 val split : t -> t
 (** [split t] derives a new generator whose stream is statistically
     independent of [t]'s remaining stream, and advances [t]. Use to give

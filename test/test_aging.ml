@@ -12,6 +12,12 @@ let workload () =
   in
   Workload.Ground_truth.generate params profile
 
+(* every aged image must pass the fsck-style checker with zero problems *)
+let assert_fsck_clean (r : Aging.Replay.result) =
+  let report = Ffs.Check.run r.Aging.Replay.fs in
+  if not (Ffs.Check.is_clean report) then
+    Alcotest.failf "aged image fails fsck: %a" Ffs.Check.pp report
+
 let test_replay_basic () =
   let gt = workload () in
   let r = Aging.Replay.run ~params ~days gt.Workload.Ground_truth.ops in
@@ -23,7 +29,8 @@ let test_replay_basic () =
   Array.iter
     (fun u -> check_bool "utilization in [0,1]" true (u >= 0.0 && u <= 1.0))
     r.Aging.Replay.daily_utilization;
-  Ffs.Fs.check_invariants r.Aging.Replay.fs
+  Ffs.Fs.check_invariants r.Aging.Replay.fs;
+  assert_fsck_clean r
 
 let test_replay_live_set_matches () =
   let gt = workload () in
@@ -70,7 +77,9 @@ let test_realloc_beats_traditional () =
   check_bool "realloc final score at least as good" true
     (last re.Aging.Replay.daily_scores >= last trad.Aging.Replay.daily_scores);
   check_bool "realloc did work" true
-    ((Ffs.Fs.stats re.Aging.Replay.fs).Ffs.Fs.realloc_attempts > 0)
+    ((Ffs.Fs.stats re.Aging.Replay.fs).Ffs.Fs.realloc_attempts > 0);
+  assert_fsck_clean trad;
+  assert_fsck_clean re
 
 let test_progress_callback () =
   let gt = workload () in
@@ -97,7 +106,8 @@ let test_hot_inums () =
   (* everything is hot from the beginning of time *)
   check_int "all files hot at since=0"
     (Ffs.Fs.file_count r.Aging.Replay.fs)
-    (List.length (Aging.Replay.hot_inums r ~since:0.0))
+    (List.length (Aging.Replay.hot_inums r ~since:0.0));
+  assert_fsck_clean r
 
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
