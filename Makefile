@@ -1,6 +1,6 @@
 # Convenience targets; `make verify` is the tier-1 gate.
 
-.PHONY: all build test verify fmt bench figures clean
+.PHONY: all build test verify fmt bench figures crash-matrix clean
 
 all: build
 
@@ -10,10 +10,28 @@ build:
 test:
 	dune runtest
 
-# the full gate: everything compiles and every suite passes
+# the full gate: everything compiles, every suite passes, and the
+# crash-consistency smoke matrix comes back fsck-clean
 verify:
 	dune build
 	dune runtest
+	$(MAKE) crash-matrix
+
+# crash-consistency smoke: a small ground-truth workload through
+# {0,1,3} injected crashes on both allocators (each crash is torn
+# metadata + fsck-with-repair mid-replay), plus one standalone
+# inject->repair->re-audit round; every leg must exit 0
+crash-matrix:
+	@for crashes in 0 1 3; do \
+		for alloc in "" "--realloc"; do \
+			echo "== ffs_age --crashes $$crashes $${alloc:-(traditional)} =="; \
+			dune exec bin/ffs_age.exe -- --fs small --days 10 \
+				--workload ground-truth --crashes $$crashes \
+				--fault-seed 97 $$alloc -q || exit 1; \
+		done; \
+	done
+	@echo "== ffs_fsck inject/repair/re-audit =="
+	@dune exec bin/ffs_fsck.exe -- --fs small --days 10 --faults 12 -q
 
 # formatting check, gated on ocamlformat being installed (the build
 # container ships without it)

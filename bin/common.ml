@@ -29,14 +29,28 @@ let build_workload ~params ~days ~seed ~kind ~profile_kind =
           in
           Workload.Reconstruct.run params ~seed:(seed + 23) ~snapshots ~nfs)
 
+let progress_of ~days ~quiet ~day ~score =
+  if (not quiet) && (day + 1) mod 25 = 0 then
+    Fmt.epr "  day %3d/%d  aggregate layout score %.3f@." (day + 1) days score
+
 let replay_with_progress ~params ~days ~config ~quiet ops =
   if not quiet then
     Fmt.epr "workload: %a@." Workload.Op.pp_stats (Workload.Op.stats ops);
-  let progress ~day ~score =
-    if (not quiet) && (day + 1) mod 25 = 0 then
-      Fmt.epr "  day %3d/%d  aggregate layout score %.3f@." (day + 1) days score
-  in
-  Aging.Replay.run ~config ~progress ~params ~days ops
+  Aging.Replay.run ~config ~progress:(progress_of ~days ~quiet) ~params ~days ops
+
+(* Like [replay_with_progress], but with [crashes] power failures drawn
+   from [fault_seed]; returns the recovery records alongside the result. *)
+let replay_with_crashes ~params ~days ~config ~quiet ~crashes ~fault_seed ops =
+  if crashes = 0 then (replay_with_progress ~params ~days ~config ~quiet ops, [])
+  else begin
+    if not quiet then
+      Fmt.epr "workload: %a@." Workload.Op.pp_stats (Workload.Op.stats ops);
+    let cr =
+      Aging.Replay.run_with_crashes ~config ~progress:(progress_of ~days ~quiet)
+        ~params ~days ~crashes ~fault_seed ops
+    in
+    (cr.Aging.Replay.result, cr.Aging.Replay.recoveries)
+  end
 
 let profile_kind_term =
   let open Cmdliner in
@@ -88,6 +102,26 @@ let workload_kind_term =
            ~doc:"Replay the $(b,ground-truth) activity stream or the paper-style $(b,reconstructed) workload (default).")
 
 let image_arg ~doc = Arg.(required & opt (some string) None & info [ "image" ] ~docv:"PATH" ~doc)
+
+let params_term =
+  let params_conv =
+    Arg.enum [ ("paper", Ffs.Params.paper_fs); ("small", Ffs.Params.small_test_fs) ]
+  in
+  Arg.(value & opt params_conv Ffs.Params.paper_fs
+       & info [ "fs" ] ~docv:"SIZE"
+           ~doc:"File-system geometry: $(b,paper) (the paper's disk, default) or \
+                 $(b,small) (test-sized, for quick smoke runs).")
+
+let crashes_term =
+  Arg.(value & opt int 0
+       & info [ "crashes" ] ~docv:"N"
+           ~doc:"Inject $(docv) power failures at seeded points in the replay; each \
+                 tears a burst of metadata writes and is recovered by fsck-with-repair \
+                 before the replay resumes.")
+
+let fault_seed_term =
+  Arg.(value & opt int 666 & info [ "fault-seed" ] ~docv:"SEED"
+       ~doc:"PRNG seed for crash points and fault plans; independent of $(b,--seed).")
 
 let config_of ~realloc ~policy =
   if realloc then { Ffs.Fs.realloc = true; cluster_policy = policy }

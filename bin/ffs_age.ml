@@ -14,11 +14,10 @@ let run_multi_seed ~days ~seed ~nseeds ~jobs ~quiet =
   print_string (Benchlib.Experiments.seed_report summary);
   Common.print_timings ~quiet timings
 
-let run days seed nseeds jobs realloc policy kind profile_kind quiet image_out csv_out
-    workload_in workload_out =
+let run days seed nseeds jobs realloc policy kind profile_kind quiet params crashes
+    fault_seed image_out csv_out workload_in workload_out =
   if nseeds > 1 then run_multi_seed ~days ~seed ~nseeds ~jobs ~quiet
   else begin
-  let params = Ffs.Params.paper_fs in
   let config = Common.config_of ~realloc ~policy in
   let ops =
     match workload_in with
@@ -37,7 +36,9 @@ let run days seed nseeds jobs realloc policy kind profile_kind quiet image_out c
     | None -> days
     | Some _ -> (Workload.Op.stats ops).Workload.Op.days
   in
-  let result = Common.replay_with_progress ~params ~days ~config ~quiet ops in
+  let result, recoveries =
+    Common.replay_with_crashes ~params ~days ~config ~quiet ~crashes ~fault_seed ops
+  in
   let scores = result.Aging.Replay.daily_scores in
   Fmt.pr "allocator: %s@." (if realloc then "FFS + realloc" else "traditional FFS");
   Fmt.pr "aged %d days; %d files live; utilization %.1f%%@." days
@@ -48,6 +49,13 @@ let run days seed nseeds jobs realloc policy kind profile_kind quiet image_out c
   Fmt.pr "score history: %s@." (Util.Chart.sparkline scores);
   if result.Aging.Replay.skipped_ops > 0 then
     Fmt.pr "WARNING: %d operations skipped (out of space)@." result.Aging.Replay.skipped_ops;
+  List.iter
+    (fun r ->
+      Fmt.pr
+        "crash after op %d (day %d): %d faults torn, %d problems found, %d files lost; repaired@."
+        r.Aging.Replay.after_op r.Aging.Replay.day r.Aging.Replay.faults_injected
+        r.Aging.Replay.problems_found r.Aging.Replay.files_lost)
+    recoveries;
   (match csv_out with
   | None -> ()
   | Some path ->
@@ -101,7 +109,8 @@ let cmd =
     Term.(
       const run $ Common.days_term $ Common.seed_term $ seeds $ Common.jobs_term
       $ Common.realloc_term $ Common.policy_term $ Common.workload_kind_term
-      $ Common.profile_kind_term $ Common.quiet_term $ image_out $ csv_out $ workload_in
+      $ Common.profile_kind_term $ Common.quiet_term $ Common.params_term
+      $ Common.crashes_term $ Common.fault_seed_term $ image_out $ csv_out $ workload_in
       $ workload_out)
   in
   Cmd.v

@@ -1,0 +1,80 @@
+(* ffs_fsck: corrupt an FFS image with a seeded fault plan, then audit
+   and repair it — the fsck-with-repair demonstration tool. Exits 0
+   when the final audit is clean, 1 otherwise. *)
+
+open Cmdliner
+
+let age_fresh ~params ~days ~seed ~config ~quiet =
+  let ops =
+    Common.build_workload ~params ~days ~seed ~kind:Common.Ground_truth
+      ~profile_kind:Workload.Profiles.Home
+  in
+  let result = Common.replay_with_progress ~params ~days ~config ~quiet ops in
+  result.Aging.Replay.fs
+
+let run image params days seed realloc policy faults fault_seed no_repair quiet =
+  let config = Common.config_of ~realloc ~policy in
+  let fs =
+    match image with
+    | Some path ->
+        let img = Aging.Image.load ~path in
+        if not quiet then Fmt.epr "loaded %s (%s)@." path img.Aging.Image.description;
+        img.Aging.Image.result.Aging.Replay.fs
+    | None -> age_fresh ~params ~days ~seed ~config ~quiet
+  in
+  let before = Ffs.Check.run fs in
+  Fmt.pr "pre-fault audit: %d problems, %d files, %d directories@."
+    (List.length before.Ffs.Check.problems)
+    before.Ffs.Check.files before.Ffs.Check.directories;
+  let rng = Util.Prng.create ~seed:fault_seed in
+  let spec = Fault.Plan.gen ~rng ~intensity:faults in
+  let events = Fault.Inject.apply fs ~rng spec in
+  Fmt.pr "injected %d faults (fault-seed %d):@." (List.length events) fault_seed;
+  List.iter (fun e -> Fmt.pr "  - %a@." Fault.Inject.pp_event e) events;
+  let dirty = Ffs.Check.run fs in
+  Fmt.pr "post-fault audit:@.%a@." Ffs.Check.pp dirty;
+  if no_repair then if Ffs.Check.is_clean dirty then 0 else 1
+  else begin
+    let log = Ffs.Check.repair fs in
+    Fmt.pr "repair:@.%a@." Ffs.Check.pp_repair log;
+    let after = Ffs.Check.run fs in
+    if Ffs.Check.is_clean after then begin
+      Fmt.pr "image is clean@.";
+      0
+    end
+    else begin
+      Fmt.pr "REPAIR FAILED:@.%a@." Ffs.Check.pp after;
+      1
+    end
+  end
+
+let cmd =
+  let image =
+    Arg.(value & opt (some string) None
+         & info [ "image" ] ~docv:"PATH"
+             ~doc:"Operate on a saved aged image instead of aging a fresh one \
+                   (see $(b,ffs_age --image)).")
+  in
+  let faults =
+    Arg.(value & opt int 8
+         & info [ "faults" ] ~docv:"N"
+             ~doc:"Approximate number of faults to inject (the plan draws $(docv) \
+                   faults spread uniformly over the fault classes).")
+  in
+  let no_repair =
+    Arg.(value & flag
+         & info [ "no-repair" ]
+             ~doc:"Audit only: inject and report, but leave the image broken.")
+  in
+  let term =
+    Term.(
+      const run $ image $ Common.params_term $ Common.days_term $ Common.seed_term
+      $ Common.realloc_term $ Common.policy_term $ faults $ Common.fault_seed_term
+      $ no_repair $ Common.quiet_term)
+  in
+  Cmd.v
+    (Cmd.info "ffs_fsck"
+       ~doc:"Inject seeded faults into an FFS image, then audit and repair it")
+    term
+
+let () = exit (Cmd.eval' cmd)

@@ -10,73 +10,205 @@ type result = {
   ino_map : (int, int) Hashtbl.t;
 }
 
-let run ?(config = Ffs.Fs.default_config) ?(progress = fun ~day:_ ~score:_ -> ())
-    ~params ~days ops =
+exception Too_many_skips of { skipped : int; total : int; limit : float }
+
+let () =
+  Printexc.register_printer (function
+    | Too_many_skips { skipped; total; limit } ->
+        Some
+          (Fmt.str "Aging.Replay.Too_many_skips (%d of %d operations, limit %.0f%%)"
+             skipped total (100.0 *. limit))
+    | _ -> None)
+
+(* --- the replay engine ---------------------------------------------------- *)
+
+(* State of one in-progress replay, factored out so that the plain run
+   and the crash-injecting run share every operation and day-rollover
+   semantic (and therefore produce identical images when no crash is
+   injected). *)
+type engine = {
+  fs : Ffs.Fs.t;
+  group_dirs : int array;
+  ino_map : (int, int) Hashtbl.t;
+  daily_scores : float array;
+  daily_utilization : float array;
+  days : int;
+  total_ops : int;
+  max_skip_fraction : float;
+  on_skip : Workload.Op.t -> skipped:int -> unit;
+  progress : day:int -> score:float -> unit;
+  mutable skipped : int;
+  mutable next_day : int;
+}
+
+let make_engine ~config ~progress ~on_skip ~max_skip_fraction ~params ~days ~total_ops =
   let fs = Ffs.Fs.create ~config params in
   let ncg = params.Ffs.Params.ncg in
-  let ipg = Ffs.Params.inodes_per_group params in
   (* one directory per cylinder group, pinned *)
   let group_dirs =
     Array.init ncg (fun cg ->
         Ffs.Fs.mkdir_in_cg fs ~parent:(Ffs.Fs.root fs) ~name:(Fmt.str "cg%03d" cg) ~cg)
   in
-  let ino_map : (int, int) Hashtbl.t = Hashtbl.create 4096 in
-  let daily_scores = Array.make days 1.0 in
-  let daily_utilization = Array.make days 0.0 in
-  let skipped = ref 0 in
-  let next_day = ref 0 in
-  let day_end d = float_of_int (d + 1) *. Workload.Op.seconds_per_day in
-  let finish_day () =
-    let d = !next_day in
-    daily_scores.(d) <- Layout_score.aggregate fs;
-    daily_utilization.(d) <- Ffs.Fs.utilization fs;
-    progress ~day:d ~score:daily_scores.(d);
-    incr next_day
-  in
-  let apply op =
-    Ffs.Fs.set_time fs (Workload.Op.time_of op);
-    match op with
-    | Workload.Op.Create { ino; size; _ } -> (
-        match Hashtbl.find_opt ino_map ino with
-        | Some _ ->
-            (* shouldn't happen in a well-formed workload; treat as modify *)
-            incr skipped
-        | None ->
-            let cg = ino / ipg mod ncg in
-            let dir = group_dirs.(cg) in
-            let inum = Ffs.Fs.create_file fs ~dir ~name:(Fmt.str "f%d" ino) ~size in
-            Hashtbl.replace ino_map ino inum)
-    | Workload.Op.Delete { ino; _ } -> (
-        match Hashtbl.find_opt ino_map ino with
-        | None -> incr skipped
-        | Some inum ->
-            Ffs.Fs.delete_inum fs inum;
-            Hashtbl.remove ino_map ino)
-    | Workload.Op.Modify { ino; size; _ } -> (
-        match Hashtbl.find_opt ino_map ino with
-        | None -> incr skipped
-        | Some inum -> Ffs.Fs.rewrite_file fs ~inum ~size)
-  in
-  Array.iter
-    (fun op ->
-      while !next_day < days && Workload.Op.time_of op >= day_end !next_day do
-        finish_day ()
-      done;
-      try apply op
-      with Ffs.Fs.Out_of_space ->
-        incr skipped;
-        Log.warn (fun m -> m "out of space replaying %s inode %d; op skipped"
-          (match op with
-           | Workload.Op.Create _ -> "create"
-           | Workload.Op.Delete _ -> "delete"
-           | Workload.Op.Modify _ -> "modify")
-          (Workload.Op.ino_of op)))
-    ops;
-  while !next_day < days do
-    finish_day ()
-  done;
-  { fs; daily_scores; daily_utilization; skipped_ops = !skipped; ino_map }
+  {
+    fs;
+    group_dirs;
+    ino_map = Hashtbl.create 4096;
+    daily_scores = Array.make days 1.0;
+    daily_utilization = Array.make days 0.0;
+    days;
+    total_ops;
+    max_skip_fraction;
+    on_skip;
+    progress;
+    skipped = 0;
+    next_day = 0;
+  }
 
-let hot_inums result ~since =
+let day_end d = float_of_int (d + 1) *. Workload.Op.seconds_per_day
+
+let finish_day e =
+  let d = e.next_day in
+  e.daily_scores.(d) <- Layout_score.aggregate e.fs;
+  e.daily_utilization.(d) <- Ffs.Fs.utilization e.fs;
+  e.progress ~day:d ~score:e.daily_scores.(d);
+  e.next_day <- e.next_day + 1
+
+let skip e op =
+  e.skipped <- e.skipped + 1;
+  e.on_skip op ~skipped:e.skipped;
+  if float_of_int e.skipped > e.max_skip_fraction *. float_of_int e.total_ops then
+    raise (Too_many_skips { skipped = e.skipped; total = e.total_ops; limit = e.max_skip_fraction })
+
+let apply e op =
+  Ffs.Fs.set_time e.fs (Workload.Op.time_of op);
+  match op with
+  | Workload.Op.Create { ino; size; _ } -> (
+      match Hashtbl.find_opt e.ino_map ino with
+      | Some _ ->
+          (* shouldn't happen in a well-formed workload; treat as modify *)
+          skip e op
+      | None ->
+          let ipg = Ffs.Params.inodes_per_group (Ffs.Fs.params e.fs) in
+          let cg = ino / ipg mod Array.length e.group_dirs in
+          let dir = e.group_dirs.(cg) in
+          let inum = Ffs.Fs.create_file e.fs ~dir ~name:(Fmt.str "f%d" ino) ~size in
+          Hashtbl.replace e.ino_map ino inum)
+  | Workload.Op.Delete { ino; _ } -> (
+      match Hashtbl.find_opt e.ino_map ino with
+      | None -> skip e op
+      | Some inum ->
+          Ffs.Fs.delete_inum e.fs inum;
+          Hashtbl.remove e.ino_map ino)
+  | Workload.Op.Modify { ino; size; _ } -> (
+      match Hashtbl.find_opt e.ino_map ino with
+      | None -> skip e op
+      | Some inum -> Ffs.Fs.rewrite_file e.fs ~inum ~size)
+
+let step e op =
+  while e.next_day < e.days && Workload.Op.time_of op >= day_end e.next_day do
+    finish_day e
+  done;
+  try apply e op
+  with Ffs.Fs.Out_of_space ->
+    Log.warn (fun m ->
+        m "out of space replaying %s inode %d; op skipped"
+          (match op with
+          | Workload.Op.Create _ -> "create"
+          | Workload.Op.Delete _ -> "delete"
+          | Workload.Op.Modify _ -> "modify")
+          (Workload.Op.ino_of op));
+    skip e op
+
+let finish e =
+  while e.next_day < e.days do
+    finish_day e
+  done;
+  {
+    fs = e.fs;
+    daily_scores = e.daily_scores;
+    daily_utilization = e.daily_utilization;
+    skipped_ops = e.skipped;
+    ino_map = e.ino_map;
+  }
+
+(* --- entry points --------------------------------------------------------- *)
+
+let default_max_skip_fraction = 0.9
+
+let run ?(config = Ffs.Fs.default_config) ?(progress = fun ~day:_ ~score:_ -> ())
+    ?(on_skip = fun _ ~skipped:_ -> ()) ?(max_skip_fraction = default_max_skip_fraction)
+    ~params ~days ops =
+  let e =
+    make_engine ~config ~progress ~on_skip ~max_skip_fraction ~params ~days
+      ~total_ops:(Array.length ops)
+  in
+  Array.iter (step e) ops;
+  finish e
+
+(* --- crash-consistent replay ---------------------------------------------- *)
+
+type recovery = {
+  after_op : int;
+  day : int;
+  faults_injected : int;
+  problems_found : int;
+  repair : Ffs.Check.repair_log;
+  files_lost : int;
+}
+
+type crash_result = { result : result; recoveries : recovery list }
+
+let crash e ~after_op ~rng ~intensity =
+  (* power fails just after operation [after_op]: a burst of torn
+     metadata writes, then fsck-with-repair brings the image back to
+     consistency before the replay resumes with the next day's traffic *)
+  let spec = Fault.Plan.gen ~rng ~intensity in
+  let events = Fault.Inject.apply e.fs ~rng spec in
+  let before = Ffs.Check.run e.fs in
+  let repair = Ffs.Check.repair e.fs in
+  (* a forgotten inode is unrecoverable: drop its workload mapping so
+     later operations on it are skipped rather than misdirected *)
+  let lost =
+    Hashtbl.fold
+      (fun ino inum acc ->
+        match Ffs.Fs.inode e.fs inum with
+        | _ -> acc
+        | exception Not_found -> ino :: acc)
+      e.ino_map []
+  in
+  List.iter (fun ino -> Hashtbl.remove e.ino_map ino) lost;
+  {
+    after_op;
+    day = min (e.days - 1) e.next_day;
+    faults_injected = List.length events;
+    problems_found = List.length before.Ffs.Check.problems;
+    repair;
+    files_lost = List.length lost;
+  }
+
+let run_with_crashes ?(config = Ffs.Fs.default_config)
+    ?(progress = fun ~day:_ ~score:_ -> ()) ?(on_skip = fun _ ~skipped:_ -> ())
+    ?(max_skip_fraction = default_max_skip_fraction) ?(intensity = 4) ~params ~days
+    ~crashes ~fault_seed ops =
+  let e =
+    make_engine ~config ~progress ~on_skip ~max_skip_fraction ~params ~days
+      ~total_ops:(Array.length ops)
+  in
+  let rng = Util.Prng.create ~seed:fault_seed in
+  let points = Fault.Plan.crash_points ~rng ~n_ops:(Array.length ops) ~crashes in
+  let recoveries = ref [] in
+  let next_crash = ref points in
+  Array.iteri
+    (fun i op ->
+      step e op;
+      match !next_crash with
+      | p :: rest when p = i ->
+          next_crash := rest;
+          recoveries := crash e ~after_op:i ~rng ~intensity :: !recoveries
+      | _ -> ())
+    ops;
+  { result = finish e; recoveries = List.rev !recoveries }
+
+let hot_inums (result : result) ~since =
   Ffs.Fs.fold_files result.fs ~init:[] ~f:(fun acc ino ->
       if ino.Ffs.Inode.mtime >= since then ino.Ffs.Inode.inum :: acc else acc)

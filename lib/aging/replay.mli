@@ -18,15 +18,68 @@ type result = {
       (** workload inode number -> live inode number in [fs] *)
 }
 
+exception Too_many_skips of { skipped : int; total : int; limit : float }
+(** Raised as soon as skipped operations exceed [max_skip_fraction] of
+    the workload: an experiment silently dropping a large share of its
+    operations is not measuring what it claims to. *)
+
+val default_max_skip_fraction : float
+(** 0.9 — catastrophic-only by default; tighten per experiment. *)
+
 val run :
   ?config:Ffs.Fs.config ->
   ?progress:(day:int -> score:float -> unit) ->
+  ?on_skip:(Workload.Op.t -> skipped:int -> unit) ->
+  ?max_skip_fraction:float ->
   params:Ffs.Params.t ->
   days:int ->
   Workload.Op.t array ->
   result
 (** Replay a time-sorted workload. [config] selects the allocator under
-    test (default: traditional FFS). *)
+    test (default: traditional FFS). [on_skip] observes every dropped
+    operation with the running skip count (default: ignore);
+    [max_skip_fraction] bounds the tolerated skips as a fraction of the
+    whole workload, raising {!Too_many_skips} mid-run when crossed. *)
+
+(** {2 Crash-consistent replay}
+
+    The hostile-disk mode: the same replay, but power fails after
+    selected operations. Each crash tears a burst of metadata writes
+    (a seeded {!Fault.Plan}), then [Check.repair] restores consistency
+    — exactly a reboot-time fsck — and the replay resumes. The daily
+    score series therefore shows what the paper's Figure 1 curves look
+    like when the aging run itself must survive recovery. *)
+
+type recovery = {
+  after_op : int;  (** index of the operation the crash followed *)
+  day : int;  (** simulated day of the crash *)
+  faults_injected : int;  (** torn writes actually performed *)
+  problems_found : int;  (** problems the post-crash audit reported *)
+  repair : Ffs.Check.repair_log;
+  files_lost : int;
+      (** workload files whose inode was unrecoverable; their later
+          operations are skipped *)
+}
+
+type crash_result = { result : result; recoveries : recovery list }
+
+val run_with_crashes :
+  ?config:Ffs.Fs.config ->
+  ?progress:(day:int -> score:float -> unit) ->
+  ?on_skip:(Workload.Op.t -> skipped:int -> unit) ->
+  ?max_skip_fraction:float ->
+  ?intensity:int ->
+  params:Ffs.Params.t ->
+  days:int ->
+  crashes:int ->
+  fault_seed:int ->
+  Workload.Op.t array ->
+  crash_result
+(** Replay with [crashes] power failures at deterministic,
+    [fault_seed]-drawn operation indices; each crash injects about
+    [intensity] (default 4) torn metadata writes before recovery. With
+    [crashes = 0] this is exactly {!run}. The final image is always
+    fsck-clean: every crash is followed by a full repair. *)
 
 val hot_inums : result -> since:float -> int list
 (** Files in the aged image last modified at or after [since] — the

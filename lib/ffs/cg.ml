@@ -238,6 +238,46 @@ let remove_dir t =
   assert (t.ndirs > 0);
   t.ndirs <- t.ndirs - 1
 
+(* --- fsck/repair plumbing ----------------------------------------------- *)
+
+let mark_frags_used t ~pos ~count = claim_frags t ~pos ~count
+
+let mark_inode_used t i =
+  assert (not (Bitmap.get t.inode_used i));
+  Bitmap.set t.inode_used i;
+  t.nifree <- t.nifree - 1
+
+let reset t =
+  let nfrags = data_frags t and nblocks = data_blocks t in
+  Bitmap.clear_range t.frag_used ~pos:0 ~len:nfrags;
+  for b = 0 to nblocks - 1 do
+    if Bitmap.get t.block_used b then begin
+      Bitmap.clear t.block_used b;
+      Run_index.free t.runs b
+    end
+  done;
+  Bitmap.clear_range t.inode_used ~pos:0 ~len:(Bitmap.length t.inode_used);
+  t.nffree <- nfrags;
+  t.nbfree <- nblocks;
+  t.nifree <- Bitmap.length t.inode_used;
+  t.ndirs <- 0
+
+(* --- fault injection ------------------------------------------------------ *)
+
+(* The corrupt_* operations model torn metadata writes: they change one
+   on-disk structure without the coordinated updates a live allocator
+   performs, so counters, bitmaps and the run index deliberately fall out
+   of sync. Only {!Check.repair} (via {!reset} and the mark_* rebuilders)
+   restores consistency; no allocation may run in between. *)
+
+let corrupt_clear_frag t f = Bitmap.clear t.frag_used f
+
+let corrupt_set_frag t f = Bitmap.set t.frag_used f
+
+let corrupt_counters t ~nffree ~nbfree =
+  t.nffree <- nffree;
+  t.nbfree <- nbfree
+
 let check_invariants t =
   assert (t.nffree = Bitmap.count_clear t.frag_used);
   assert (t.nbfree = Bitmap.count_clear t.block_used);

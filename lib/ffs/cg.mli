@@ -78,3 +78,40 @@ val remove_dir : t -> unit
 val check_invariants : t -> unit
 (** Raises [Assert_failure] if internal counters disagree with the
     bitmaps. For tests. *)
+
+(** {2 Repair plumbing}
+
+    Used by [Check.repair] to rebuild a group's allocation state from
+    the inode table's claims. *)
+
+val reset : t -> unit
+(** Return the group to the everything-free state: bitmaps cleared,
+    run index whole, counters full, directory count zero. The rotor is
+    preserved (it is a search hint, not an invariant). *)
+
+val mark_frags_used : t -> pos:int -> count:int -> unit
+(** Mark a fragment run allocated, keeping block bits, counters and the
+    run index in sync. The run must currently be free. *)
+
+val mark_inode_used : t -> int -> unit
+(** Mark one inode slot allocated. The slot must currently be free. *)
+
+(** {2 Fault injection}
+
+    Torn-metadata-write primitives: each changes one structure {e
+    without} the coordinated updates a live allocator performs, so the
+    group becomes internally inconsistent until [Check.repair] rebuilds
+    it. No allocation may run on a corrupted group. *)
+
+val corrupt_clear_frag : t -> int -> unit
+(** Flip a fragment bit to free behind the allocator's back (a lost
+    bitmap write after an allocation). Counters and block bits are
+    deliberately left stale. *)
+
+val corrupt_set_frag : t -> int -> unit
+(** Flip a fragment bit to used (a lost bitmap write after a free, or a
+    stray write): the space leaks until repair reclaims it. *)
+
+val corrupt_counters : t -> nffree:int -> nbfree:int -> unit
+(** Overwrite the free-fragment and free-block counters (a torn
+    group-descriptor write). *)

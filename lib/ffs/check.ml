@@ -101,6 +101,167 @@ let run fs =
 
 let is_clean r = r.problems = []
 
+(* --- repair --------------------------------------------------------------- *)
+
+type repair_log = {
+  bad_runs_cleared : int;
+  double_claims_resolved : int;
+  leaked_frags_reclaimed : int;
+  missing_frags_remarked : int;
+  groups_rebuilt : int;
+  dangling_cleared : int;
+  orphans_reattached : int;
+  lost_found : int option;
+}
+
+let repair_is_noop log =
+  log.bad_runs_cleared = 0 && log.double_claims_resolved = 0
+  && log.leaked_frags_reclaimed = 0 && log.missing_frags_remarked = 0
+  && log.groups_rebuilt = 0 && log.dangling_cleared = 0
+  && log.orphans_reattached = 0
+
+let repair fs =
+  let params = Fs.params fs in
+  let fpb = params.Params.frags_per_block in
+  let total_frags = Params.total_frags params in
+  let cgs = Fs.cg_states fs in
+  (* pass 1: prune invalid and double-claimed runs from the inode table.
+     Deterministic arbitration: inodes in ascending inode-number order, a
+     file's direct runs before its indirect blocks — the first claimant of
+     a fragment keeps it, every later overlapping run is dropped whole. *)
+  let bad_runs = ref 0 and doubles = ref 0 in
+  let owner : (int, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let run_in_data_area addr frags =
+    (* bound [frags] first so [addr + frags] cannot overflow *)
+    frags > 0 && frags <= total_frags && addr >= 0
+    && addr + frags <= total_frags
+    &&
+    let ok = ref true in
+    for a = addr to addr + frags - 1 do
+      let cg = Params.group_of_frag params a in
+      let local = a - Params.data_base params cg in
+      if local < 0 || local >= Cg.data_frags cgs.(cg) then ok := false
+    done;
+    !ok
+  in
+  let claim addr frags =
+    let clash = ref false in
+    for a = addr to addr + frags - 1 do
+      if Hashtbl.mem owner a then clash := true
+    done;
+    if not !clash then
+      for a = addr to addr + frags - 1 do
+        Hashtbl.replace owner a ()
+      done;
+    not !clash
+  in
+  let keep addr frags =
+    if not (run_in_data_area addr frags) then begin
+      incr bad_runs;
+      false
+    end
+    else if not (claim addr frags) then begin
+      incr doubles;
+      false
+    end
+    else true
+  in
+  let filter_array p xs =
+    let kept = Array.of_list (List.filter p (Array.to_list xs)) in
+    if Array.length kept = Array.length xs then xs else kept
+  in
+  let inums = ref [] in
+  Fs.iter_all_inodes fs (fun ino -> inums := ino.Inode.inum :: !inums);
+  List.iter
+    (fun inum ->
+      let ino = Fs.inode fs inum in
+      ino.Inode.entries <-
+        filter_array (fun e -> keep e.Inode.addr e.Inode.frags) ino.Inode.entries;
+      ino.Inode.indirect_addrs <- filter_array (fun a -> keep a fpb) ino.Inode.indirect_addrs)
+    (List.sort compare !inums);
+  (* pass 2: rebuild every group's bitmaps, counters and run index from
+     the surviving claims, measuring the divergence being erased *)
+  let leaked = ref 0 and missing = ref 0 in
+  Array.iteri
+    (fun cg_index cg ->
+      let base = Params.data_base params cg_index in
+      for f = 0 to Cg.data_frags cg - 1 do
+        let owned = Hashtbl.mem owner (base + f) in
+        let free = Cg.frag_is_free cg f in
+        if owned && free then incr missing
+        else if (not owned) && not free then incr leaked
+      done)
+    cgs;
+  let counters cg =
+    (Cg.free_frag_count cg, Cg.free_block_count cg, Cg.inodes_free cg, Cg.dirs cg)
+  in
+  let before = Array.map counters cgs in
+  Fs.rebuild_allocation fs;
+  let groups_rebuilt = ref 0 in
+  Array.iteri (fun i cg -> if before.(i) <> counters cg then incr groups_rebuilt) cgs;
+  (* pass 3: clear directory entries that name dead inodes *)
+  let dangling = ref 0 in
+  let dirs = List.sort compare (Fs.dir_inums fs) in
+  List.iter
+    (fun dir ->
+      List.iter
+        (fun (name, inum) ->
+          match Fs.inode fs inum with
+          | _ -> ()
+          | exception Not_found ->
+              Fs.detach_entry fs ~dir ~name;
+              incr dangling)
+        (Fs.dir_entries fs dir))
+    dirs;
+  (* pass 4: reattach unreferenced inodes under lost+found (allocation is
+     safe again: pass 2 restored consistency) *)
+  let referenced : (int, unit) Hashtbl.t = Hashtbl.create 4096 in
+  Hashtbl.replace referenced (Fs.root fs) ();
+  List.iter
+    (fun dir ->
+      List.iter (fun (_, inum) -> Hashtbl.replace referenced inum ()) (Fs.dir_entries fs dir))
+    dirs;
+  let orphans = ref [] in
+  Fs.iter_all_inodes fs (fun ino ->
+      if not (Hashtbl.mem referenced ino.Inode.inum) then
+        orphans := ino.Inode.inum :: !orphans);
+  let orphans = List.sort compare !orphans in
+  let lost_found = ref None in
+  if orphans <> [] then begin
+    let root = Fs.root fs in
+    let is_dir inum =
+      match Fs.inode fs inum with
+      | ino -> ino.Inode.kind = Inode.Dir
+      | exception Not_found -> false
+    in
+    let rec fresh_name dir base k =
+      let name = if k = 0 then base else Fmt.str "%s.%d" base k in
+      if Fs.lookup fs ~dir ~name = None then name else fresh_name dir base (k + 1)
+    in
+    let lf =
+      match Fs.lookup fs ~dir:root ~name:"lost+found" with
+      | Some inum when is_dir inum -> inum
+      | Some _ (* a file squats on the name; park the orphans elsewhere *) ->
+          Fs.mkdir fs ~parent:root ~name:(fresh_name root "lost+found" 1)
+      | None -> Fs.mkdir fs ~parent:root ~name:"lost+found"
+    in
+    lost_found := Some lf;
+    List.iter
+      (fun inum ->
+        Fs.attach_entry fs ~dir:lf ~name:(fresh_name lf (Fmt.str "#%d" inum) 0) ~inum)
+      orphans
+  end;
+  {
+    bad_runs_cleared = !bad_runs;
+    double_claims_resolved = !doubles;
+    leaked_frags_reclaimed = !leaked;
+    missing_frags_remarked = !missing;
+    groups_rebuilt = !groups_rebuilt;
+    dangling_cleared = !dangling;
+    orphans_reattached = List.length orphans;
+    lost_found = !lost_found;
+  }
+
 let pp_problem ppf = function
   | Double_claim { fragment; first_owner; second_owner } ->
       Fmt.pf ppf "fragment %d claimed by both inode %d and inode %d" fragment first_owner
@@ -117,6 +278,27 @@ let pp_problem ppf = function
       Fmt.pf ppf "directory %d entry %S points to missing inode %d" dir name inum
   | Bad_run { inum; addr; frags } ->
       Fmt.pf ppf "inode %d has an invalid run (addr %d, %d fragments)" inum addr frags
+
+let pp_repair ppf log =
+  if repair_is_noop log then Fmt.pf ppf "nothing to repair"
+  else begin
+    let field name n rest = if n = 0 then rest else (name, n) :: rest in
+    let fields =
+      field "bad runs cleared" log.bad_runs_cleared
+      @@ field "double claims resolved" log.double_claims_resolved
+      @@ field "leaked fragments reclaimed" log.leaked_frags_reclaimed
+      @@ field "missing fragments remarked" log.missing_frags_remarked
+      @@ field "groups rebuilt" log.groups_rebuilt
+      @@ field "dangling entries cleared" log.dangling_cleared
+      @@ field "orphans reattached" log.orphans_reattached
+      @@ []
+    in
+    Fmt.pf ppf "@[<v>%a%a@]"
+      (Fmt.list ~sep:Fmt.cut (fun ppf (name, n) -> Fmt.pf ppf "%s: %d" name n))
+      fields
+      (Fmt.option (fun ppf inum -> Fmt.pf ppf "@ lost+found: inode %d" inum))
+      log.lost_found
+  end
 
 let pp ppf r =
   if is_clean r then

@@ -34,3 +34,51 @@ val run : Fs.t -> report
 val is_clean : report -> bool
 val pp_problem : Format.formatter -> problem -> unit
 val pp : Format.formatter -> report -> unit
+
+(** {2 Repair}
+
+    The active half of fsck: where {!run} reports divergence between the
+    inode table, the bitmaps and the directory tree, {!repair} makes the
+    views agree again, treating the inode table's claims as the
+    authoritative record (as fsck does — data already on disk wins over
+    summary structures). *)
+
+type repair_log = {
+  bad_runs_cleared : int;
+      (** runs with nonsensical addresses or lengths, dropped *)
+  double_claims_resolved : int;
+      (** runs dropped because an earlier inode already claimed a
+          fragment (first owner wins, the later run is lost whole) *)
+  leaked_frags_reclaimed : int;
+      (** fragments marked allocated that no surviving inode claims *)
+  missing_frags_remarked : int;
+      (** fragments claimed by an inode but marked free in the bitmap *)
+  groups_rebuilt : int;
+      (** cylinder groups whose counters changed when rebuilt *)
+  dangling_cleared : int;  (** directory entries naming dead inodes, removed *)
+  orphans_reattached : int;
+      (** unreferenced inodes given an entry in [lost+found] *)
+  lost_found : int option;
+      (** the directory the orphans went to, when there were any *)
+}
+
+val repair : Fs.t -> repair_log
+(** Repair in place, in four deterministic passes: (1) prune invalid and
+    double-claimed runs from the inode table, arbitrating in ascending
+    inode order (direct runs before indirect blocks); (2) rebuild every
+    group's bitmaps, counters and cluster summary from the surviving
+    claims; (3) remove directory entries naming dead inodes; (4)
+    reattach unreferenced inodes to a [lost+found] directory under the
+    root, creating it if needed.
+
+    Postconditions: {!run} reports a clean image, and repair is
+    idempotent — a second call returns a log for which
+    {!repair_is_noop} holds. May raise [Fs.Out_of_space] in the
+    pathological case where the orphan reattachment cannot allocate
+    [lost+found] on a completely full disk. *)
+
+val repair_is_noop : repair_log -> bool
+(** Did the repair find nothing to fix? ([lost_found] is ignored: an
+    image that {e has} a lost+found directory is not dirty.) *)
+
+val pp_repair : Format.formatter -> repair_log -> unit

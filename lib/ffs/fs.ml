@@ -506,9 +506,18 @@ let lookup t ~dir ~name = lookup_opt t ~dir ~name
 
 let dir_entries t inum =
   let d = get_dir t inum in
-  List.rev d.order
+  (* [order] keeps tombstones of removed names; a name deleted and later
+     re-created therefore appears more than once. Deduplicate keeping the
+     newest occurrence (the head-most, since [order] is newest-first). *)
+  let seen = Hashtbl.create 16 in
+  d.order
   |> List.filter_map (fun name ->
-         Hashtbl.find_opt d.by_name name |> Option.map (fun inum -> (name, inum)))
+         if Hashtbl.mem seen name then None
+         else begin
+           Hashtbl.add seen name ();
+           Hashtbl.find_opt d.by_name name |> Option.map (fun inum -> (name, inum))
+         end)
+  |> List.rev
 
 let dir_of_inum t inum =
   match Hashtbl.find_opt t.parents inum with
@@ -601,6 +610,38 @@ let free_data_frags t = Array.fold_left (fun acc cg -> acc + Cg.free_frag_count 
 let used_data_frags t = total_data_frags t - free_data_frags t
 let utilization t = float_of_int (used_data_frags t) /. float_of_int (total_data_frags t)
 let cg_states t = t.cgs
+
+(* --- repair plumbing ------------------------------------------------------ *)
+
+let detach_entry t ~dir ~name = remove_dir_entry t ~dir ~name
+
+let attach_entry t ~dir ~name ~inum = add_dir_entry t ~dir ~name ~inum
+
+let forget_inode t inum =
+  match Hashtbl.find_opt t.inodes inum with
+  | None -> raise Not_found
+  | Some ino ->
+      if ino.Inode.kind = Inode.Dir then invalid_arg "Fs.forget_inode: is a directory";
+      Hashtbl.remove t.inodes inum
+
+let rebuild_allocation t =
+  Array.iter Cg.reset t.cgs;
+  Hashtbl.iter
+    (fun inum ino ->
+      let cg = cg_of_inum t inum in
+      Cg.mark_inode_used t.cgs.(cg) (inum mod ipg t);
+      let mark addr frags =
+        let cg, frag = local_of_global t addr in
+        Cg.mark_frags_used t.cgs.(cg) ~pos:frag ~count:frags
+      in
+      Array.iter (fun e -> mark e.Inode.addr e.Inode.frags) ino.Inode.entries;
+      Array.iter (fun a -> mark a (fpb t)) ino.Inode.indirect_addrs)
+    t.inodes;
+  Hashtbl.iter
+    (fun inum _ ->
+      if Hashtbl.mem t.inodes inum then
+        Cg.add_dir t.cgs.(cg_of_inum t inum))
+    t.dirs
 
 (* --- invariants ----------------------------------------------------------- *)
 

@@ -136,3 +136,34 @@ val cg_states : t -> Cg.t array
 val check_invariants : t -> unit
 (** Cross-checks per-group bitmaps/counters and that no two files claim
     the same fragment. For tests; O(total fragments). *)
+
+(* Repair & fault-injection plumbing — the raw directory and inode-table
+   edits [Check.repair] and the fault injector are built from. These
+   deliberately skip the data/bitmap bookkeeping the normal API
+   performs; using them leaves the image inconsistent until
+   [Check.repair] (or [rebuild_allocation]) runs. *)
+
+val detach_entry : t -> dir:int -> name:string -> unit
+(** Remove a directory entry without freeing the inode it names or its
+    data (a torn directory write: the name is gone, the inode is not).
+    Raises [Invalid_argument] if no such name. *)
+
+val attach_entry : t -> dir:int -> name:string -> inum:int -> unit
+(** Add a directory entry naming an arbitrary inode number — the
+    reattachment half of orphan recovery, and (pointed at a dead inode
+    number) the dangling-entry injection. Extends the directory's data
+    if the entry count crosses a fragment boundary, so the file system's
+    allocation state must be consistent when called. Raises
+    [Invalid_argument] if [name] already exists in [dir]. *)
+
+val forget_inode : t -> int -> unit
+(** Drop a {e file} inode from the inode table, leaving its directory
+    entry dangling, its bitmap bits set and its inode slot claimed (a
+    lost inode-block write). Raises [Not_found] for unallocated inode
+    numbers and [Invalid_argument] for directories. *)
+
+val rebuild_allocation : t -> unit
+(** Rebuild every cylinder group's bitmaps, counters, run index, inode
+    map and directory count from the inode and directory tables — the
+    authoritative-claims half of fsck. Requires the surviving claims to
+    be disjoint and in range (the repair pass prunes them first). *)

@@ -58,7 +58,68 @@ let with_pool ?jobs f =
   let t = create ?jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
-let parallel_map (type a b) ?timings ?label t (f : a -> b) (xs : a array) : b array =
+(* --- per-task retry, backoff and timeout ---------------------------------- *)
+
+type retry = { attempts : int; backoff : float; max_backoff : float; timeout : float option }
+
+let no_retry = { attempts = 1; backoff = 0.05; max_backoff = 1.0; timeout = None }
+
+exception Timed_out of { label : string; seconds : float }
+
+let () =
+  Printexc.register_printer (function
+    | Timed_out { label; seconds } ->
+        Some (Fmt.str "Par.Pool.Timed_out (%s after %gs)" label seconds)
+    | _ -> None)
+
+(* One attempt. Without a timeout the task runs on the calling worker.
+   With one, it runs on a fresh monitor domain the worker polls: OCaml
+   domains cannot be cancelled, so on expiry the attempt is {e
+   abandoned} — the runaway domain keeps spinning until it finishes or
+   the process exits, but the pool worker is free again, which is the
+   property that keeps a sweep from wedging. *)
+let run_attempt ~label ~timeout f x =
+  match timeout with
+  | None -> f x
+  | Some limit ->
+      let slot = Atomic.make None in
+      let monitor =
+        Domain.spawn (fun () ->
+            let r = try Ok (f x) with e -> Error (e, Printexc.get_raw_backtrace ()) in
+            Atomic.set slot (Some r))
+      in
+      let deadline = Unix.gettimeofday () +. limit in
+      let rec wait () =
+        match Atomic.get slot with
+        | Some r -> (
+            Domain.join monitor;
+            match r with
+            | Ok v -> v
+            | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+        | None ->
+            if Unix.gettimeofday () > deadline then
+              raise (Timed_out { label; seconds = limit })
+            else begin
+              Unix.sleepf 0.002;
+              wait ()
+            end
+      in
+      wait ()
+
+let with_retry ~retry ~label f x =
+  let attempts = max 1 retry.attempts in
+  let rec go attempt backoff =
+    try run_attempt ~label ~timeout:retry.timeout f x
+    with _ when attempt < attempts ->
+      (* any failure — exception or timeout — is retried with bounded
+         exponential backoff; the final attempt's exception propagates *)
+      if backoff > 0.0 then Unix.sleepf backoff;
+      go (attempt + 1) (Float.min retry.max_backoff (backoff *. 2.0))
+  in
+  go 1 (Float.min retry.backoff retry.max_backoff)
+
+let parallel_map (type a b) ?(retry = no_retry) ?timings ?label t (f : a -> b)
+    (xs : a array) : b array =
   let n = Array.length xs in
   if n = 0 then [||]
   else begin
@@ -67,15 +128,13 @@ let parallel_map (type a b) ?timings ?label t (f : a -> b) (xs : a array) : b ar
     let remaining = ref n in
     let run_one i =
       let started = Unix.gettimeofday () in
-      (match f xs.(i) with
+      let name = match label with Some g -> g xs.(i) | None -> Fmt.str "task %d" i in
+      (match with_retry ~retry ~label:name f xs.(i) with
       | v -> results.(i) <- Some v
       | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
       (match timings with
       | None -> ()
       | Some tg ->
-          let name =
-            match label with Some g -> g xs.(i) | None -> Fmt.str "task %d" i
-          in
           Timings.record tg ~label:name ~started
             ~elapsed:(Unix.gettimeofday () -. started));
       Mutex.lock t.mutex;
@@ -115,7 +174,7 @@ let parallel_map (type a b) ?timings ?label t (f : a -> b) (xs : a array) : b ar
     Array.map (function Some v -> v | None -> assert false) results
   end
 
-let parallel_list_map ?timings ?label t f xs =
-  Array.to_list (parallel_map ?timings ?label t f (Array.of_list xs))
+let parallel_list_map ?retry ?timings ?label t f xs =
+  Array.to_list (parallel_map ?retry ?timings ?label t f (Array.of_list xs))
 
 let run t f = (parallel_map t (fun g -> g ()) [| f |]).(0)

@@ -51,15 +51,63 @@ val with_pool : ?jobs:int -> (t -> 'a) -> 'a
 val run : t -> (unit -> 'a) -> 'a
 (** Run one task through the pool and wait for its result. *)
 
+(** {2 Per-task retry, backoff and timeout}
+
+    A long sweep should survive a flaky or pathological task. A retry
+    policy makes each task attempt-bounded: failed attempts (an
+    exception, or exceeding [timeout]) are re-run after a bounded
+    exponential backoff, and only when every attempt has failed does
+    the final attempt's exception surface through the usual
+    lowest-index propagation. *)
+
+type retry = {
+  attempts : int;  (** total attempts per task; clamped to at least 1 *)
+  backoff : float;  (** seconds slept before the first re-attempt *)
+  max_backoff : float;  (** cap on the doubling backoff *)
+  timeout : float option;
+      (** per-attempt wall-clock budget in seconds. [None] (the
+          default) runs the task inline on the worker. [Some s] runs
+          each attempt on a fresh monitor domain polled by the worker;
+          OCaml domains cannot be cancelled, so an attempt that
+          overruns is {e abandoned} — it keeps running until it
+          finishes or the process exits — but the worker is released,
+          so a wedged task costs one stray domain, never a pool slot.
+          Use only for tasks that are safe to abandon (pure compute on
+          private state). *)
+}
+
+val no_retry : retry
+(** One attempt, no timeout — the historical behaviour. [backoff] is
+    0.05 s and [max_backoff] 1.0 s so [{no_retry with attempts = 3}]
+    is a sensible policy on its own. *)
+
+exception Timed_out of { label : string; seconds : float }
+(** An attempt exceeded its [timeout]. Retried like any other failure;
+    surfaces to the caller when it was the final attempt. *)
+
 val parallel_map :
-  ?timings:Timings.t -> ?label:('a -> string) -> t -> ('a -> 'b) -> 'a array -> 'b array
+  ?retry:retry ->
+  ?timings:Timings.t ->
+  ?label:('a -> string) ->
+  t ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array
 (** [parallel_map pool f xs] applies [f] to every element, running up
     to [jobs pool] applications concurrently, and returns the results
     in input order. When [timings] is given, each task records its
-    wall-clock time under [label x] (default ["task i"]). If any
-    application raised, the lowest-index exception is re-raised after
-    the whole batch has finished. *)
+    wall-clock time under [label x] (default ["task i"]); a retried
+    task records one entry covering all its attempts. [retry]
+    (default {!no_retry}) bounds attempts and wall-clock per task. If
+    any application ultimately failed, the lowest-index exception is
+    re-raised after the whole batch has finished. *)
 
 val parallel_list_map :
-  ?timings:Timings.t -> ?label:('a -> string) -> t -> ('a -> 'b) -> 'a list -> 'b list
+  ?retry:retry ->
+  ?timings:Timings.t ->
+  ?label:('a -> string) ->
+  t ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
 (** {!parallel_map} over lists, preserving order. *)

@@ -87,6 +87,36 @@ let test_detects_bad_run () =
   check_bool "bad run reported" true
     (has_problem r (function Ffs.Check.Bad_run _ -> true | _ -> false))
 
+(* --- repair: directed cases with exact log counts -------------------------- *)
+
+let test_repair_double_claim_first_owner_wins () =
+  let fs, a, b = populated () in
+  let ia = Ffs.Fs.inode fs a and ib = Ffs.Fs.inode fs b in
+  (* b claims a's runs wholesale; b's own 2 blocks (16 fragments) leak *)
+  ib.Ffs.Inode.entries <- ia.Ffs.Inode.entries;
+  let log = Ffs.Check.repair fs in
+  check_bool "double claims resolved" true (log.Ffs.Check.double_claims_resolved > 0);
+  check_int "b's leaked fragments reclaimed" 16 log.Ffs.Check.leaked_frags_reclaimed;
+  let first = min a b and second = max a b in
+  check_bool "first owner keeps its runs" true
+    (Array.length (Ffs.Fs.inode fs first).Ffs.Inode.entries > 0);
+  check_int "second owner loses the stolen runs" 0
+    (Array.length (Ffs.Fs.inode fs second).Ffs.Inode.entries);
+  check_bool "clean after repair" true (Ffs.Check.is_clean (Ffs.Check.run fs));
+  check_bool "repair is idempotent" true (Ffs.Check.repair_is_noop (Ffs.Check.repair fs))
+
+let test_repair_bad_run_cleared () =
+  let fs, a, _ = populated () in
+  let ia = Ffs.Fs.inode fs a in
+  ia.Ffs.Inode.entries <-
+    Array.append ia.Ffs.Inode.entries [| { Ffs.Inode.addr = -5; frags = 8 } |];
+  let log = Ffs.Check.repair fs in
+  check_int "one bad run cleared" 1 log.Ffs.Check.bad_runs_cleared;
+  check_int "nothing leaked" 0 log.Ffs.Check.leaked_frags_reclaimed;
+  check_bool "clean after repair" true (Ffs.Check.is_clean (Ffs.Check.run fs));
+  check_bool "log renders" true
+    (String.length (Fmt.str "%a" Ffs.Check.pp_repair log) > 0)
+
 let test_pp_smoke () =
   let fs, a, _ = populated () in
   let clean = Fmt.str "%a" Ffs.Check.pp (Ffs.Check.run fs) in
@@ -110,5 +140,10 @@ let () =
           tc "detects corrupted bitmap" test_detects_corrupted_bitmap;
           tc "detects bad run" test_detects_bad_run;
           tc "pp smoke" test_pp_smoke;
+        ] );
+      ( "repair",
+        [
+          tc "double claim: first owner wins" test_repair_double_claim_first_owner_wins;
+          tc "bad run cleared" test_repair_bad_run_cleared;
         ] );
     ]

@@ -99,6 +99,81 @@ let test_first_failure_wins () =
       | _ -> Alcotest.fail "expected Task_failed"
       | exception Task_failed i -> check_int "lowest index reported" 3 i)
 
+(* --- unit: retry, backoff and timeout -------------------------------------- *)
+
+let test_retry_recovers_from_transient_failures () =
+  Par.Pool.with_pool ~jobs:2 (fun p ->
+      let attempts = Array.init 4 (fun _ -> Atomic.make 0) in
+      let retry = { Par.Pool.no_retry with attempts = 3; backoff = 0.001 } in
+      let r =
+        Par.Pool.parallel_map ~retry p
+          (fun i ->
+            (* every task fails its first two attempts, then succeeds *)
+            let n = Atomic.fetch_and_add attempts.(i) 1 in
+            if n < 2 then raise (Task_failed i) else i * 10)
+          (Array.init 4 Fun.id)
+      in
+      Alcotest.(check (array int)) "all tasks recovered" [| 0; 10; 20; 30 |] r;
+      Array.iteri
+        (fun i a -> check_int (Fmt.str "task %d took 3 attempts" i) 3 (Atomic.get a))
+        attempts)
+
+let test_retry_exhaustion_surfaces_original_exception () =
+  Par.Pool.with_pool ~jobs:3 (fun p ->
+      let completed = Atomic.make 0 in
+      let retry = { Par.Pool.no_retry with attempts = 2; backoff = 0.001 } in
+      (match
+         Par.Pool.parallel_map ~retry p
+           (fun i ->
+             if i = 5 then raise (Task_failed i)
+             else begin
+               Atomic.incr completed;
+               i
+             end)
+           (Array.init 8 Fun.id)
+       with
+      | _ -> Alcotest.fail "expected Task_failed"
+      | exception Task_failed 5 -> ());
+      check_int "every other task still completed" 7 (Atomic.get completed);
+      Alcotest.(check (list int))
+        "pool survives exhaustion" [ 2; 3; 4 ]
+        (Par.Pool.parallel_list_map p succ [ 1; 2; 3 ]))
+
+let test_timeout_frees_the_worker () =
+  Par.Pool.with_pool ~jobs:2 (fun p ->
+      let retry = { Par.Pool.no_retry with timeout = Some 0.2 } in
+      let started = Unix.gettimeofday () in
+      (match
+         Par.Pool.parallel_map ~retry ~label:(fun i -> Fmt.str "sleeper %d" i) p
+           (fun i ->
+             if i = 1 then Unix.sleepf 5.0;
+             i)
+           [| 0; 1; 2 |]
+       with
+      | _ -> Alcotest.fail "expected Timed_out"
+      | exception Par.Pool.Timed_out { label; seconds } ->
+          Alcotest.(check string) "timed-out task named" "sleeper 1" label;
+          Alcotest.(check (float 0.0)) "budget echoed" 0.2 seconds);
+      let elapsed = Unix.gettimeofday () -. started in
+      check_bool "batch returned promptly, not after the sleep" true (elapsed < 3.0);
+      (* the worker that hit the timeout is free; only the abandoned
+         attempt's monitor domain is still sleeping *)
+      Alcotest.(check (list int))
+        "pool not wedged" [ 2; 3; 4 ]
+        (Par.Pool.parallel_list_map p succ [ 1; 2; 3 ]))
+
+let test_timeout_within_budget_succeeds () =
+  Par.Pool.with_pool ~jobs:2 (fun p ->
+      let retry = { Par.Pool.no_retry with timeout = Some 5.0 } in
+      let r =
+        Par.Pool.parallel_map ~retry p
+          (fun i ->
+            Unix.sleepf 0.01;
+            i + 1)
+          (Array.init 4 Fun.id)
+      in
+      Alcotest.(check (array int)) "results intact" [| 1; 2; 3; 4 |] r)
+
 (* --- properties ------------------------------------------------------------ *)
 
 let prop_map_matches_serial =
@@ -222,6 +297,14 @@ let () =
         [
           tc "propagates, pool survives" test_exception_propagates_pool_survives;
           tc "first failure wins" test_first_failure_wins;
+        ] );
+      ( "retry",
+        [
+          tc "recovers from transient failures" test_retry_recovers_from_transient_failures;
+          tc "exhaustion surfaces the original exception"
+            test_retry_exhaustion_surfaces_original_exception;
+          tc "timeout frees the worker" test_timeout_frees_the_worker;
+          tc "within budget succeeds" test_timeout_within_budget_succeeds;
         ] );
       ( "properties",
         [
