@@ -1,6 +1,6 @@
 # Convenience targets; `make verify` is the tier-1 gate.
 
-.PHONY: all build test verify fmt bench figures crash-matrix clean
+.PHONY: all build test verify fmt bench figures crash-matrix metrics-smoke clean
 
 all: build
 
@@ -10,12 +10,14 @@ build:
 test:
 	dune runtest
 
-# the full gate: everything compiles, every suite passes, and the
-# crash-consistency smoke matrix comes back fsck-clean
+# the full gate: everything compiles, every suite passes, the
+# crash-consistency smoke matrix comes back fsck-clean, and the
+# observability pipeline emits a parseable trace + metrics snapshot
 verify:
 	dune build
 	dune runtest
 	$(MAKE) crash-matrix
+	$(MAKE) metrics-smoke
 
 # crash-consistency smoke: a small ground-truth workload through
 # {0,1,3} injected crashes on both allocators (each crash is torn
@@ -32,6 +34,21 @@ crash-matrix:
 	done
 	@echo "== ffs_fsck inject/repair/re-audit =="
 	@dune exec bin/ffs_fsck.exe -- --fs small --days 10 --faults 12 -q
+
+# observability smoke: a short aging run with the tracer and metrics
+# sink on (the JSONL and snapshot must come out non-empty), plus the
+# obs unit suite's replay-smoke group, which checks the counters
+# against the allocator's own accounting
+metrics-smoke:
+	@echo "== ffs_age --trace --metrics-out =="
+	@dune exec bin/ffs_age.exe -- --fs small --days 10 -q \
+		--trace /tmp/ffs_smoke_trace.jsonl --metrics-out /tmp/ffs_smoke_metrics.json
+	@test -s /tmp/ffs_smoke_trace.jsonl || { echo "empty trace"; exit 1; }
+	@grep -q ffs_alloc_blocks_total /tmp/ffs_smoke_metrics.json \
+		|| { echo "metrics snapshot missing ffs_alloc_blocks_total"; exit 1; }
+	@rm -f /tmp/ffs_smoke_trace.jsonl /tmp/ffs_smoke_metrics.json
+	@echo "== obs replay smoke suite =="
+	@dune exec test/test_obs.exe -- test smoke -q
 
 # formatting check, gated on ocamlformat being installed (the build
 # container ships without it)

@@ -73,8 +73,8 @@ let micro_tests () =
       (Staged.stage (fun () ->
            incr counter;
            let name = "bench" ^ string_of_int !counter in
-           let inum = Ffs.Fs.create_file fs ~dir ~name ~size:(48 * 1024) in
-           Ffs.Fs.delete_inum fs inum))
+           let inum = Ffs.Fs.create_file_exn fs ~dir ~name ~size:(48 * 1024) in
+           Ffs.Fs.delete_inum_exn fs inum))
   in
   let aged_small =
     let profile = Workload.Ground_truth.scaled params ~days:5 in

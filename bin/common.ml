@@ -126,3 +126,61 @@ let fault_seed_term =
 let config_of ~realloc ~policy =
   if realloc then { Ffs.Fs.realloc = true; cluster_policy = policy }
   else Ffs.Fs.default_config
+
+(* --- observability --------------------------------------------------------- *)
+
+let trace_term =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"PATH"
+           ~doc:"Record allocator, replay, fault and fsck events as JSON Lines \
+                 (one span per line) to $(docv).")
+
+let metrics_out_term =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"PATH"
+           ~doc:"Write the end-of-run metrics snapshot and the per-cylinder-group \
+                 allocation heatmap as JSON to $(docv).")
+
+(* the unified output flag: every binary calls its primary output
+   [--out]; [extra_names] keeps each tool's historical spelling
+   ([--csv], [--csv-dir]) working as an alias *)
+let out_term ?(extra_names = []) ?(docv = "PATH") ~doc () =
+  Arg.(value & opt (some string) None & info (("out" :: extra_names) @ [ "o" ]) ~docv ~doc)
+
+(* Turn the global instruments on for this run. The registry and heatmap
+   power both the JSON snapshot and the text report, so either request
+   enables them; the tracer only runs when a sink was asked for. *)
+let obs_setup ~trace ~metrics_out =
+  if trace <> None || metrics_out <> None then begin
+    Obs.Metrics.set_enabled Obs.Metrics.default true;
+    Obs.Heatmap.set_enabled Obs.Heatmap.global true
+  end;
+  Option.iter (fun path -> Obs.Trace.enable ~jsonl:path ()) trace
+
+let obs_finish ~quiet ~trace ~metrics_out =
+  (match trace with
+  | None -> ()
+  | Some path ->
+      Obs.Trace.disable ();
+      if not quiet then Fmt.epr "trace written to %s (%d spans)@." path (Obs.Trace.recorded ()));
+  match metrics_out with
+  | None -> ()
+  | Some path ->
+      let snap = Obs.Metrics.snapshot Obs.Metrics.default in
+      let json =
+        Obs.Json.Obj
+          [
+            ("metrics", Obs.Metrics.to_json snap);
+            ("heatmap", Obs.Heatmap.to_json Obs.Heatmap.global);
+          ]
+      in
+      let oc = open_out path in
+      output_string oc (Obs.Json.to_string json);
+      output_char oc '\n';
+      close_out oc;
+      if not quiet then Fmt.epr "metrics written to %s@." path
+
+let print_heatmap ~quiet () =
+  if (not quiet) && Obs.Heatmap.enabled Obs.Heatmap.global
+     && Obs.Heatmap.total Obs.Heatmap.global > 0
+  then Fmt.pr "@.=== Allocation heat by cylinder group ===@.@.%s" (Obs.Heatmap.render Obs.Heatmap.global)

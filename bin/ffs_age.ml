@@ -15,8 +15,12 @@ let run_multi_seed ~days ~seed ~nseeds ~jobs ~quiet =
   Common.print_timings ~quiet timings
 
 let run days seed nseeds jobs realloc policy kind profile_kind quiet params crashes
-    fault_seed image_out csv_out workload_in workload_out =
-  if nseeds > 1 then run_multi_seed ~days ~seed ~nseeds ~jobs ~quiet
+    fault_seed trace metrics_out image_out csv_out workload_in workload_out =
+  Common.obs_setup ~trace ~metrics_out;
+  if nseeds > 1 then begin
+    run_multi_seed ~days ~seed ~nseeds ~jobs ~quiet;
+    Common.obs_finish ~quiet ~trace ~metrics_out
+  end
   else begin
   let config = Common.config_of ~realloc ~policy in
   let ops =
@@ -49,6 +53,13 @@ let run days seed nseeds jobs realloc policy kind profile_kind quiet params cras
   Fmt.pr "score history: %s@." (Util.Chart.sparkline scores);
   if result.Aging.Replay.skipped_ops > 0 then
     Fmt.pr "WARNING: %d operations skipped (out of space)@." result.Aging.Replay.skipped_ops;
+  (* end-state gauges so the snapshot carries the run's outcome, not
+     just its event counts *)
+  let m = Obs.Metrics.default in
+  Obs.Metrics.set m "ffs_utilization_ratio" (Ffs.Fs.utilization result.Aging.Replay.fs);
+  Obs.Metrics.set m "ffs_files_live" (float_of_int (Ffs.Fs.file_count result.Aging.Replay.fs));
+  Obs.Metrics.set m "replay_final_layout_score" scores.(Array.length scores - 1);
+  Common.print_heatmap ~quiet ();
   List.iter
     (fun r ->
       Fmt.pr
@@ -68,7 +79,7 @@ let run days seed nseeds jobs realloc policy kind profile_kind quiet params cras
         scores;
       Util.Csv.save csv ~path;
       Fmt.pr "daily scores written to %s@." path);
-  match image_out with
+  (match image_out with
   | None -> ()
   | Some path ->
       let description =
@@ -77,7 +88,8 @@ let run days seed nseeds jobs realloc policy kind profile_kind quiet params cras
           (match kind with Common.Ground_truth -> "ground-truth" | Common.Reconstructed -> "reconstructed")
       in
       Aging.Image.save ~path { Aging.Image.days; description; result };
-      Fmt.pr "aged image written to %s@." path
+      Fmt.pr "aged image written to %s@." path);
+  Common.obs_finish ~quiet ~trace ~metrics_out
   end
 
 let cmd =
@@ -86,8 +98,8 @@ let cmd =
          & info [ "image" ] ~docv:"PATH" ~doc:"Save the aged image for later benchmarking.")
   in
   let csv_out =
-    Arg.(value & opt (some string) None
-         & info [ "csv" ] ~docv:"PATH" ~doc:"Write the daily layout-score series as CSV.")
+    Common.out_term ~extra_names:[ "csv" ]
+      ~doc:"Write the daily layout-score series as CSV." ()
   in
   let workload_in =
     Arg.(value & opt (some string) None
@@ -110,8 +122,8 @@ let cmd =
       const run $ Common.days_term $ Common.seed_term $ seeds $ Common.jobs_term
       $ Common.realloc_term $ Common.policy_term $ Common.workload_kind_term
       $ Common.profile_kind_term $ Common.quiet_term $ Common.params_term
-      $ Common.crashes_term $ Common.fault_seed_term $ image_out $ csv_out $ workload_in
-      $ workload_out)
+      $ Common.crashes_term $ Common.fault_seed_term $ Common.trace_term
+      $ Common.metrics_out_term $ image_out $ csv_out $ workload_in $ workload_out)
   in
   Cmd.v
     (Cmd.info "ffs_age" ~doc:"Artificially age an FFS file system by replaying a ten-month workload")

@@ -27,7 +27,8 @@ let raw_cmd =
 
 (* --- seqio ----------------------------------------------------------------- *)
 
-let run_seqio image_path corpus_mb sizes_kb jobs quiet =
+let run_seqio image_path corpus_mb sizes_kb jobs trace metrics_out quiet =
+  Common.obs_setup ~trace ~metrics_out;
   let image = load_image image_path in
   let sizes =
     match sizes_kb with
@@ -59,7 +60,8 @@ let run_seqio image_path corpus_mb sizes_kb jobs quiet =
     (Util.Chart.table
        ~header:[ "size KB"; "files"; "write MB/s"; "read MB/s"; "layout" ]
        ~rows);
-  Common.print_timings ~quiet timings
+  Common.print_timings ~quiet timings;
+  Common.obs_finish ~quiet ~trace ~metrics_out
 
 let seqio_cmd =
   let corpus =
@@ -71,11 +73,12 @@ let seqio_cmd =
   Cmd.v
     (Cmd.info "seqio" ~doc:"Sequential create/write/read benchmark on an aged image (Figures 4 and 5)")
     Term.(const run_seqio $ Common.image_arg ~doc:"Aged image to benchmark." $ corpus $ sizes
-          $ Common.jobs_term $ Common.quiet_term)
+          $ Common.jobs_term $ Common.trace_term $ Common.metrics_out_term $ Common.quiet_term)
 
 (* --- hot files -------------------------------------------------------------- *)
 
-let run_hot image_path =
+let run_hot image_path trace metrics_out quiet =
+  Common.obs_setup ~trace ~metrics_out;
   let image = load_image image_path in
   let r =
     Benchlib.Hotfiles.run ~aged:image.Aging.Image.result ~drive:(fresh_drive ())
@@ -87,12 +90,14 @@ let run_hot image_path =
     (100.0 *. r.Benchlib.Hotfiles.fraction_of_space);
   Fmt.pr "layout score:     %.2f@." r.Benchlib.Hotfiles.layout_score;
   Fmt.pr "read throughput:  %.2f MB/s@." (mb r.Benchlib.Hotfiles.read_throughput);
-  Fmt.pr "write throughput: %.2f MB/s@." (mb r.Benchlib.Hotfiles.write_throughput)
+  Fmt.pr "write throughput: %.2f MB/s@." (mb r.Benchlib.Hotfiles.write_throughput);
+  Common.obs_finish ~quiet ~trace ~metrics_out
 
 let hot_cmd =
   Cmd.v
     (Cmd.info "hot" ~doc:"Hot-file (recently modified) benchmark on an aged image (Table 2)")
-    Term.(const run_hot $ Common.image_arg ~doc:"Aged image to benchmark.")
+    Term.(const run_hot $ Common.image_arg ~doc:"Aged image to benchmark."
+          $ Common.trace_term $ Common.metrics_out_term $ Common.quiet_term)
 
 let () =
   let info = Cmd.info "ffs_bench" ~doc:"FFS disk-allocation benchmarks on aged images" in

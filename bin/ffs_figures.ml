@@ -26,8 +26,8 @@ let run days seed jobs quiet csv_dir only =
 
 let cmd =
   let csv_dir =
-    Arg.(value & opt (some string) None
-         & info [ "csv-dir" ] ~docv:"DIR" ~doc:"Write each figure's data as CSV into $(docv).")
+    Common.out_term ~extra_names:[ "csv-dir" ] ~docv:"DIR"
+      ~doc:"Write each figure's data as CSV into $(docv)." ()
   in
   let only =
     Arg.(value & opt_all string []

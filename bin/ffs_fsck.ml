@@ -12,7 +12,9 @@ let age_fresh ~params ~days ~seed ~config ~quiet =
   let result = Common.replay_with_progress ~params ~days ~config ~quiet ops in
   result.Aging.Replay.fs
 
-let run image params days seed realloc policy faults fault_seed no_repair quiet =
+let run image params days seed realloc policy faults fault_seed no_repair trace
+    metrics_out quiet =
+  Common.obs_setup ~trace ~metrics_out;
   let config = Common.config_of ~realloc ~policy in
   let fs =
     match image with
@@ -33,20 +35,24 @@ let run image params days seed realloc policy faults fault_seed no_repair quiet 
   List.iter (fun e -> Fmt.pr "  - %a@." Fault.Inject.pp_event e) events;
   let dirty = Ffs.Check.run fs in
   Fmt.pr "post-fault audit:@.%a@." Ffs.Check.pp dirty;
-  if no_repair then if Ffs.Check.is_clean dirty then 0 else 1
-  else begin
-    let log = Ffs.Check.repair fs in
-    Fmt.pr "repair:@.%a@." Ffs.Check.pp_repair log;
-    let after = Ffs.Check.run fs in
-    if Ffs.Check.is_clean after then begin
-      Fmt.pr "image is clean@.";
-      0
-    end
+  let status =
+    if no_repair then if Ffs.Check.is_clean dirty then 0 else 1
     else begin
-      Fmt.pr "REPAIR FAILED:@.%a@." Ffs.Check.pp after;
-      1
+      let log = Ffs.Check.repair_exn fs in
+      Fmt.pr "repair:@.%a@." Ffs.Check.pp_repair log;
+      let after = Ffs.Check.run fs in
+      if Ffs.Check.is_clean after then begin
+        Fmt.pr "image is clean@.";
+        0
+      end
+      else begin
+        Fmt.pr "REPAIR FAILED:@.%a@." Ffs.Check.pp after;
+        1
+      end
     end
-  end
+  in
+  Common.obs_finish ~quiet ~trace ~metrics_out;
+  status
 
 let cmd =
   let image =
@@ -70,7 +76,7 @@ let cmd =
     Term.(
       const run $ image $ Common.params_term $ Common.days_term $ Common.seed_term
       $ Common.realloc_term $ Common.policy_term $ faults $ Common.fault_seed_term
-      $ no_repair $ Common.quiet_term)
+      $ no_repair $ Common.trace_term $ Common.metrics_out_term $ Common.quiet_term)
   in
   Cmd.v
     (Cmd.info "ffs_fsck"

@@ -4,7 +4,34 @@
 
 open Cmdliner
 
-let run image_path =
+(* Rebuild a metrics registry from the marshalled image: aged images
+   predate (or were saved without) live instrumentation, so the snapshot
+   is reconstructed from the allocator's own [Fs.stats] counters plus
+   the current free-space state. *)
+let metrics_of_image fs =
+  let m = Obs.Metrics.create () in
+  let stats = Ffs.Fs.stats fs in
+  Obs.Metrics.add m "ffs_alloc_blocks_total" stats.Ffs.Fs.blocks_allocated;
+  Obs.Metrics.add m "ffs_alloc_frags_total" stats.Ffs.Fs.frags_allocated;
+  Obs.Metrics.add m "ffs_alloc_contiguous_total" stats.Ffs.Fs.contiguous_allocations;
+  Obs.Metrics.add m "ffs_alloc_cg_fallbacks_total" stats.Ffs.Fs.cg_fallbacks;
+  Obs.Metrics.add m "ffs_realloc_attempts_total" stats.Ffs.Fs.realloc_attempts;
+  Obs.Metrics.add m "ffs_realloc_moves_total" stats.Ffs.Fs.realloc_moves;
+  Obs.Metrics.add m "ffs_realloc_failures_total" stats.Ffs.Fs.realloc_failures;
+  Obs.Metrics.add m "ffs_indirect_switches_total" stats.Ffs.Fs.indirect_switches;
+  Obs.Metrics.set m "ffs_utilization_ratio" (Ffs.Fs.utilization fs);
+  Obs.Metrics.set m "ffs_files_live" (float_of_int (Ffs.Fs.file_count fs));
+  Obs.Metrics.set m "ffs_layout_score" (Aging.Layout_score.aggregate fs);
+  Array.iter
+    (fun cg ->
+      Obs.Metrics.set m
+        ~labels:[ ("cg", string_of_int (Ffs.Cg.index cg)) ]
+        "ffs_cg_free_blocks"
+        (float_of_int (Ffs.Cg.free_block_count cg)))
+    (Ffs.Fs.cg_states fs);
+  m
+
+let run image_path metrics metrics_out =
   let image = Aging.Image.load ~path:image_path in
   let result = image.Aging.Image.result in
   let fs = result.Aging.Replay.fs in
@@ -56,14 +83,34 @@ let run image_path =
   Fmt.pr "@.%s" (Aging.Blockmap.render fs);
   (* the Smith94 observation: how much free space sits in large clusters *)
   Fmt.pr "@.%a@." Aging.Freespace.pp (Aging.Freespace.analyze fs);
+  (* metrics view of the same image, for scripting and diffing *)
+  if metrics || metrics_out <> None then begin
+    let snap = Obs.Metrics.snapshot (metrics_of_image fs) in
+    if metrics then Fmt.pr "@.=== Metrics ===@.@.%s" (Obs.Metrics.to_text snap);
+    match metrics_out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Obs.Json.to_string (Obs.Metrics.to_json snap));
+        output_char oc '\n';
+        close_out oc;
+        Fmt.pr "metrics written to %s@." path
+  end;
   (* fsck-style audit *)
   let audit = Ffs.Check.run fs in
   Fmt.pr "@.consistency: %a@." Ffs.Check.pp audit;
   if not (Ffs.Check.is_clean audit) then exit 1
 
 let cmd =
+  let metrics =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Also print the image's allocator counters and layout gauges \
+                   as a metrics report (reconstructed from the saved statistics).")
+  in
   Cmd.v
     (Cmd.info "ffs_inspect" ~doc:"Fragmentation and free-space report of an aged image")
-    Term.(const run $ Common.image_arg ~doc:"Aged image to inspect.")
+    Term.(const run $ Common.image_arg ~doc:"Aged image to inspect." $ metrics
+          $ Common.metrics_out_term)
 
 let () = exit (Cmd.eval cmd)

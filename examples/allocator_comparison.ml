@@ -15,23 +15,23 @@ let block_of params addr = (addr - Ffs.Params.data_base params 1) / params.Ffs.P
 let demo ~name ~config =
   let params = Ffs.Params.small_test_fs in
   let fs = Ffs.Fs.create ~config params in
-  let dir = Ffs.Fs.mkdir_in_cg fs ~parent:(Ffs.Fs.root fs) ~name:"d" ~cg:1 in
+  let dir = Ffs.Fs.mkdir_in_cg_exn fs ~parent:(Ffs.Fs.root fs) ~name:"d" ~cg:1 in
   (* 40 single-block files, then delete every other one: a sieve of
      one-block holes at the front of the group, with a large free
      cluster beyond it *)
   let victims = ref [] in
   for i = 0 to 39 do
     let inum =
-      Ffs.Fs.create_file fs ~dir ~name:(Fmt.str "s%02d" i)
+      Ffs.Fs.create_file_exn fs ~dir ~name:(Fmt.str "s%02d" i)
         ~size:params.Ffs.Params.block_bytes
     in
     if i mod 2 = 0 then victims := inum :: !victims
   done;
-  List.iter (Ffs.Fs.delete_inum fs) !victims;
+  List.iter (Ffs.Fs.delete_inum_exn fs) !victims;
   Fmt.pr "%s:@." name;
   Fmt.pr "  free space: 20 isolated one-block holes, then a large free cluster@.";
   let inum =
-    Ffs.Fs.create_file fs ~dir ~name:"big" ~size:(6 * params.Ffs.Params.block_bytes)
+    Ffs.Fs.create_file_exn fs ~dir ~name:"big" ~size:(6 * params.Ffs.Params.block_bytes)
   in
   let ino = Ffs.Fs.inode fs inum in
   let blocks =

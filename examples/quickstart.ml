@@ -11,10 +11,10 @@ let () =
   Fmt.pr "created a file system:@.%a@.@." Ffs.Params.pp params;
 
   (* a directory, placed by dirpref, and a few files inside it *)
-  let dir = Ffs.Fs.mkdir fs ~parent:(Ffs.Fs.root fs) ~name:"project" in
-  let report = Ffs.Fs.create_file fs ~dir ~name:"report.tex" ~size:(48 * 1024) in
-  let data = Ffs.Fs.create_file fs ~dir ~name:"results.dat" ~size:(300 * 1024) in
-  let note = Ffs.Fs.create_file fs ~dir ~name:"note.txt" ~size:900 in
+  let dir = Ffs.Fs.mkdir_exn fs ~parent:(Ffs.Fs.root fs) ~name:"project" in
+  let report = Ffs.Fs.create_file_exn fs ~dir ~name:"report.tex" ~size:(48 * 1024) in
+  let data = Ffs.Fs.create_file_exn fs ~dir ~name:"results.dat" ~size:(300 * 1024) in
+  let note = Ffs.Fs.create_file_exn fs ~dir ~name:"note.txt" ~size:900 in
   Fmt.pr "created %d files in directory inode %d (cylinder group %d)@."
     (Ffs.Fs.file_count fs) dir (Ffs.Fs.cg_of_inum fs dir);
 
@@ -43,7 +43,13 @@ let () =
     (Util.Units.mb_per_sec ~bytes:(300 * 1024) ~seconds:elapsed);
 
   (* deleting and rewriting files churns the free space *)
-  Ffs.Fs.delete_file fs ~dir ~name:"report.tex";
-  Ffs.Fs.rewrite_file fs ~inum:data ~size:(200 * 1024);
+  (* the result API reports failures as values; a quickstart can just
+     assert success *)
+  (match Ffs.Fs.delete_file fs ~dir ~name:"report.tex" with
+  | Ok () -> ()
+  | Error e -> Fmt.failwith "delete failed: %s" (Ffs.Error.to_string e));
+  (match Ffs.Fs.rewrite_file fs ~inum:data ~size:(200 * 1024) with
+  | Ok () -> ()
+  | Error e -> Fmt.failwith "rewrite failed: %s" (Ffs.Error.to_string e));
   Fmt.pr "@.after a delete and a rewrite: aggregate layout score %.3f@."
     (Aging.Layout_score.aggregate fs)

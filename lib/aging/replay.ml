@@ -47,7 +47,7 @@ let make_engine ~config ~progress ~on_skip ~max_skip_fraction ~params ~days ~tot
   (* one directory per cylinder group, pinned *)
   let group_dirs =
     Array.init ncg (fun cg ->
-        Ffs.Fs.mkdir_in_cg fs ~parent:(Ffs.Fs.root fs) ~name:(Fmt.str "cg%03d" cg) ~cg)
+        Ffs.Fs.mkdir_in_cg_exn fs ~parent:(Ffs.Fs.root fs) ~name:(Fmt.str "cg%03d" cg) ~cg)
   in
   {
     fs;
@@ -66,21 +66,50 @@ let make_engine ~config ~progress ~on_skip ~max_skip_fraction ~params ~days ~tot
 
 let day_end d = float_of_int (d + 1) *. Workload.Op.seconds_per_day
 
+let metrics = Obs.Metrics.default
+
 let finish_day e =
   let d = e.next_day in
   e.daily_scores.(d) <- Layout_score.aggregate e.fs;
   e.daily_utilization.(d) <- Ffs.Fs.utilization e.fs;
+  Obs.Metrics.inc metrics "replay_days_total";
+  if Obs.Trace.enabled () then
+    Obs.Trace.event "replay.day"
+      [
+        Obs.Trace.i "day" d;
+        Obs.Trace.f "score" e.daily_scores.(d);
+        Obs.Trace.f "utilization" e.daily_utilization.(d);
+      ];
   e.progress ~day:d ~score:e.daily_scores.(d);
   e.next_day <- e.next_day + 1
 
 let skip e op =
   e.skipped <- e.skipped + 1;
+  Obs.Metrics.inc metrics "replay_skips_total";
   e.on_skip op ~skipped:e.skipped;
   if float_of_int e.skipped > e.max_skip_fraction *. float_of_int e.total_ops then
     raise (Too_many_skips { skipped = e.skipped; total = e.total_ops; limit = e.max_skip_fraction })
 
+let op_kind = function
+  | Workload.Op.Create _ -> "create"
+  | Workload.Op.Delete _ -> "delete"
+  | Workload.Op.Modify _ -> "modify"
+
+(* out of space is an expected outcome at high utilization (the op is
+   skipped, as the paper's aging tool does); every other error means the
+   replay itself is broken, so it escapes *)
+let skip_if_full e op = function
+  | Ok _ -> ()
+  | Error Ffs.Error.Out_of_space ->
+      Log.warn (fun m ->
+          m "out of space replaying %s inode %d; op skipped" (op_kind op)
+            (Workload.Op.ino_of op));
+      skip e op
+  | Error err -> Ffs.Error.raise_ err
+
 let apply e op =
   Ffs.Fs.set_time e.fs (Workload.Op.time_of op);
+  Obs.Metrics.inc metrics ~labels:[ ("kind", op_kind op) ] "replay_ops_total";
   match op with
   | Workload.Op.Create { ino; size; _ } -> (
       match Hashtbl.find_opt e.ino_map ino with
@@ -91,33 +120,25 @@ let apply e op =
           let ipg = Ffs.Params.inodes_per_group (Ffs.Fs.params e.fs) in
           let cg = ino / ipg mod Array.length e.group_dirs in
           let dir = e.group_dirs.(cg) in
-          let inum = Ffs.Fs.create_file e.fs ~dir ~name:(Fmt.str "f%d" ino) ~size in
-          Hashtbl.replace e.ino_map ino inum)
+          Ffs.Fs.create_file e.fs ~dir ~name:(Fmt.str "f%d" ino) ~size
+          |> Result.map (fun inum -> Hashtbl.replace e.ino_map ino inum)
+          |> skip_if_full e op)
   | Workload.Op.Delete { ino; _ } -> (
       match Hashtbl.find_opt e.ino_map ino with
       | None -> skip e op
       | Some inum ->
-          Ffs.Fs.delete_inum e.fs inum;
+          Ffs.Fs.delete_inum_exn e.fs inum;
           Hashtbl.remove e.ino_map ino)
   | Workload.Op.Modify { ino; size; _ } -> (
       match Hashtbl.find_opt e.ino_map ino with
       | None -> skip e op
-      | Some inum -> Ffs.Fs.rewrite_file e.fs ~inum ~size)
+      | Some inum -> skip_if_full e op (Ffs.Fs.rewrite_file e.fs ~inum ~size))
 
 let step e op =
   while e.next_day < e.days && Workload.Op.time_of op >= day_end e.next_day do
     finish_day e
   done;
-  try apply e op
-  with Ffs.Fs.Out_of_space ->
-    Log.warn (fun m ->
-        m "out of space replaying %s inode %d; op skipped"
-          (match op with
-          | Workload.Op.Create _ -> "create"
-          | Workload.Op.Delete _ -> "delete"
-          | Workload.Op.Modify _ -> "modify")
-          (Workload.Op.ino_of op));
-    skip e op
+  apply e op
 
 let finish e =
   while e.next_day < e.days do
@@ -138,6 +159,9 @@ let default_max_skip_fraction = 0.9
 let run ?(config = Ffs.Fs.default_config) ?(progress = fun ~day:_ ~score:_ -> ())
     ?(on_skip = fun _ ~skipped:_ -> ()) ?(max_skip_fraction = default_max_skip_fraction)
     ~params ~days ops =
+  Obs.Trace.span "replay.run"
+    [ Obs.Trace.i "days" days; Obs.Trace.i "ops" (Array.length ops) ]
+  @@ fun () ->
   let e =
     make_engine ~config ~progress ~on_skip ~max_skip_fraction ~params ~days
       ~total_ops:(Array.length ops)
@@ -165,7 +189,8 @@ let crash e ~after_op ~rng ~intensity =
   let spec = Fault.Plan.gen ~rng ~intensity in
   let events = Fault.Inject.apply e.fs ~rng spec in
   let before = Ffs.Check.run e.fs in
-  let repair = Ffs.Check.repair e.fs in
+  let repair = Ffs.Check.repair_exn e.fs in
+  Obs.Metrics.inc metrics "replay_crashes_total";
   (* a forgotten inode is unrecoverable: drop its workload mapping so
      later operations on it are skipped rather than misdirected *)
   let lost =
@@ -177,6 +202,14 @@ let crash e ~after_op ~rng ~intensity =
       e.ino_map []
   in
   List.iter (fun ino -> Hashtbl.remove e.ino_map ino) lost;
+  if Obs.Trace.enabled () then
+    Obs.Trace.event "replay.crash"
+      [
+        Obs.Trace.i "after_op" after_op;
+        Obs.Trace.i "faults" (List.length events);
+        Obs.Trace.i "problems" (List.length before.Ffs.Check.problems);
+        Obs.Trace.i "files_lost" (List.length lost);
+      ];
   {
     after_op;
     day = min (e.days - 1) e.next_day;

@@ -46,7 +46,7 @@ let maxcontig_sweep ?(days = default_days) ?(seed = default_seed) () =
   let rows =
     List.map
       (fun maxcontig ->
-        let params = Ffs.Params.v ~maxcontig ~size_bytes:(502 * 1024 * 1024) () in
+        let params = Ffs.Params.v_exn ~maxcontig ~size_bytes:(502 * 1024 * 1024) () in
         let ops = home_workload params ~days ~seed in
         let r = replay ~params ~days ~config:Ffs.Fs.realloc_config ops in
         let s = Ffs.Fs.stats r.Aging.Replay.fs in
@@ -109,7 +109,7 @@ let cylinder_size ?(days = default_days) ?(seed = default_seed) () =
     List.map
       (fun cyl ->
         let params =
-          Ffs.Params.v ~fs_cylinder_blocks:cyl ~size_bytes:(502 * 1024 * 1024) ()
+          Ffs.Params.v_exn ~fs_cylinder_blocks:cyl ~size_bytes:(502 * 1024 * 1024) ()
         in
         let ops = home_workload params ~days ~seed in
         let r = replay ~params ~days ~config:Ffs.Fs.default_config ops in
@@ -173,7 +173,7 @@ let rotdelay ?days:_ ?seed:_ () =
   let rows =
     List.map
       (fun rd ->
-        let params = Ffs.Params.v ~rotdelay_blocks:rd ~size_bytes:(502 * 1024 * 1024) () in
+        let params = Ffs.Params.v_exn ~rotdelay_blocks:rd ~size_bytes:(502 * 1024 * 1024) () in
         (* rotdelay's effect needs no aging: it spaces even a fresh
            file's blocks *)
         let fs = Ffs.Fs.create params in

@@ -41,7 +41,7 @@ let run_size ~aged ~drive ?(corpus_bytes = 32 * 1024 * 1024) ?metadata ~file_byt
   let ndirs = (nfiles + files_per_dir - 1) / files_per_dir in
   let dirs =
     Array.init ndirs (fun i ->
-        Ffs.Fs.mkdir fs ~parent:(Ffs.Fs.root fs) ~name:(Fmt.str "seqio.%d.%d" file_bytes i))
+        Ffs.Fs.mkdir_exn fs ~parent:(Ffs.Fs.root fs) ~name:(Fmt.str "seqio.%d.%d" file_bytes i))
   in
   let created = Array.make nfiles 0 in
   let write_elapsed =

@@ -88,7 +88,7 @@ let forget_inode fs ~rng =
   match pick rng (file_inums fs) with
   | None -> None
   | Some inum ->
-      Fs.forget_inode fs inum;
+      Fs.forget_inode_exn fs inum;
       Some (Forgot_inode { inum })
 
 let orphan_file fs ~rng =
@@ -108,7 +108,7 @@ let orphan_file fs ~rng =
   match pick rng candidates with
   | None -> None
   | Some (inum, dir, name) ->
-      Fs.detach_entry fs ~dir ~name;
+      Fs.detach_entry_exn fs ~dir ~name;
       Some (Orphaned { inum; dir; name })
 
 let dangling_entry fs ~rng =
@@ -133,7 +133,7 @@ let dangling_entry fs ~rng =
             if Fs.lookup fs ~dir ~name = None then name else fresh (k + 1)
           in
           let name = fresh 0 in
-          Fs.attach_entry fs ~dir ~name ~inum;
+          Fs.attach_entry_exn fs ~dir ~name ~inum;
           Some (Dangled { dir; name; inum }))
 
 let clear_bitmap_bit fs ~rng =
@@ -202,24 +202,28 @@ let zero_counters fs ~rng =
 
 let apply fs ~rng spec =
   let events = ref [] in
-  let inject n injector =
+  let inject n cls injector =
     for _ = 1 to n do
       match injector fs ~rng with
-      | Some e -> events := e :: !events
+      | Some e ->
+          Obs.Metrics.inc Obs.Metrics.default ~labels:[ ("class", cls) ] "fault_injected_total";
+          if Obs.Trace.enabled () then
+            Obs.Trace.event "fault.inject" [ Obs.Trace.s "class" cls ];
+          events := e :: !events
       | None -> ()
     done
   in
   (* structure-level faults (which may still allocate) strictly before
      bitmap and counter corruption; see the interface for the rationale *)
-  inject spec.Plan.duplicate_claims duplicate_claim;
-  inject spec.Plan.drop_claims drop_claim;
-  inject spec.Plan.forget_inodes forget_inode;
-  inject spec.Plan.orphan_files orphan_file;
-  inject spec.Plan.dangling_entries dangling_entry;
-  inject spec.Plan.clear_bitmap_bits clear_bitmap_bit;
-  inject spec.Plan.set_bitmap_bits set_bitmap_bit;
-  inject spec.Plan.bad_runs bad_run;
-  inject spec.Plan.zero_counter_groups zero_counters;
+  inject spec.Plan.duplicate_claims "duplicate_claim" duplicate_claim;
+  inject spec.Plan.drop_claims "drop_claim" drop_claim;
+  inject spec.Plan.forget_inodes "forget_inode" forget_inode;
+  inject spec.Plan.orphan_files "orphan_file" orphan_file;
+  inject spec.Plan.dangling_entries "dangling_entry" dangling_entry;
+  inject spec.Plan.clear_bitmap_bits "clear_bitmap_bit" clear_bitmap_bit;
+  inject spec.Plan.set_bitmap_bits "set_bitmap_bit" set_bitmap_bit;
+  inject spec.Plan.bad_runs "bad_run" bad_run;
+  inject spec.Plan.zero_counter_groups "zero_counters" zero_counters;
   List.rev !events
 
 let pp_event ppf = function

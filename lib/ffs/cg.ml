@@ -39,6 +39,9 @@ let copy t =
     inode_used = Bitmap.copy t.inode_used;
   }
 
+(* no-op until a harness enables the registry *)
+let metrics = Obs.Metrics.default
+
 let index t = t.cg_index
 let data_frags t = Bitmap.length t.frag_used
 let data_blocks t = Bitmap.length t.block_used
@@ -107,8 +110,11 @@ let alloc_block t ~pref =
   else begin
     let chosen =
       match pref with
-      | Some b when block_is_free t (b mod data_blocks t) -> Some (b mod data_blocks t)
+      | Some b when block_is_free t (b mod data_blocks t) ->
+          Obs.Metrics.inc metrics "ffs_alloc_pref_hit_total";
+          Some (b mod data_blocks t)
       | Some b -> (
+          Obs.Metrics.inc metrics "ffs_alloc_pref_miss_total";
           let b = b mod data_blocks t in
           match nearest_in_cylinder t ~pref:b with
           | Some _ as r -> r
@@ -210,6 +216,10 @@ let alloc_cluster t ~policy ~pref ~len =
     | None -> None
     | Some b ->
         claim_frags t ~pos:(b * fpb t) ~count:(len * fpb t);
+        Obs.Metrics.inc metrics
+          ~labels:
+            [ ("policy", match policy with `First_fit -> "first_fit" | `Best_fit -> "best_fit") ]
+          "ffs_alloc_clusters_total";
         Some b
   end
 

@@ -120,7 +120,7 @@ let repair_is_noop log =
   && log.groups_rebuilt = 0 && log.dangling_cleared = 0
   && log.orphans_reattached = 0
 
-let repair fs =
+let repair_body fs =
   let params = Fs.params fs in
   let fpb = params.Params.frags_per_block in
   let total_frags = Params.total_frags params in
@@ -209,7 +209,7 @@ let repair fs =
           match Fs.inode fs inum with
           | _ -> ()
           | exception Not_found ->
-              Fs.detach_entry fs ~dir ~name;
+              Fs.detach_entry_exn fs ~dir ~name;
               incr dangling)
         (Fs.dir_entries fs dir))
     dirs;
@@ -242,13 +242,13 @@ let repair fs =
       match Fs.lookup fs ~dir:root ~name:"lost+found" with
       | Some inum when is_dir inum -> inum
       | Some _ (* a file squats on the name; park the orphans elsewhere *) ->
-          Fs.mkdir fs ~parent:root ~name:(fresh_name root "lost+found" 1)
-      | None -> Fs.mkdir fs ~parent:root ~name:"lost+found"
+          Fs.mkdir_exn fs ~parent:root ~name:(fresh_name root "lost+found" 1)
+      | None -> Fs.mkdir_exn fs ~parent:root ~name:"lost+found"
     in
     lost_found := Some lf;
     List.iter
       (fun inum ->
-        Fs.attach_entry fs ~dir:lf ~name:(fresh_name lf (Fmt.str "#%d" inum) 0) ~inum)
+        Fs.attach_entry_exn fs ~dir:lf ~name:(fresh_name lf (Fmt.str "#%d" inum) 0) ~inum)
       orphans
   end;
   {
@@ -261,6 +261,25 @@ let repair fs =
     orphans_reattached = List.length orphans;
     lost_found = !lost_found;
   }
+
+let repair_exn fs =
+  Obs.Trace.span "fsck.repair" [] @@ fun () ->
+  let log = repair_body fs in
+  let m = Obs.Metrics.default in
+  Obs.Metrics.inc m "fsck_repairs_total";
+  let action name n =
+    if n > 0 then Obs.Metrics.add m ~labels:[ ("action", name) ] "fsck_repair_actions_total" n
+  in
+  action "bad_runs_cleared" log.bad_runs_cleared;
+  action "double_claims_resolved" log.double_claims_resolved;
+  action "leaked_frags_reclaimed" log.leaked_frags_reclaimed;
+  action "missing_frags_remarked" log.missing_frags_remarked;
+  action "groups_rebuilt" log.groups_rebuilt;
+  action "dangling_cleared" log.dangling_cleared;
+  action "orphans_reattached" log.orphans_reattached;
+  log
+
+let repair fs = Error.guard (fun () -> repair_exn fs)
 
 let pp_problem ppf = function
   | Double_claim { fragment; first_owner; second_owner } ->

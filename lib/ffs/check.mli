@@ -62,7 +62,7 @@ type repair_log = {
       (** the directory the orphans went to, when there were any *)
 }
 
-val repair : Fs.t -> repair_log
+val repair : Fs.t -> (repair_log, Error.t) result
 (** Repair in place, in four deterministic passes: (1) prune invalid and
     double-claimed runs from the inode table, arbitrating in ascending
     inode order (direct runs before indirect blocks); (2) rebuild every
@@ -73,9 +73,16 @@ val repair : Fs.t -> repair_log
 
     Postconditions: {!run} reports a clean image, and repair is
     idempotent — a second call returns a log for which
-    {!repair_is_noop} holds. May raise [Fs.Out_of_space] in the
-    pathological case where the orphan reattachment cannot allocate
-    [lost+found] on a completely full disk. *)
+    {!repair_is_noop} holds. [Error Out_of_space] in the pathological
+    case where the orphan reattachment cannot allocate [lost+found] on
+    a completely full disk.
+
+    Each run is recorded as an [fsck.repair] trace span, and the
+    non-zero log fields are accumulated into the
+    [fsck_repair_actions_total{action}] counter. *)
+
+val repair_exn : Fs.t -> repair_log
+(** Like {!repair} but raises {!Error.Error}. *)
 
 val repair_is_noop : repair_log -> bool
 (** Did the repair find nothing to fix? ([lost_found] is ignored: an

@@ -1,0 +1,36 @@
+(** The one error type of the FFS simulator's public API.
+
+    Every anticipated failure of an [Fs], [Check] or [Params] entry
+    point is a constructor here; the result-returning functions produce
+    [(_, Error.t) result] and their [_exn] twins raise {!Error}
+    carrying the same value. Programming errors (out-of-range local
+    addresses, violated internal invariants) remain assertions. *)
+
+type t =
+  | Out_of_space
+      (** no allocation possible anywhere — the file system is genuinely
+          full *)
+  | Not_a_directory of { inum : int }
+  | Is_a_directory of { inum : int; op : string }
+  | Directory_not_empty of { inum : int }
+  | Cannot_remove_root
+  | Name_exists of { dir : int; name : string }
+  | No_such_name of { dir : int; name : string }
+  | No_such_inode of { inum : int }
+  | Invalid_cg of { cg : int; ncg : int }
+  | Invalid_params of string  (** rejected by [Params.v]'s validation *)
+  | Corrupt of string
+      (** an internal cross-check found inconsistent on-image state *)
+
+exception Error of t
+(** Raised by the [_exn] entry points. Registered with
+    [Printexc.register_printer]. *)
+
+val raise_ : t -> 'a
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val guard : (unit -> 'a) -> ('a, t) result
+(** Run a closure, catching {!Error} into [Error _]. Other exceptions
+    propagate. *)

@@ -12,7 +12,10 @@ type stats = {
   mutable indirect_switches : int;
 }
 
-exception Out_of_space
+(* observability: the global registry, heatmap and tracer are no-ops
+   until a harness enables them (one atomic load per call site) *)
+let metrics = Obs.Metrics.default
+let heat = Obs.Heatmap.global
 
 type dir_state = {
   dir_inum : int;
@@ -72,7 +75,9 @@ let alloc_inode_near t ~cg =
   let ncg = t.params.Params.ncg in
   let try_cg c =
     match Cg.alloc_inode t.cgs.(c) with
-    | Some local -> Some ((c * ipg t) + local)
+    | Some local ->
+        Obs.Metrics.inc metrics "ffs_alloc_inodes_total";
+        Some ((c * ipg t) + local)
     | None -> None
   in
   let rec quadratic c i =
@@ -119,7 +124,11 @@ let hashalloc t ~cg ~f =
       let result =
         match quadratic cg 1 with Some _ as r -> r | None -> brute (cg + 2) 2
       in
-      (match result with Some _ -> t.stats.cg_fallbacks <- t.stats.cg_fallbacks + 1 | None -> ());
+      (match result with
+      | Some _ ->
+          t.stats.cg_fallbacks <- t.stats.cg_fallbacks + 1;
+          Obs.Metrics.inc metrics "ffs_alloc_cg_fallbacks_total"
+      | None -> ());
       result
 
 (* Preference for the block following global address [prev]: the next
@@ -144,13 +153,28 @@ let alloc_block t ~pref_cg ~pref_block ~prev =
     |> Option.map (fun b -> global_of_local t ~cg:c ~frag:(b * fpb t))
   in
   match hashalloc t ~cg:pref_cg ~f:alloc with
-  | None -> raise Out_of_space
+  | None -> Error.raise_ Error.Out_of_space
   | Some addr ->
       t.stats.blocks_allocated <- t.stats.blocks_allocated + 1;
-      (match prev with
-      | Some p when addr = p + fpb t ->
-          t.stats.contiguous_allocations <- t.stats.contiguous_allocations + 1
-      | Some _ | None -> ());
+      let contig =
+        match prev with Some p -> addr = p + fpb t | None -> false
+      in
+      if contig then
+        t.stats.contiguous_allocations <- t.stats.contiguous_allocations + 1;
+      let cg = cg_of_global t addr in
+      Obs.Metrics.inc metrics "ffs_alloc_blocks_total";
+      if contig then Obs.Metrics.inc metrics "ffs_alloc_contiguous_total";
+      Obs.Heatmap.record heat ~cg Obs.Heatmap.Block;
+      if cg <> pref_cg then Obs.Heatmap.record heat ~cg Obs.Heatmap.Fallback;
+      if Obs.Trace.enabled () then
+        Obs.Trace.event "alloc.block"
+          [
+            Obs.Trace.i "addr" addr;
+            Obs.Trace.i "cg" cg;
+            Obs.Trace.i "pref_cg" pref_cg;
+            Obs.Trace.b "fallback" (cg <> pref_cg);
+            Obs.Trace.b "contig" contig;
+          ];
       addr
 
 let alloc_frags t ~pref_cg ~pref_frag ~count =
@@ -160,13 +184,28 @@ let alloc_frags t ~pref_cg ~pref_frag ~count =
     |> Option.map (fun f -> global_of_local t ~cg:c ~frag:f)
   in
   match hashalloc t ~cg:pref_cg ~f:alloc with
-  | None -> raise Out_of_space
+  | None -> Error.raise_ Error.Out_of_space
   | Some addr ->
       t.stats.frags_allocated <- t.stats.frags_allocated + count;
+      let cg = cg_of_global t addr in
+      Obs.Metrics.inc metrics "ffs_alloc_frag_runs_total";
+      Obs.Metrics.add metrics "ffs_alloc_frags_total" count;
+      Obs.Heatmap.record heat ~cg Obs.Heatmap.Frag;
+      if cg <> pref_cg then Obs.Heatmap.record heat ~cg Obs.Heatmap.Fallback;
+      if Obs.Trace.enabled () then
+        Obs.Trace.event "alloc.frags"
+          [
+            Obs.Trace.i "addr" addr;
+            Obs.Trace.i "cg" cg;
+            Obs.Trace.i "pref_cg" pref_cg;
+            Obs.Trace.i "count" count;
+            Obs.Trace.b "fallback" (cg <> pref_cg);
+          ];
       addr
 
 let free_run t ~addr ~frags =
   let cg, frag = local_of_global t addr in
+  Obs.Metrics.add metrics "ffs_free_frags_total" frags;
   Cg.free_frags t.cgs.(cg) ~pos:frag ~count:frags
 
 (* --- the write walk ----------------------------------------------------- *)
@@ -232,6 +271,7 @@ let window_is_contiguous t walk =
 let flush_window t walk =
   if t.cfg.realloc && walk.win_len >= 2 then begin
     t.stats.realloc_attempts <- t.stats.realloc_attempts + 1;
+    Obs.Metrics.inc metrics "ffs_realloc_attempts_total";
     if not (window_is_contiguous t walk) then begin
       let cg = walk.win_cg in
       let pref =
@@ -245,9 +285,23 @@ let flush_window t walk =
       match
         Cg.alloc_cluster t.cgs.(cg) ~policy:t.cfg.cluster_policy ~pref ~len:walk.win_len
       with
-      | None -> t.stats.realloc_failures <- t.stats.realloc_failures + 1
+      | None ->
+          t.stats.realloc_failures <- t.stats.realloc_failures + 1;
+          Obs.Metrics.inc metrics "ffs_realloc_failures_total"
       | Some base_block ->
           t.stats.realloc_moves <- t.stats.realloc_moves + 1;
+          Obs.Metrics.inc metrics "ffs_realloc_moves_total";
+          Obs.Metrics.add metrics "ffs_realloc_moved_blocks_total" walk.win_len;
+          Obs.Heatmap.record heat ~cg Obs.Heatmap.Realloc;
+          if Obs.Trace.enabled () then
+            Obs.Trace.event "realloc.move"
+              [
+                Obs.Trace.i "cg" cg;
+                Obs.Trace.i "len" walk.win_len;
+                Obs.Trace.i "from"
+                  (Util.Vec.get walk.entries walk.win_start).Inode.addr;
+                Obs.Trace.i "to" (global_of_local t ~cg ~frag:(base_block * fpb t));
+              ];
           for i = 0 to walk.win_len - 1 do
             let idx = walk.win_start + i in
             let old = Util.Vec.get walk.entries idx in
@@ -280,7 +334,7 @@ let push_block t walk addr =
 (* Allocate the data (and indirect blocks) for a file of [size] bytes
    whose inode lives in group [home_cg]. Returns the entry list and
    indirect addresses. On failure, frees everything it had taken and
-   raises {!Out_of_space}. *)
+   raises [Error.Error Out_of_space]. *)
 let allocate_data t ~home_cg ~size =
   let params = t.params in
   let nfull, tail_frags = Params.blocks_of_size params size in
@@ -337,9 +391,9 @@ let allocate_data t ~home_cg ~size =
       Util.Vec.push walk.entries { Inode.addr; frags = tail_frags }
     end;
     (Util.Vec.to_array walk.entries, Util.Vec.to_array walk.indirects)
-  with Out_of_space ->
+  with Error.Error Error.Out_of_space ->
     rollback ();
-    raise Out_of_space
+    Error.raise_ Error.Out_of_space
 
 (* --- directories -------------------------------------------------------- *)
 
@@ -348,7 +402,7 @@ let dir_data_frags_for entries = 1 + (entries / 16)
 let get_dir t inum =
   match Hashtbl.find_opt t.dirs inum with
   | Some d -> d
-  | None -> invalid_arg "Fs: not a directory"
+  | None -> Error.raise_ (Error.Not_a_directory { inum })
 
 (* Extend the directory's data by one fragment when its entry count
    crosses a 16-entry boundary (directories never shrink in FFS). *)
@@ -374,7 +428,7 @@ let maybe_extend_dir t dir =
 
 let add_dir_entry t ~dir ~name ~inum =
   let d = get_dir t dir in
-  if Hashtbl.mem d.by_name name then invalid_arg ("Fs: name exists: " ^ name);
+  if Hashtbl.mem d.by_name name then Error.raise_ (Error.Name_exists { dir; name });
   Hashtbl.replace d.by_name name inum;
   d.order <- name :: d.order;
   d.live_entries <- d.live_entries + 1;
@@ -384,7 +438,7 @@ let add_dir_entry t ~dir ~name ~inum =
 let remove_dir_entry t ~dir ~name =
   let d = get_dir t dir in
   (match Hashtbl.find_opt d.by_name name with
-  | None -> invalid_arg ("Fs: no such name: " ^ name)
+  | None -> Error.raise_ (Error.No_such_name { dir; name })
   | Some inum -> Hashtbl.remove t.parents inum);
   Hashtbl.remove d.by_name name;
   d.live_entries <- d.live_entries - 1
@@ -393,7 +447,7 @@ let remove_dir_entry t ~dir ~name =
 
 let make_dir_at t ~cg ~time =
   match alloc_inode_near t ~cg with
-  | None -> raise Out_of_space
+  | None -> Error.raise_ Error.Out_of_space
   | Some inum ->
       let ino = Inode.v ~inum ~kind:Inode.Dir ~time in
       (* initial directory data: one fragment in its own group *)
@@ -473,27 +527,28 @@ let dirpref t =
     !fallback
   end
 
-let mkdir t ~parent ~name =
+let mkdir_exn t ~parent ~name =
   let cg = dirpref t in
   let inum = make_dir_at t ~cg ~time:t.clock in
   add_dir_entry t ~dir:parent ~name ~inum;
   inum
 
-let mkdir_in_cg t ~parent ~name ~cg =
-  if cg < 0 || cg >= t.params.Params.ncg then invalid_arg "Fs.mkdir_in_cg";
+let mkdir_in_cg_exn t ~parent ~name ~cg =
+  if cg < 0 || cg >= t.params.Params.ncg then
+    Error.raise_ (Error.Invalid_cg { cg; ncg = t.params.Params.ncg });
   let inum = make_dir_at t ~cg ~time:t.clock in
   add_dir_entry t ~dir:parent ~name ~inum;
   inum
 
 let lookup_opt t ~dir ~name = Hashtbl.find_opt (get_dir t dir).by_name name
 
-let rmdir t ~parent ~name =
+let rmdir_exn t ~parent ~name =
   match lookup_opt t ~dir:parent ~name with
-  | None -> raise Not_found
+  | None -> Error.raise_ (Error.No_such_name { dir = parent; name })
   | Some inum ->
       let d = get_dir t inum in
-      if inum = t.root_inum then invalid_arg "Fs.rmdir: cannot remove the root";
-      if d.live_entries > 0 then invalid_arg "Fs.rmdir: directory not empty";
+      if inum = t.root_inum then Error.raise_ Error.Cannot_remove_root;
+      if d.live_entries > 0 then Error.raise_ (Error.Directory_not_empty { inum });
       let ino = Hashtbl.find t.inodes inum in
       Array.iter (fun e -> free_run t ~addr:e.Inode.addr ~frags:e.Inode.frags) ino.Inode.entries;
       Hashtbl.remove t.inodes inum;
@@ -526,12 +581,12 @@ let dir_of_inum t inum =
 
 (* --- file API ------------------------------------------------------------ *)
 
-let create_file t ~dir ~name ~size =
+let create_file_exn t ~dir ~name ~size =
   let d = get_dir t dir in
-  if Hashtbl.mem d.by_name name then invalid_arg ("Fs: name exists: " ^ name);
+  if Hashtbl.mem d.by_name name then Error.raise_ (Error.Name_exists { dir; name });
   let home_cg = cg_of_inum t dir in
   match alloc_inode_near t ~cg:home_cg with
-  | None -> raise Out_of_space
+  | None -> Error.raise_ Error.Out_of_space
   | Some inum -> (
       let actual_cg = cg_of_inum t inum in
       try
@@ -543,9 +598,9 @@ let create_file t ~dir ~name ~size =
         Hashtbl.replace t.inodes inum ino;
         add_dir_entry t ~dir ~name ~inum;
         inum
-      with Out_of_space ->
+      with Error.Error Error.Out_of_space ->
         Cg.free_inode t.cgs.(actual_cg) (inum mod ipg t);
-        raise Out_of_space)
+        Error.raise_ Error.Out_of_space)
 
 let free_file_data t ino =
   Array.iter (fun e -> free_run t ~addr:e.Inode.addr ~frags:e.Inode.frags) ino.Inode.entries;
@@ -554,11 +609,12 @@ let free_file_data t ino =
   ino.Inode.indirect_addrs <- [||];
   ino.Inode.size <- 0
 
-let delete_inum t inum =
+let delete_inum_exn t inum =
   match Hashtbl.find_opt t.inodes inum with
-  | None -> raise Not_found
+  | None -> Error.raise_ (Error.No_such_inode { inum })
   | Some ino ->
-      if ino.Inode.kind = Inode.Dir then invalid_arg "Fs.delete_inum: is a directory";
+      if ino.Inode.kind = Inode.Dir then
+        Error.raise_ (Error.Is_a_directory { inum; op = "delete_inum" });
       free_file_data t ino;
       Hashtbl.remove t.inodes inum;
       (match Hashtbl.find_opt t.parents inum with
@@ -566,16 +622,17 @@ let delete_inum t inum =
       | None -> ());
       Cg.free_inode t.cgs.(cg_of_inum t inum) (inum mod ipg t)
 
-let delete_file t ~dir ~name =
+let delete_file_exn t ~dir ~name =
   match lookup t ~dir ~name with
-  | None -> raise Not_found
-  | Some inum -> delete_inum t inum
+  | None -> Error.raise_ (Error.No_such_name { dir; name })
+  | Some inum -> delete_inum_exn t inum
 
-let rewrite_file t ~inum ~size =
+let rewrite_file_exn t ~inum ~size =
   match Hashtbl.find_opt t.inodes inum with
-  | None -> raise Not_found
+  | None -> Error.raise_ (Error.No_such_inode { inum })
   | Some ino ->
-      if ino.Inode.kind = Inode.Dir then invalid_arg "Fs.rewrite_file: is a directory";
+      if ino.Inode.kind = Inode.Dir then
+        Error.raise_ (Error.Is_a_directory { inum; op = "rewrite_file" });
       free_file_data t ino;
       let home_cg = cg_of_inum t inum in
       let entries, indirects = allocate_data t ~home_cg ~size in
@@ -613,15 +670,16 @@ let cg_states t = t.cgs
 
 (* --- repair plumbing ------------------------------------------------------ *)
 
-let detach_entry t ~dir ~name = remove_dir_entry t ~dir ~name
+let detach_entry_exn t ~dir ~name = remove_dir_entry t ~dir ~name
 
-let attach_entry t ~dir ~name ~inum = add_dir_entry t ~dir ~name ~inum
+let attach_entry_exn t ~dir ~name ~inum = add_dir_entry t ~dir ~name ~inum
 
-let forget_inode t inum =
+let forget_inode_exn t inum =
   match Hashtbl.find_opt t.inodes inum with
-  | None -> raise Not_found
+  | None -> Error.raise_ (Error.No_such_inode { inum })
   | Some ino ->
-      if ino.Inode.kind = Inode.Dir then invalid_arg "Fs.forget_inode: is a directory";
+      if ino.Inode.kind = Inode.Dir then
+        Error.raise_ (Error.Is_a_directory { inum; op = "forget_inode" });
       Hashtbl.remove t.inodes inum
 
 let rebuild_allocation t =
@@ -653,7 +711,9 @@ let check_invariants t =
     for a = addr to addr + frags - 1 do
       match Hashtbl.find_opt claimed a with
       | Some other ->
-          Fmt.failwith "fragment %d claimed by inode %d and inode %d" a other owner
+          Error.raise_
+            (Error.Corrupt
+               (Fmt.str "fragment %d claimed by inode %d and inode %d" a other owner))
       | None -> Hashtbl.replace claimed a owner
     done
   in
@@ -668,3 +728,24 @@ let check_invariants t =
       let cg, frag = local_of_global t addr in
       assert (not (Cg.frag_is_free t.cgs.(cg) frag)))
     claimed
+
+(* --- result-returning primaries ------------------------------------------ *)
+
+let create_file t ~dir ~name ~size =
+  Error.guard (fun () -> create_file_exn t ~dir ~name ~size)
+
+let mkdir t ~parent ~name = Error.guard (fun () -> mkdir_exn t ~parent ~name)
+
+let mkdir_in_cg t ~parent ~name ~cg =
+  Error.guard (fun () -> mkdir_in_cg_exn t ~parent ~name ~cg)
+
+let rmdir t ~parent ~name = Error.guard (fun () -> rmdir_exn t ~parent ~name)
+let delete_file t ~dir ~name = Error.guard (fun () -> delete_file_exn t ~dir ~name)
+let delete_inum t inum = Error.guard (fun () -> delete_inum_exn t inum)
+let rewrite_file t ~inum ~size = Error.guard (fun () -> rewrite_file_exn t ~inum ~size)
+let detach_entry t ~dir ~name = Error.guard (fun () -> detach_entry_exn t ~dir ~name)
+
+let attach_entry t ~dir ~name ~inum =
+  Error.guard (fun () -> attach_entry_exn t ~dir ~name ~inum)
+
+let forget_inode t inum = Error.guard (fun () -> forget_inode_exn t inum)

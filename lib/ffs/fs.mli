@@ -11,6 +11,15 @@
     cluster reallocation of each completed write window, exactly the
     McKusick enhancement the paper evaluates.
 
+    {b Errors.} Every mutating entry point comes in two flavours: the
+    primary returns [(_, Error.t) result], and the [_exn] twin raises
+    {!Error.Error} carrying the same value. Use the result forms when a
+    failure is an expected outcome to branch on (the aging workload
+    skipping an operation at high utilization); use [_exn] when a
+    failure means the caller's own setup is wrong. Read-only lookups
+    ([inode], [dir_of_inum], [lookup]) keep their option/[Not_found]
+    conventions.
+
     All data addresses are global fragment addresses (see {!Params}). *)
 
 type t
@@ -34,10 +43,6 @@ type stats = {
   mutable realloc_failures : int;  (** attempts that found no free cluster *)
   mutable indirect_switches : int;  (** cg switches forced by indirect blocks *)
 }
-
-exception Out_of_space
-(** No allocation possible anywhere (the file system is genuinely
-    full). *)
 
 val create : ?config:config -> Params.t -> t
 (** Fresh, empty file system with a root directory in group 0. Default
@@ -63,20 +68,28 @@ val now : t -> float
 (* Directories *)
 
 val root : t -> int
-val mkdir : t -> parent:int -> name:string -> int
+
+val mkdir : t -> parent:int -> name:string -> (int, Error.t) result
 (** New directory placed by [dirpref]: among groups with at least the
     average number of free inodes, the one with the fewest directories.
-    Returns its inode number. *)
+    Returns its inode number. Errors: [Out_of_space],
+    [Not_a_directory], [Name_exists]. *)
 
-val mkdir_in_cg : t -> parent:int -> name:string -> cg:int -> int
+val mkdir_exn : t -> parent:int -> name:string -> int
+
+val mkdir_in_cg : t -> parent:int -> name:string -> cg:int -> (int, Error.t) result
 (** New directory pinned to a specific cylinder group — the mechanism the
     paper's aging tool uses (one directory per group, files steered by
-    inode number). *)
+    inode number). Errors: those of {!mkdir}, plus [Invalid_cg]. *)
 
-val rmdir : t -> parent:int -> name:string -> unit
+val mkdir_in_cg_exn : t -> parent:int -> name:string -> cg:int -> int
+
+val rmdir : t -> parent:int -> name:string -> (unit, Error.t) result
 (** Remove an empty directory: its data fragments and inode return to
-    the free pool. Raises [Invalid_argument] if the directory still has
-    entries or is the root, [Not_found] if no such name. *)
+    the free pool. Errors: [No_such_name], [Directory_not_empty],
+    [Cannot_remove_root]. *)
+
+val rmdir_exn : t -> parent:int -> name:string -> unit
 
 val lookup : t -> dir:int -> name:string -> int option
 val dir_entries : t -> int -> (string * int) list
@@ -84,24 +97,39 @@ val dir_entries : t -> int -> (string * int) list
 
 val dir_of_inum : t -> int -> int
 (** Parent directory of a file or directory. The root is its own
-    parent. *)
+    parent. Raises [Not_found]. *)
 
 val cg_of_inum : t -> int -> int
 
 (* Files *)
 
-val create_file : t -> dir:int -> name:string -> size:int -> int
+val create_file : t -> dir:int -> name:string -> size:int -> (int, Error.t) result
 (** Create and write a file of [size] bytes; returns its inode number.
     The inode is allocated in the directory's cylinder group when
-    possible. Raises [Out_of_space] if the data cannot be placed, and
-    [Invalid_argument] if [name] already exists in [dir]. *)
+    possible. Errors: [Out_of_space] if the data cannot be placed (all
+    partial allocations are rolled back), [Name_exists],
+    [Not_a_directory]. *)
 
-val delete_file : t -> dir:int -> name:string -> unit
-val delete_inum : t -> int -> unit
+val create_file_exn : t -> dir:int -> name:string -> size:int -> int
 
-val rewrite_file : t -> inum:int -> size:int -> unit
+val delete_file : t -> dir:int -> name:string -> (unit, Error.t) result
+(** Errors: [No_such_name], [Is_a_directory]. *)
+
+val delete_file_exn : t -> dir:int -> name:string -> unit
+
+val delete_inum : t -> int -> (unit, Error.t) result
+(** Errors: [No_such_inode], [Is_a_directory]. *)
+
+val delete_inum_exn : t -> int -> unit
+
+val rewrite_file : t -> inum:int -> size:int -> (unit, Error.t) result
 (** The paper's model of modification: truncate to zero, then write
-    [size] bytes afresh (same inode, same directory). *)
+    [size] bytes afresh (same inode, same directory). Errors:
+    [No_such_inode], [Is_a_directory], [Out_of_space] — in the last
+    case the truncation has still happened (as in the real syscall
+    sequence), so the file is left empty. *)
+
+val rewrite_file_exn : t -> inum:int -> size:int -> unit
 
 val inode : t -> int -> Inode.t
 (** Raises [Not_found] for unallocated inode numbers. *)
@@ -135,7 +163,8 @@ val cg_states : t -> Cg.t array
 
 val check_invariants : t -> unit
 (** Cross-checks per-group bitmaps/counters and that no two files claim
-    the same fragment. For tests; O(total fragments). *)
+    the same fragment. Raises {!Error.Error} with [Corrupt _] on a
+    double claim. For tests; O(total fragments). *)
 
 (* Repair & fault-injection plumbing — the raw directory and inode-table
    edits [Check.repair] and the fault injector are built from. These
@@ -143,24 +172,29 @@ val check_invariants : t -> unit
    performs; using them leaves the image inconsistent until
    [Check.repair] (or [rebuild_allocation]) runs. *)
 
-val detach_entry : t -> dir:int -> name:string -> unit
+val detach_entry : t -> dir:int -> name:string -> (unit, Error.t) result
 (** Remove a directory entry without freeing the inode it names or its
     data (a torn directory write: the name is gone, the inode is not).
-    Raises [Invalid_argument] if no such name. *)
+    Errors: [No_such_name], [Not_a_directory]. *)
 
-val attach_entry : t -> dir:int -> name:string -> inum:int -> unit
+val detach_entry_exn : t -> dir:int -> name:string -> unit
+
+val attach_entry : t -> dir:int -> name:string -> inum:int -> (unit, Error.t) result
 (** Add a directory entry naming an arbitrary inode number — the
     reattachment half of orphan recovery, and (pointed at a dead inode
     number) the dangling-entry injection. Extends the directory's data
     if the entry count crosses a fragment boundary, so the file system's
-    allocation state must be consistent when called. Raises
-    [Invalid_argument] if [name] already exists in [dir]. *)
+    allocation state must be consistent when called. Errors:
+    [Name_exists], [Not_a_directory]. *)
 
-val forget_inode : t -> int -> unit
+val attach_entry_exn : t -> dir:int -> name:string -> inum:int -> unit
+
+val forget_inode : t -> int -> (unit, Error.t) result
 (** Drop a {e file} inode from the inode table, leaving its directory
     entry dangling, its bitmap bits set and its inode slot claimed (a
-    lost inode-block write). Raises [Not_found] for unallocated inode
-    numbers and [Invalid_argument] for directories. *)
+    lost inode-block write). Errors: [No_such_inode], [Is_a_directory]. *)
+
+val forget_inode_exn : t -> int -> unit
 
 val rebuild_allocation : t -> unit
 (** Rebuild every cylinder group's bitmaps, counters, run index, inode

@@ -166,7 +166,7 @@ let overwrite_file t ~inum =
 
 let create_and_write t ~dir ~name ~size =
   let params = Fs.params t.fs in
-  let inum = Fs.create_file t.fs ~dir ~name ~size in
+  let inum = Fs.create_file_exn t.fs ~dir ~name ~size in
   (* synchronous metadata: the new inode, then the directory block *)
   meta_write t ~addr:(Params.inode_block_addr params inum) ~frags:(fpb t);
   (match dir_first_frag t dir with

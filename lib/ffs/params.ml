@@ -21,20 +21,21 @@ let is_pow2 n = n > 0 && n land (n - 1) = 0
    512 bytes per cylinder = 1.27 MB = 162 blocks of 8 KB *)
 let default_fs_cylinder_blocks = 22 * 118 * 512 / 8192
 
-let v ?(block_bytes = 8192) ?(frag_bytes = 1024) ?(ncg = 27) ?(maxcontig = 7)
+let v_exn ?(block_bytes = 8192) ?(frag_bytes = 1024) ?(ncg = 27) ?(maxcontig = 7)
     ?(minfree_pct = 10) ?(bytes_per_inode = 4096)
     ?(fs_cylinder_blocks = default_fs_cylinder_blocks) ?(rotdelay_blocks = 0) ~size_bytes () =
-  if not (is_pow2 block_bytes) then invalid_arg "Params.v: block size not a power of two";
-  if not (is_pow2 frag_bytes) then invalid_arg "Params.v: frag size not a power of two";
-  if block_bytes mod frag_bytes <> 0 then invalid_arg "Params.v: block not frag multiple";
+  let invalid msg = Error.raise_ (Error.Invalid_params msg) in
+  if not (is_pow2 block_bytes) then invalid "block size not a power of two";
+  if not (is_pow2 frag_bytes) then invalid "frag size not a power of two";
+  if block_bytes mod frag_bytes <> 0 then invalid "block not frag multiple";
   let frags_per_block = block_bytes / frag_bytes in
-  if frags_per_block > 8 then invalid_arg "Params.v: more than 8 frags per block";
-  if ncg < 1 then invalid_arg "Params.v: need at least one cylinder group";
-  if maxcontig < 1 then invalid_arg "Params.v: maxcontig must be positive";
-  if minfree_pct < 0 || minfree_pct > 50 then invalid_arg "Params.v: minfree out of range";
-  if size_bytes < ncg * 32 * block_bytes then invalid_arg "Params.v: groups too small";
-  if fs_cylinder_blocks < 1 then invalid_arg "Params.v: cylinder must hold a block";
-  if rotdelay_blocks < 0 then invalid_arg "Params.v: negative rotdelay";
+  if frags_per_block > 8 then invalid "more than 8 frags per block";
+  if ncg < 1 then invalid "need at least one cylinder group";
+  if maxcontig < 1 then invalid "maxcontig must be positive";
+  if minfree_pct < 0 || minfree_pct > 50 then invalid "minfree out of range";
+  if size_bytes < ncg * 32 * block_bytes then invalid "groups too small";
+  if fs_cylinder_blocks < 1 then invalid "cylinder must hold a block";
+  if rotdelay_blocks < 0 then invalid "negative rotdelay";
   let nindir = block_bytes / 4 in
   {
     size_bytes;
@@ -53,8 +54,14 @@ let v ?(block_bytes = 8192) ?(frag_bytes = 1024) ?(ncg = 27) ?(maxcontig = 7)
     fs_cylinder_blocks;
   }
 
-let paper_fs = v ~size_bytes:(502 * 1024 * 1024) ()
-let small_test_fs = v ~ncg:4 ~size_bytes:(16 * 1024 * 1024) ()
+let v ?block_bytes ?frag_bytes ?ncg ?maxcontig ?minfree_pct ?bytes_per_inode
+    ?fs_cylinder_blocks ?rotdelay_blocks ~size_bytes () =
+  Error.guard (fun () ->
+      v_exn ?block_bytes ?frag_bytes ?ncg ?maxcontig ?minfree_pct ?bytes_per_inode
+        ?fs_cylinder_blocks ?rotdelay_blocks ~size_bytes ())
+
+let paper_fs = v_exn ~size_bytes:(502 * 1024 * 1024) ()
+let small_test_fs = v_exn ~ncg:4 ~size_bytes:(16 * 1024 * 1024) ()
 
 let total_frags t = t.size_bytes / t.frag_bytes
 

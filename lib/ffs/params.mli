@@ -46,11 +46,25 @@ val v :
   ?rotdelay_blocks:int ->
   size_bytes:int ->
   unit ->
-  t
+  (t, Error.t) result
 (** Build and validate a parameter set. Defaults are the paper's:
     8 KB blocks, 1 KB fragments, 27 groups, 7-block (56 KB) clusters,
-    10% minfree, one inode per 4 KB. Raises [Invalid_argument] on
+    10% minfree, one inode per 4 KB. [Error (Invalid_params _)] on
     inconsistent values (non-power-of-two sizes, too-small groups...). *)
+
+val v_exn :
+  ?block_bytes:int ->
+  ?frag_bytes:int ->
+  ?ncg:int ->
+  ?maxcontig:int ->
+  ?minfree_pct:int ->
+  ?bytes_per_inode:int ->
+  ?fs_cylinder_blocks:int ->
+  ?rotdelay_blocks:int ->
+  size_bytes:int ->
+  unit ->
+  t
+(** Like {!v} but raises {!Error.Error}. *)
 
 val paper_fs : t
 (** The Table 1 file system: 502 MB, 8 KB/1 KB, 27 groups, 56 KB max

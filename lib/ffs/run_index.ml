@@ -97,6 +97,7 @@ let histogram t ~max =
   out
 
 let check t ~bitmap_free =
+  let corrupt fmt = Fmt.kstr (fun msg -> Error.raise_ (Error.Corrupt msg)) fmt in
   (* recount runs from ground truth and compare *)
   let recount = Array.make (t.size + 1) 0 in
   let i = ref 0 in
@@ -110,20 +111,20 @@ let check t ~bitmap_free =
       let len = e - s + 1 in
       recount.(len) <- recount.(len) + 1;
       if not (is_free t s) || not (is_free t e) then
-        Fmt.failwith "run_index: freeness disagrees at run [%d,%d]" s e;
+        corrupt "run_index: freeness disagrees at run [%d,%d]" s e;
       if t.lengths.(s) <> len || t.lengths.(e) <> len then
-        Fmt.failwith "run_index: endpoint lengths wrong for run [%d,%d] (have %d/%d)" s e
+        corrupt "run_index: endpoint lengths wrong for run [%d,%d] (have %d/%d)" s e
           t.lengths.(s) t.lengths.(e)
     end
     else begin
-      if is_free t !i then Fmt.failwith "run_index: slot %d should be used" !i;
+      if is_free t !i then corrupt "run_index: slot %d should be used" !i;
       incr i
     end
   done;
   Array.iteri
     (fun len c ->
       if c <> t.counts.(len) then
-        Fmt.failwith "run_index: count for length %d is %d, expected %d" len t.counts.(len) c)
+        corrupt "run_index: count for length %d is %d, expected %d" len t.counts.(len) c)
     recount;
   if longest t <> (let rec f l = if l = 0 || recount.(l) > 0 then l else f (l - 1) in f t.size)
-  then Fmt.failwith "run_index: longest disagrees"
+  then corrupt "run_index: longest disagrees"

@@ -53,5 +53,5 @@ val histogram : t -> max:int -> int array
     [i+1], runs longer than [max] folded into the last slot. *)
 
 val check : t -> bitmap_free:(int -> bool) -> unit
-(** Verify against ground truth; raises [Failure] on divergence. For
-    tests. *)
+(** Verify against ground truth; raises {!Error.Error} with [Corrupt _]
+    on divergence. For tests. *)

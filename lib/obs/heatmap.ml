@@ -1,0 +1,103 @@
+type kind = Block | Frag | Realloc | Fallback
+
+let kinds = [ Block; Frag; Realloc; Fallback ]
+
+let kind_name = function
+  | Block -> "blocks"
+  | Frag -> "frags"
+  | Realloc -> "realloc"
+  | Fallback -> "fallback"
+
+let kind_index = function Block -> 0 | Frag -> 1 | Realloc -> 2 | Fallback -> 3
+
+type t = {
+  mutex : Mutex.t;
+  mutable per_kind : int array array; (* kind -> cg -> count; rows grow on demand *)
+  on : bool Atomic.t;
+}
+
+let create ?(ncg = 0) () =
+  {
+    mutex = Mutex.create ();
+    per_kind = Array.init (List.length kinds) (fun _ -> Array.make ncg 0);
+    on = Atomic.make true;
+  }
+
+let global =
+  let t = create () in
+  Atomic.set t.on false;
+  t
+
+let set_enabled t v = Atomic.set t.on v
+let enabled t = Atomic.get t.on
+
+let reset t =
+  Mutex.lock t.mutex;
+  t.per_kind <- Array.init (List.length kinds) (fun _ -> Array.make 0 0);
+  Mutex.unlock t.mutex
+
+(* exact-size growth: row length doubles as the highest-seen group
+   count, which [ncg] reports; a new maximum appears only a handful of
+   times per run so the copy cost is irrelevant *)
+let grow row want =
+  let have = Array.length row in
+  if want <= have then row
+  else begin
+    let bigger = Array.make want 0 in
+    Array.blit row 0 bigger 0 have;
+    bigger
+  end
+
+let record t ~cg kind =
+  if Atomic.get t.on && cg >= 0 then begin
+    Mutex.lock t.mutex;
+    let k = kind_index kind in
+    t.per_kind.(k) <- grow t.per_kind.(k) (cg + 1);
+    t.per_kind.(k).(cg) <- t.per_kind.(k).(cg) + 1;
+    Mutex.unlock t.mutex
+  end
+
+let ncg t =
+  Mutex.lock t.mutex;
+  let n = Array.fold_left (fun acc row -> max acc (Array.length row)) 0 t.per_kind in
+  Mutex.unlock t.mutex;
+  n
+
+let counts t kind =
+  Mutex.lock t.mutex;
+  let n = Array.fold_left (fun acc row -> max acc (Array.length row)) 0 t.per_kind in
+  let row = t.per_kind.(kind_index kind) in
+  let out = Array.init n (fun i -> if i < Array.length row then row.(i) else 0) in
+  Mutex.unlock t.mutex;
+  out
+
+let total t = List.fold_left (fun acc k -> acc + Array.fold_left ( + ) 0 (counts t k)) 0 kinds
+
+let render t =
+  let n = ncg t in
+  if n = 0 then "heatmap: no allocation events recorded\n"
+  else begin
+    let rows_of k =
+      let c = counts t k in
+      let total = Array.fold_left ( + ) 0 c in
+      if total = 0 then None
+      else
+        Some
+          [
+            kind_name k;
+            string_of_int total;
+            Util.Chart.sparkline (Array.map float_of_int c);
+          ]
+    in
+    let rows = List.filter_map rows_of kinds in
+    Util.Chart.table ~header:[ "events"; "total"; Fmt.str "per-cg heat (cg 0..%d)" (n - 1) ] ~rows
+  end
+
+let to_json t =
+  Json.Obj
+    (List.filter_map
+       (fun k ->
+         let c = counts t k in
+         if Array.fold_left ( + ) 0 c = 0 then None
+         else Some (kind_name k, Json.List (Array.to_list (Array.map (fun v -> Json.Int v) c))))
+       kinds)

@@ -1,0 +1,52 @@
+(** Per-cylinder-group allocation heat: how many allocation events of
+    each kind landed in each group, accumulated as the allocator runs
+    and rendered as one sparkline row per kind via {!Util.Chart}.
+
+    This is the spatial companion to the {!Metrics} counters: the
+    counters say {e how many} blocks were allocated, the heatmap says
+    {e where}, which is what makes dirpref clustering, cg fallback
+    cascades and realloc's cluster moves visible during aging rather
+    than only in the end-state layout score. *)
+
+type kind =
+  | Block  (** full-block allocations *)
+  | Frag  (** fragment (file-tail) allocations *)
+  | Realloc  (** realloc cluster moves into the group *)
+  | Fallback  (** allocations that left their preferred group *)
+
+val kind_name : kind -> string
+
+type t
+
+val create : ?ncg:int -> unit -> t
+(** An accumulator (default enabled). Rows grow on demand, so [ncg] is
+    just a pre-sizing hint. *)
+
+val global : t
+(** The process-wide accumulator the allocator records into. Created
+    {e disabled}; binaries enable it alongside {!Metrics.default}. *)
+
+val set_enabled : t -> bool -> unit
+val enabled : t -> bool
+
+val reset : t -> unit
+(** Drop all counts (for tests and between independent runs). *)
+
+val record : t -> cg:int -> kind -> unit
+(** Count one event against group [cg]. No-op while disabled. *)
+
+val ncg : t -> int
+(** Highest group index seen + 1. *)
+
+val counts : t -> kind -> int array
+(** Per-group counts for one kind, length {!ncg}. *)
+
+val total : t -> int
+
+val render : t -> string
+(** A table with one row per non-empty kind: total events and a per-group
+    sparkline. *)
+
+val to_json : t -> Json.t
+(** [{"blocks": [..per-cg..], "frags": [...], ...}], non-empty kinds
+    only. *)

@@ -1,0 +1,241 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* --- printing ------------------------------------------------------------- *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let float_str f =
+  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then "null"
+    (* JSON has no nan/inf *)
+  else if Float.is_integer f && Float.abs f < 1e15 then Fmt.str "%.1f" f
+  else Fmt.str "%.17g" f
+
+let rec write b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int v -> Buffer.add_string b (string_of_int v)
+  | Float v -> Buffer.add_string b (float_str v)
+  | String s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+  | List xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          write b x)
+        xs;
+      Buffer.add_char b ']'
+  | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape k);
+          Buffer.add_string b "\":";
+          write b v)
+        fields;
+      Buffer.add_char b '}'
+
+let to_string t =
+  let b = Buffer.create 256 in
+  write b t;
+  Buffer.contents b
+
+(* --- parsing --------------------------------------------------------------- *)
+
+exception Parse_error of string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Fmt.str "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Fmt.str "expected %C" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail (Fmt.str "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail "unterminated string"
+      else begin
+        let c = s.[!pos] in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents b
+        | '\\' -> (
+            if !pos >= n then fail "unterminated escape";
+            let e = s.[!pos] in
+            advance ();
+            match e with
+            | '"' | '\\' | '/' ->
+                Buffer.add_char b e;
+                loop ()
+            | 'n' ->
+                Buffer.add_char b '\n';
+                loop ()
+            | 'r' ->
+                Buffer.add_char b '\r';
+                loop ()
+            | 't' ->
+                Buffer.add_char b '\t';
+                loop ()
+            | 'b' ->
+                Buffer.add_char b '\b';
+                loop ()
+            | 'f' ->
+                Buffer.add_char b '\012';
+                loop ()
+            | 'u' ->
+                if !pos + 4 > n then fail "truncated \\u escape";
+                let hex = String.sub s !pos 4 in
+                pos := !pos + 4;
+                let code =
+                  try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+                in
+                (* ASCII only; anything else degrades to '?' (the tracer
+                   never emits non-ASCII) *)
+                Buffer.add_char b (if code < 0x80 then Char.chr code else '?');
+                loop ()
+            | _ -> fail "bad escape")
+        | c ->
+            Buffer.add_char b c;
+            loop ()
+      end
+    in
+    loop ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    in
+    while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail "bad number")
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          let rec more () =
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                items := parse_value () :: !items;
+                more ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          more ();
+          List (List.rev !items)
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let fields = ref [ field () ] in
+          let rec more () =
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                fields := field () :: !fields;
+                more ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          more ();
+          Obj (List.rev !fields)
+        end
+    | Some _ -> parse_number ()
+  in
+  match parse_value () with
+  | v ->
+      skip_ws ();
+      if !pos <> n then Error (Fmt.str "trailing input at offset %d" !pos) else Ok v
+  | exception Parse_error msg -> Error msg
+
+(* --- accessors -------------------------------------------------------------- *)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_int = function Int i -> Some i | Float f when Float.is_integer f -> Some (int_of_float f) | _ -> None
+
+let to_float = function Float f -> Some f | Int i -> Some (float_of_int i) | _ -> None
+
+let to_str = function String s -> Some s | _ -> None

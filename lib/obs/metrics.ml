@@ -1,0 +1,224 @@
+type labels = (string * string) list
+
+(* labels are canonicalised (sorted by key) so the same series is found
+   regardless of the order a call site lists them in *)
+let canon labels = List.sort compare labels
+
+(* --- histograms ------------------------------------------------------------ *)
+
+(* Log-scale (base 2) buckets. Bucket 0 collects v <= 0; bucket [e + off]
+   collects 2^(e-1) < v <= 2^e for exponents -32 .. 30, extremes
+   clamped. This covers microseconds to weeks for durations and 1 to
+   max_int for sizes with one fixed 64-slot array. *)
+let hist_min_exp = -32
+let hist_max_exp = 30
+let hist_buckets = hist_max_exp - hist_min_exp + 2 (* + underflow slot *)
+
+let bucket_of v =
+  if v <= 0.0 then 0
+  else begin
+    let e = int_of_float (Float.ceil (Float.log2 v)) in
+    let e = max hist_min_exp (min hist_max_exp e) in
+    e - hist_min_exp + 1
+  end
+
+let bucket_upper i = if i = 0 then 0.0 else Float.pow 2.0 (float_of_int (i - 1 + hist_min_exp))
+
+type hist = { mutable hcount : int; mutable hsum : float; counts : int array }
+
+type instrument =
+  | Counter of { mutable c : int }
+  | Gauge of { mutable g : float }
+  | Histogram of hist
+
+type t = {
+  mutex : Mutex.t;
+  table : (string * labels, instrument) Hashtbl.t;
+  on : bool Atomic.t;
+}
+
+let create ?(enabled = true) () =
+  { mutex = Mutex.create (); table = Hashtbl.create 64; on = Atomic.make enabled }
+
+let default = create ~enabled:false ()
+
+let set_enabled t v = Atomic.set t.on v
+let enabled t = Atomic.get t.on
+
+let reset t =
+  Mutex.lock t.mutex;
+  Hashtbl.reset t.table;
+  Mutex.unlock t.mutex
+
+(* find-or-create under the lock; a series keeps the instrument kind of
+   its first registration *)
+let with_instrument t ~name ~labels ~make f =
+  Mutex.lock t.mutex;
+  let key = (name, canon labels) in
+  let inst =
+    match Hashtbl.find_opt t.table key with
+    | Some i -> i
+    | None ->
+        let i = make () in
+        Hashtbl.replace t.table key i;
+        i
+  in
+  f inst;
+  Mutex.unlock t.mutex
+
+let add t ?(labels = []) name n =
+  if Atomic.get t.on && n <> 0 then
+    with_instrument t ~name ~labels
+      ~make:(fun () -> Counter { c = 0 })
+      (function Counter c -> c.c <- c.c + n | Gauge _ | Histogram _ -> ())
+
+let inc t ?labels name = add t ?labels name 1
+
+let set t ?(labels = []) name v =
+  if Atomic.get t.on then
+    with_instrument t ~name ~labels
+      ~make:(fun () -> Gauge { g = 0.0 })
+      (function Gauge g -> g.g <- v | Counter _ | Histogram _ -> ())
+
+let observe t ?(labels = []) name v =
+  if Atomic.get t.on then
+    with_instrument t ~name ~labels
+      ~make:(fun () ->
+        Histogram { hcount = 0; hsum = 0.0; counts = Array.make hist_buckets 0 })
+      (function
+        | Histogram h ->
+            h.hcount <- h.hcount + 1;
+            h.hsum <- h.hsum +. v;
+            let b = bucket_of v in
+            h.counts.(b) <- h.counts.(b) + 1
+        | Counter _ | Gauge _ -> ())
+
+let observe_int t ?labels name v = observe t ?labels name (float_of_int v)
+
+(* --- snapshots -------------------------------------------------------------- *)
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Hist_v of { count : int; sum : float; buckets : (float * int) list }
+      (** [(upper_bound, count)] for non-empty buckets; upper bound 0.0
+          is the [v <= 0] slot *)
+
+type snapshot = ((string * labels) * value) list
+
+let snapshot t : snapshot =
+  Mutex.lock t.mutex;
+  let rows =
+    Hashtbl.fold
+      (fun key inst acc ->
+        let v =
+          match inst with
+          | Counter c -> Counter_v c.c
+          | Gauge g -> Gauge_v g.g
+          | Histogram h ->
+              let buckets = ref [] in
+              for i = hist_buckets - 1 downto 0 do
+                if h.counts.(i) > 0 then buckets := (bucket_upper i, h.counts.(i)) :: !buckets
+              done;
+              Hist_v { count = h.hcount; sum = h.hsum; buckets = !buckets }
+        in
+        (key, v) :: acc)
+      t.table []
+  in
+  Mutex.unlock t.mutex;
+  List.sort compare rows
+
+let find snap ?(labels = []) name = List.assoc_opt (name, canon labels) snap
+
+let counter_value snap ?labels name =
+  match find snap ?labels name with Some (Counter_v c) -> c | _ -> 0
+
+let gauge_value snap ?labels name =
+  match find snap ?labels name with Some (Gauge_v g) -> Some g | _ -> None
+
+let hist_count snap ?labels name =
+  match find snap ?labels name with Some (Hist_v h) -> h.count | _ -> 0
+
+(* sum a counter across every label combination it was recorded under *)
+let counter_total snap name =
+  List.fold_left
+    (fun acc ((n, _), v) ->
+      match v with Counter_v c when n = name -> acc + c | _ -> acc)
+    0 snap
+
+let diff ~before ~after : snapshot =
+  let sub_buckets b a =
+    (* bucket lists are sparse; subtract by upper bound *)
+    List.filter_map
+      (fun (ub, c) ->
+        let prev = match List.assoc_opt ub b with Some p -> p | None -> 0 in
+        if c - prev > 0 then Some (ub, c - prev) else None)
+      a
+  in
+  List.filter_map
+    (fun (key, v) ->
+      match (v, List.assoc_opt key before) with
+      | Counter_v c, Some (Counter_v p) ->
+          if c - p = 0 then None else Some (key, Counter_v (c - p))
+      | Hist_v h, Some (Hist_v p) ->
+          if h.count = p.count then None
+          else
+            Some
+              ( key,
+                Hist_v
+                  {
+                    count = h.count - p.count;
+                    sum = h.sum -. p.sum;
+                    buckets = sub_buckets p.buckets h.buckets;
+                  } )
+      | (Gauge_v _ | Counter_v _ | Hist_v _), _ -> Some (key, v))
+    after
+
+(* --- export ----------------------------------------------------------------- *)
+
+let pp_labels ppf labels =
+  if labels <> [] then
+    Fmt.pf ppf "{%a}"
+      (Fmt.list ~sep:(Fmt.any ",") (fun ppf (k, v) -> Fmt.pf ppf "%s=%S" k v))
+      labels
+
+let to_text snap =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun ((name, labels), v) ->
+      match v with
+      | Counter_v c -> Buffer.add_string b (Fmt.str "%s%a %d\n" name pp_labels labels c)
+      | Gauge_v g -> Buffer.add_string b (Fmt.str "%s%a %g\n" name pp_labels labels g)
+      | Hist_v h ->
+          Buffer.add_string b
+            (Fmt.str "%s%a count=%d sum=%g\n" name pp_labels labels h.count h.sum);
+          List.iter
+            (fun (ub, c) ->
+              Buffer.add_string b (Fmt.str "  le=%g %d\n" ub c))
+            h.buckets)
+    snap;
+  Buffer.contents b
+
+let to_json snap =
+  Json.List
+    (List.map
+       (fun ((name, labels), v) ->
+         let labels_json = Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) labels) in
+         let fields =
+           match v with
+           | Counter_v c -> [ ("type", Json.String "counter"); ("value", Json.Int c) ]
+           | Gauge_v g -> [ ("type", Json.String "gauge"); ("value", Json.Float g) ]
+           | Hist_v h ->
+               [
+                 ("type", Json.String "histogram");
+                 ("count", Json.Int h.count);
+                 ("sum", Json.Float h.sum);
+                 ( "buckets",
+                   Json.List
+                     (List.map
+                        (fun (ub, c) -> Json.Obj [ ("le", Json.Float ub); ("n", Json.Int c) ])
+                        h.buckets) );
+               ]
+         in
+         Json.Obj (("name", Json.String name) :: ("labels", labels_json) :: fields))
+       snap)

@@ -1,0 +1,87 @@
+(** The metrics registry: named counters, gauges and log-scale
+    histograms, each optionally split by labels.
+
+    A registry is a thread-safe map from [(name, labels)] to an
+    instrument. Instrumented code records through the four update
+    functions; harnesses take {!snapshot}s, {!diff} them across a phase,
+    and export as aligned text or JSON. Every update first checks the
+    registry's enabled flag (one atomic load), so instrumentation left
+    in hot paths costs nothing measurable while the registry is off —
+    the property that lets {!default} be wired through the allocator
+    unconditionally.
+
+    Naming convention (see DESIGN.md): [ffs_alloc_*] for allocator
+    events, [replay_*] for the aging engine, [fault_*]/[fsck_*] for the
+    fault layer, [pool_*] for the worker pool; counters end in
+    [_total], histograms name their unit ([_seconds], [_frags]). *)
+
+type labels = (string * string) list
+(** Label order is irrelevant: series are keyed on the sorted list. *)
+
+type t
+
+val create : ?enabled:bool -> unit -> t
+(** A fresh registry (default: enabled). *)
+
+val default : t
+(** The process-wide registry the library instrumentation records into.
+    Created {e disabled}; binaries turn it on via {!set_enabled} when
+    the user asks for metrics. *)
+
+val set_enabled : t -> bool -> unit
+val enabled : t -> bool
+
+val reset : t -> unit
+(** Drop every series (for tests and between independent runs). *)
+
+(* Updates. Each creates the series on first use; a name keeps the
+   instrument kind of its first registration and later updates of a
+   different kind are ignored. All are no-ops while disabled. *)
+
+val inc : t -> ?labels:labels -> string -> unit
+val add : t -> ?labels:labels -> string -> int -> unit
+val set : t -> ?labels:labels -> string -> float -> unit
+val observe : t -> ?labels:labels -> string -> float -> unit
+(** Record one histogram observation into log-2 buckets: bucket 0
+    collects values <= 0 (so 0 is always representable), the top bucket
+    clamps at 2{^30}, the bottom at 2{^-32} — [max_int] and sub-nanosecond
+    durations land in the extreme buckets rather than out of range. *)
+
+val observe_int : t -> ?labels:labels -> string -> int -> unit
+
+(* Snapshots *)
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Hist_v of { count : int; sum : float; buckets : (float * int) list }
+      (** [(upper_bound, count)] for non-empty buckets only; upper bound
+          0.0 is the [v <= 0] slot *)
+
+type snapshot = ((string * labels) * value) list
+(** Sorted by [(name, labels)]; a plain value usable with list
+    functions. *)
+
+val snapshot : t -> snapshot
+
+val diff : before:snapshot -> after:snapshot -> snapshot
+(** Per-series change: counters and histogram buckets subtract (series
+    with no change are dropped), gauges keep their [after] value. *)
+
+val find : snapshot -> ?labels:labels -> string -> value option
+val counter_value : snapshot -> ?labels:labels -> string -> int
+(** 0 for absent series (and for series of another kind). *)
+
+val counter_total : snapshot -> string -> int
+(** Sum of a counter across all label combinations. *)
+
+val gauge_value : snapshot -> ?labels:labels -> string -> float option
+val hist_count : snapshot -> ?labels:labels -> string -> int
+
+val to_text : snapshot -> string
+(** One line per series ([name{k="v"} value]); histograms list their
+    non-empty buckets indented below a [count=... sum=...] line. *)
+
+val to_json : snapshot -> Json.t
+(** A JSON list with one object per series:
+    [{"name", "labels", "type", ...}]. *)

@@ -126,25 +126,31 @@ let parallel_map (type a b) ?(retry = no_retry) ?timings ?label t (f : a -> b)
     let results : b option array = Array.make n None in
     let errors : (exn * Printexc.raw_backtrace) option array = Array.make n None in
     let remaining = ref n in
-    let run_one i =
+    (* [submitted] is stamped at enqueue so queue wait (submit -> pickup)
+       and execution time stay separate in the timings and metrics *)
+    let run_one i ~submitted =
       let started = Unix.gettimeofday () in
+      let waited = started -. submitted in
       let name = match label with Some g -> g xs.(i) | None -> Fmt.str "task %d" i in
       (match with_retry ~retry ~label:name f xs.(i) with
       | v -> results.(i) <- Some v
       | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+      let elapsed = Unix.gettimeofday () -. started in
       (match timings with
       | None -> ()
-      | Some tg ->
-          Timings.record tg ~label:name ~started
-            ~elapsed:(Unix.gettimeofday () -. started));
+      | Some tg -> Timings.record tg ~label:name ~started ~waited ~elapsed ());
+      let m = Obs.Metrics.default in
+      Obs.Metrics.observe m "pool_task_queue_wait_seconds" waited;
+      Obs.Metrics.observe m "pool_task_run_seconds" elapsed;
       Mutex.lock t.mutex;
       decr remaining;
       Condition.broadcast t.changed;
       Mutex.unlock t.mutex
     in
     Mutex.lock t.mutex;
+    let submitted = Unix.gettimeofday () in
     for i = 0 to n - 1 do
-      Queue.add (fun () -> run_one i) t.queue
+      Queue.add (fun () -> run_one i ~submitted) t.queue
     done;
     Condition.broadcast t.changed;
     Mutex.unlock t.mutex;

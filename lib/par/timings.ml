@@ -1,12 +1,12 @@
-type entry = { label : string; started : float; elapsed : float }
+type entry = { label : string; started : float; waited : float; elapsed : float }
 
 type t = { mutex : Mutex.t; mutable entries : entry list (* newest first *) }
 
 let create () = { mutex = Mutex.create (); entries = [] }
 
-let record t ~label ~started ~elapsed =
+let record t ~label ~started ?(waited = 0.0) ~elapsed () =
   Mutex.lock t.mutex;
-  t.entries <- { label; started; elapsed } :: t.entries;
+  t.entries <- { label; started; waited; elapsed } :: t.entries;
   Mutex.unlock t.mutex
 
 let entries t =
@@ -42,11 +42,12 @@ let report t =
             [
               e.label;
               Fmt.str "%.2f s" e.elapsed;
+              Fmt.str "%.2f s" e.waited;
               Fmt.str "%.0f%%" (if tot > 0.0 then 100.0 *. e.elapsed /. tot else 0.0);
             ])
           es
       in
-      Util.Chart.table ~header:[ "task"; "wall"; "share" ] ~rows
+      Util.Chart.table ~header:[ "task"; "run"; "queued"; "share" ] ~rows
       ^ Fmt.str "%d tasks, %.2f s of work in %.2f s elapsed (%.1fx)\n" (List.length es)
           tot sp
           (if sp > 0.0 then tot /. sp else 1.0)

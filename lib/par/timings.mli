@@ -8,16 +8,21 @@
 
 type entry = {
   label : string;  (** what ran, e.g. ["replay reconstructed/realloc"] *)
-  started : float;  (** [Unix.gettimeofday] at task start *)
-  elapsed : float;  (** wall-clock seconds *)
+  started : float;  (** [Unix.gettimeofday] at task start (post-queue) *)
+  waited : float;
+      (** seconds spent queued before a worker picked the task up —
+          separated from [elapsed] so queue pressure and task cost don't
+          blur together *)
+  elapsed : float;  (** wall-clock seconds of execution, excluding the wait *)
 }
 
 type t
 
 val create : unit -> t
 
-val record : t -> label:string -> started:float -> elapsed:float -> unit
-(** Append one entry. Safe to call from any domain. *)
+val record : t -> label:string -> started:float -> ?waited:float -> elapsed:float -> unit -> unit
+(** Append one entry ([waited] defaults to 0 for directly-run tasks).
+    Safe to call from any domain. *)
 
 val entries : t -> entry list
 (** All entries in start order. *)

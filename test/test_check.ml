@@ -8,9 +8,9 @@ let block = params.Ffs.Params.block_bytes
 
 let populated () =
   let fs = Ffs.Fs.create params in
-  let d = Ffs.Fs.mkdir fs ~parent:(Ffs.Fs.root fs) ~name:"d" in
-  let a = Ffs.Fs.create_file fs ~dir:d ~name:"a" ~size:(3 * block) in
-  let b = Ffs.Fs.create_file fs ~dir:d ~name:"b" ~size:(2 * block) in
+  let d = Ffs.Fs.mkdir_exn fs ~parent:(Ffs.Fs.root fs) ~name:"d" in
+  let a = Ffs.Fs.create_file_exn fs ~dir:d ~name:"a" ~size:(3 * block) in
+  let b = Ffs.Fs.create_file_exn fs ~dir:d ~name:"b" ~size:(2 * block) in
   (fs, a, b)
 
 let test_clean_image () =
@@ -56,7 +56,7 @@ let test_detects_claim_of_free_fragment () =
   let stolen = ib.Ffs.Inode.entries in
   (* delete b but keep a dangling reference to its (now free) blocks via
      a's inode *)
-  Ffs.Fs.delete_inum fs b;
+  Ffs.Fs.delete_inum_exn fs b;
   let ia = Ffs.Fs.inode fs a in
   ia.Ffs.Inode.entries <- Array.append ia.Ffs.Inode.entries stolen;
   let r = Ffs.Check.run fs in
@@ -94,7 +94,7 @@ let test_repair_double_claim_first_owner_wins () =
   let ia = Ffs.Fs.inode fs a and ib = Ffs.Fs.inode fs b in
   (* b claims a's runs wholesale; b's own 2 blocks (16 fragments) leak *)
   ib.Ffs.Inode.entries <- ia.Ffs.Inode.entries;
-  let log = Ffs.Check.repair fs in
+  let log = Ffs.Check.repair_exn fs in
   check_bool "double claims resolved" true (log.Ffs.Check.double_claims_resolved > 0);
   check_int "b's leaked fragments reclaimed" 16 log.Ffs.Check.leaked_frags_reclaimed;
   let first = min a b and second = max a b in
@@ -103,14 +103,14 @@ let test_repair_double_claim_first_owner_wins () =
   check_int "second owner loses the stolen runs" 0
     (Array.length (Ffs.Fs.inode fs second).Ffs.Inode.entries);
   check_bool "clean after repair" true (Ffs.Check.is_clean (Ffs.Check.run fs));
-  check_bool "repair is idempotent" true (Ffs.Check.repair_is_noop (Ffs.Check.repair fs))
+  check_bool "repair is idempotent" true (Ffs.Check.repair_is_noop (Ffs.Check.repair_exn fs))
 
 let test_repair_bad_run_cleared () =
   let fs, a, _ = populated () in
   let ia = Ffs.Fs.inode fs a in
   ia.Ffs.Inode.entries <-
     Array.append ia.Ffs.Inode.entries [| { Ffs.Inode.addr = -5; frags = 8 } |];
-  let log = Ffs.Check.repair fs in
+  let log = Ffs.Check.repair_exn fs in
   check_int "one bad run cleared" 1 log.Ffs.Check.bad_runs_cleared;
   check_int "nothing leaked" 0 log.Ffs.Check.leaked_frags_reclaimed;
   check_bool "clean after repair" true (Ffs.Check.is_clean (Ffs.Check.run fs));

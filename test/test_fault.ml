@@ -56,7 +56,7 @@ let inject_repair_clean ~name ~spec ~classifies () =
     (name ^ ": expected problem class reported")
     true
     (List.exists classifies report.Ffs.Check.problems);
-  let log = Ffs.Check.repair fs in
+  let log = Ffs.Check.repair_exn fs in
   check_bool (name ^ ": repair found work") true (not (Ffs.Check.repair_is_noop log));
   let after = Ffs.Check.run fs in
   if not (Ffs.Check.is_clean after) then
@@ -64,7 +64,7 @@ let inject_repair_clean ~name ~spec ~classifies () =
   check_bool
     (name ^ ": second repair is a no-op")
     true
-    (Ffs.Check.repair_is_noop (Ffs.Check.repair fs));
+    (Ffs.Check.repair_is_noop (Ffs.Check.repair_exn fs));
   Ffs.Fs.check_invariants fs
 
 let class_cases =
@@ -106,18 +106,18 @@ let test_orphans_land_in_lost_found () =
   let events = Fault.Inject.apply fs ~rng spec in
   let n = List.length events in
   check_bool "orphans injected" true (n > 0);
-  let log = Ffs.Check.repair fs in
+  let log = Ffs.Check.repair_exn fs in
   check_int "all reattached" n log.Ffs.Check.orphans_reattached;
   match log.Ffs.Check.lost_found with
   | None -> Alcotest.fail "no lost+found reported"
   | Some lf ->
       check_int "entries present" n (List.length (Ffs.Fs.dir_entries fs lf));
       check_bool "repair after reattach is a no-op" true
-        (Ffs.Check.repair_is_noop (Ffs.Check.repair fs))
+        (Ffs.Check.repair_is_noop (Ffs.Check.repair_exn fs))
 
 let test_repair_on_clean_image_is_noop () =
   let fs = fresh_fs () in
-  let log = Ffs.Check.repair fs in
+  let log = Ffs.Check.repair_exn fs in
   check_bool "nothing to fix" true (Ffs.Check.repair_is_noop log);
   check_bool "still clean" true (Ffs.Check.is_clean (Ffs.Check.run fs))
 
@@ -133,10 +133,10 @@ let prop_random_plan_repairs_clean =
       let rng = Util.Prng.create ~seed in
       let spec = Fault.Plan.gen ~rng ~intensity in
       ignore (Fault.Inject.apply fs ~rng spec);
-      ignore (Ffs.Check.repair fs);
+      ignore (Ffs.Check.repair_exn fs);
       Ffs.Fs.check_invariants fs;
       Ffs.Check.is_clean (Ffs.Check.run fs)
-      && Ffs.Check.repair_is_noop (Ffs.Check.repair fs))
+      && Ffs.Check.repair_is_noop (Ffs.Check.repair_exn fs))
 
 (* --- crash-consistent replay ----------------------------------------------- *)
 

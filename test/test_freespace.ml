@@ -48,7 +48,7 @@ let test_matches_fs_accounting () =
   let fs = Ffs.Fs.create params in
   let d = Ffs.Fs.root fs in
   for i = 0 to 9 do
-    ignore (Ffs.Fs.create_file fs ~dir:d ~name:(Fmt.str "f%d" i) ~size:(3 * block))
+    ignore (Ffs.Fs.create_file_exn fs ~dir:d ~name:(Fmt.str "f%d" i) ~size:(3 * block))
   done;
   let r = Aging.Freespace.analyze fs in
   check_int "fragment accounting agrees" (Ffs.Fs.free_data_frags fs)
@@ -60,7 +60,7 @@ let test_blockmap () =
   (* fill most of group 0 with direct-block files (12 blocks each stay
      in the directory's group; an indirect block would hop groups) *)
   for i = 0 to 37 do
-    ignore (Ffs.Fs.create_file fs ~dir:d ~name:(Fmt.str "f%d" i) ~size:(12 * block))
+    ignore (Ffs.Fs.create_file_exn fs ~dir:d ~name:(Fmt.str "f%d" i) ~size:(12 * block))
   done;
   let map = Aging.Blockmap.render ~width:32 fs in
   let lines = String.split_on_char '\n' map |> List.filter (fun l -> l <> "") in

@@ -11,7 +11,7 @@ let block = params.Ffs.Params.block_bytes
 
 let fresh ?config () = Ffs.Fs.create ?config params
 
-let create fs ~dir ~name ~size = Ffs.Fs.create_file fs ~dir ~name ~size
+let create fs ~dir ~name ~size = Ffs.Fs.create_file_exn fs ~dir ~name ~size
 
 let entries fs inum = (Ffs.Fs.inode fs inum).Ffs.Inode.entries
 
@@ -70,9 +70,9 @@ let test_tail_fragments () =
 let test_duplicate_name_rejected () =
   let fs = fresh () in
   ignore (create fs ~dir:(Ffs.Fs.root fs) ~name:"a" ~size:100);
-  (match create fs ~dir:(Ffs.Fs.root fs) ~name:"a" ~size:100 with
-  | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "expected Invalid_argument");
+  (match Ffs.Fs.create_file fs ~dir:(Ffs.Fs.root fs) ~name:"a" ~size:100 with
+  | Error (Ffs.Error.Name_exists _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Error Name_exists");
   Ffs.Fs.check_invariants fs
 
 let test_delete_releases_space () =
@@ -80,7 +80,7 @@ let test_delete_releases_space () =
   let before = Ffs.Fs.free_data_frags fs in
   let inum = create fs ~dir:(Ffs.Fs.root fs) ~name:"a" ~size:(3 * block) in
   check_bool "space consumed" true (Ffs.Fs.free_data_frags fs < before);
-  Ffs.Fs.delete_inum fs inum;
+  Ffs.Fs.delete_inum_exn fs inum;
   check_int "space restored" before (Ffs.Fs.free_data_frags fs);
   check_bool "gone" false (Ffs.Fs.file_exists fs inum);
   (match Ffs.Fs.inode fs inum with
@@ -91,7 +91,7 @@ let test_delete_releases_space () =
 let test_delete_by_name () =
   let fs = fresh () in
   ignore (create fs ~dir:(Ffs.Fs.root fs) ~name:"x" ~size:100);
-  Ffs.Fs.delete_file fs ~dir:(Ffs.Fs.root fs) ~name:"x";
+  Ffs.Fs.delete_file_exn fs ~dir:(Ffs.Fs.root fs) ~name:"x";
   Alcotest.(check (option int)) "lookup fails" None
     (Ffs.Fs.lookup fs ~dir:(Ffs.Fs.root fs) ~name:"x");
   check_int "no files" 0 (Ffs.Fs.file_count fs)
@@ -100,7 +100,7 @@ let test_rewrite_keeps_inode () =
   let fs = fresh () in
   let inum = create fs ~dir:(Ffs.Fs.root fs) ~name:"a" ~size:(2 * block) in
   Ffs.Fs.set_time fs 99.0;
-  Ffs.Fs.rewrite_file fs ~inum ~size:(4 * block);
+  Ffs.Fs.rewrite_file_exn fs ~inum ~size:(4 * block);
   let ino = Ffs.Fs.inode fs inum in
   check_int "new size" (4 * block) ino.Ffs.Inode.size;
   check_int "four runs" 4 (Array.length ino.Ffs.Inode.entries);
@@ -112,14 +112,14 @@ let test_rewrite_keeps_inode () =
 let test_mkdir_in_cg_pins_group () =
   let fs = fresh () in
   for cg = 0 to params.Ffs.Params.ncg - 1 do
-    let d = Ffs.Fs.mkdir_in_cg fs ~parent:(Ffs.Fs.root fs) ~name:(Fmt.str "d%d" cg) ~cg in
+    let d = Ffs.Fs.mkdir_in_cg_exn fs ~parent:(Ffs.Fs.root fs) ~name:(Fmt.str "d%d" cg) ~cg in
     check_int (Fmt.str "dir in group %d" cg) cg (Ffs.Fs.cg_of_inum fs d)
   done;
   Ffs.Fs.check_invariants fs
 
 let test_files_follow_directory_group () =
   let fs = fresh () in
-  let d = Ffs.Fs.mkdir_in_cg fs ~parent:(Ffs.Fs.root fs) ~name:"d" ~cg:2 in
+  let d = Ffs.Fs.mkdir_in_cg_exn fs ~parent:(Ffs.Fs.root fs) ~name:"d" ~cg:2 in
   let inum = create fs ~dir:d ~name:"f" ~size:block in
   check_int "inode in dir's group" 2 (Ffs.Fs.cg_of_inum fs inum);
   let e = entries fs inum in
@@ -131,7 +131,7 @@ let test_dirpref_spreads () =
   let fs = fresh () in
   let cgs =
     List.init 8 (fun i ->
-        Ffs.Fs.cg_of_inum fs (Ffs.Fs.mkdir fs ~parent:(Ffs.Fs.root fs) ~name:(Fmt.str "d%d" i)))
+        Ffs.Fs.cg_of_inum fs (Ffs.Fs.mkdir_exn fs ~parent:(Ffs.Fs.root fs) ~name:(Fmt.str "d%d" i)))
   in
   let distinct = List.sort_uniq compare cgs in
   (* 8 fresh directories over 4 groups: dirpref must not pile them up *)
@@ -139,34 +139,34 @@ let test_dirpref_spreads () =
 
 let test_dir_entries_order () =
   let fs = fresh () in
-  let d = Ffs.Fs.mkdir fs ~parent:(Ffs.Fs.root fs) ~name:"d" in
+  let d = Ffs.Fs.mkdir_exn fs ~parent:(Ffs.Fs.root fs) ~name:"d" in
   let a = create fs ~dir:d ~name:"a" ~size:10 in
   let b = create fs ~dir:d ~name:"b" ~size:10 in
   Alcotest.(check (list (pair string int)))
     "insertion order" [ ("a", a); ("b", b) ] (Ffs.Fs.dir_entries fs d);
-  Ffs.Fs.delete_file fs ~dir:d ~name:"a";
+  Ffs.Fs.delete_file_exn fs ~dir:d ~name:"a";
   Alcotest.(check (list (pair string int))) "after delete" [ ("b", b) ] (Ffs.Fs.dir_entries fs d)
 
 let test_rmdir () =
   let fs = fresh () in
   let before = Ffs.Fs.free_data_frags fs in
-  let d = Ffs.Fs.mkdir fs ~parent:(Ffs.Fs.root fs) ~name:"d" in
+  let d = Ffs.Fs.mkdir_exn fs ~parent:(Ffs.Fs.root fs) ~name:"d" in
   ignore (create fs ~dir:d ~name:"f" ~size:100);
   (match Ffs.Fs.rmdir fs ~parent:(Ffs.Fs.root fs) ~name:"d" with
-  | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "expected Invalid_argument for non-empty directory");
-  Ffs.Fs.delete_file fs ~dir:d ~name:"f";
-  Ffs.Fs.rmdir fs ~parent:(Ffs.Fs.root fs) ~name:"d";
+  | Error (Ffs.Error.Directory_not_empty _) -> ()
+  | Ok () | Error _ -> Alcotest.fail "expected Error Directory_not_empty");
+  Ffs.Fs.delete_file_exn fs ~dir:d ~name:"f";
+  Ffs.Fs.rmdir_exn fs ~parent:(Ffs.Fs.root fs) ~name:"d";
   check_int "space returned" before (Ffs.Fs.free_data_frags fs);
   Alcotest.(check (option int)) "gone" None (Ffs.Fs.lookup fs ~dir:(Ffs.Fs.root fs) ~name:"d");
   (match Ffs.Fs.rmdir fs ~parent:(Ffs.Fs.root fs) ~name:"d" with
-  | exception Not_found -> ()
-  | _ -> Alcotest.fail "expected Not_found");
+  | Error (Ffs.Error.No_such_name _) -> ()
+  | Ok () | Error _ -> Alcotest.fail "expected Error No_such_name");
   Ffs.Fs.check_invariants fs
 
 let test_dir_growth () =
   let fs = fresh () in
-  let d = Ffs.Fs.mkdir fs ~parent:(Ffs.Fs.root fs) ~name:"d" in
+  let d = Ffs.Fs.mkdir_exn fs ~parent:(Ffs.Fs.root fs) ~name:"d" in
   let frags_of_dir () = Ffs.Inode.frag_count (Ffs.Fs.inode fs d) in
   check_int "one fragment initially" 1 (frags_of_dir ());
   for i = 0 to 39 do
@@ -187,11 +187,11 @@ let make_sieve fs ~dir ~holes =
     let inum = create fs ~dir ~name:(Fmt.str "sieve%d" i) ~size:block in
     if i mod 2 = 0 then victims := inum :: !victims
   done;
-  List.iter (Ffs.Fs.delete_inum fs) !victims
+  List.iter (Ffs.Fs.delete_inum_exn fs) !victims
 
 let test_traditional_fragments_in_sieve () =
   let fs = fresh () in
-  let d = Ffs.Fs.mkdir_in_cg fs ~parent:(Ffs.Fs.root fs) ~name:"d" ~cg:1 in
+  let d = Ffs.Fs.mkdir_in_cg_exn fs ~parent:(Ffs.Fs.root fs) ~name:"d" ~cg:1 in
   make_sieve fs ~dir:d ~holes:30;
   let inum = create fs ~dir:d ~name:"big" ~size:(6 * block) in
   (* the traditional allocator fills the one-block holes: fragmented *)
@@ -200,7 +200,7 @@ let test_traditional_fragments_in_sieve () =
 
 let test_realloc_defragments_in_sieve () =
   let fs = fresh ~config:Ffs.Fs.realloc_config () in
-  let d = Ffs.Fs.mkdir_in_cg fs ~parent:(Ffs.Fs.root fs) ~name:"d" ~cg:1 in
+  let d = Ffs.Fs.mkdir_in_cg_exn fs ~parent:(Ffs.Fs.root fs) ~name:"d" ~cg:1 in
   make_sieve fs ~dir:d ~holes:30;
   let inum = create fs ~dir:d ~name:"big" ~size:(6 * block) in
   (* the realloc pass relocates the window into a free cluster *)
@@ -211,7 +211,7 @@ let test_realloc_defragments_in_sieve () =
 
 let test_realloc_not_invoked_below_two_blocks () =
   let fs = fresh ~config:Ffs.Fs.realloc_config () in
-  let d = Ffs.Fs.mkdir_in_cg fs ~parent:(Ffs.Fs.root fs) ~name:"d" ~cg:1 in
+  let d = Ffs.Fs.mkdir_in_cg_exn fs ~parent:(Ffs.Fs.root fs) ~name:"d" ~cg:1 in
   make_sieve fs ~dir:d ~holes:10;
   let before = (Ffs.Fs.stats fs).Ffs.Fs.realloc_attempts in
   (* one full block plus a fragment tail: "does not fill the second
@@ -224,7 +224,7 @@ let test_realloc_not_invoked_below_two_blocks () =
 
 let test_indirect_block_switches_group () =
   let fs = fresh () in
-  let d = Ffs.Fs.mkdir_in_cg fs ~parent:(Ffs.Fs.root fs) ~name:"d" ~cg:0 in
+  let d = Ffs.Fs.mkdir_in_cg_exn fs ~parent:(Ffs.Fs.root fs) ~name:"d" ~cg:0 in
   let size = 16 * block in
   let inum = create fs ~dir:d ~name:"big" ~size in
   let ino = Ffs.Fs.inode fs inum in
@@ -250,9 +250,9 @@ let test_contiguous_stat () =
   check_int "3 contiguous continuations" 3 s.Ffs.Fs.contiguous_allocations
 
 let test_rotdelay_spaces_blocks () =
-  let params = Ffs.Params.v ~ncg:4 ~rotdelay_blocks:1 ~size_bytes:(16 * 1024 * 1024) () in
+  let params = Ffs.Params.v_exn ~ncg:4 ~rotdelay_blocks:1 ~size_bytes:(16 * 1024 * 1024) () in
   let fs = Ffs.Fs.create params in
-  let inum = Ffs.Fs.create_file fs ~dir:(Ffs.Fs.root fs) ~name:"gapped" ~size:(4 * block) in
+  let inum = Ffs.Fs.create_file_exn fs ~dir:(Ffs.Fs.root fs) ~name:"gapped" ~size:(4 * block) in
   let e = (Ffs.Fs.inode fs inum).Ffs.Inode.entries in
   (* every consecutive pair sits one whole block apart *)
   for i = 1 to Array.length e - 1 do
@@ -277,13 +277,13 @@ let test_out_of_space_rollback () =
        ignore (create fs ~dir:d ~name:(Fmt.str "filler%d" i) ~size:chunk);
        incr made
      done
-   with Ffs.Fs.Out_of_space -> ());
+   with Ffs.Error.Error Ffs.Error.Out_of_space -> ());
   check_bool "filled some" true (!made >= 2);
   let free_before = Ffs.Fs.free_data_frags fs in
   let files_before = Ffs.Fs.file_count fs in
-  (match create fs ~dir:d ~name:"toobig" ~size:(total * 1024) with
-  | exception Ffs.Fs.Out_of_space -> ()
-  | _ -> Alcotest.fail "expected Out_of_space");
+  (match Ffs.Fs.create_file fs ~dir:d ~name:"toobig" ~size:(total * 1024) with
+  | Error Ffs.Error.Out_of_space -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Error Out_of_space");
   check_int "free space unchanged after failed create" free_before
     (Ffs.Fs.free_data_frags fs);
   check_int "file count unchanged" files_before (Ffs.Fs.file_count fs);
@@ -293,7 +293,7 @@ let test_copy_independence () =
   let fs = fresh () in
   let inum = create fs ~dir:(Ffs.Fs.root fs) ~name:"a" ~size:(2 * block) in
   let dup = Ffs.Fs.copy fs in
-  Ffs.Fs.delete_inum fs inum;
+  Ffs.Fs.delete_inum_exn fs inum;
   check_bool "copy still has the file" true (Ffs.Fs.file_exists dup inum);
   ignore (create dup ~dir:(Ffs.Fs.root dup) ~name:"b" ~size:block);
   check_int "original unaffected" 0 (Ffs.Fs.file_count fs);
@@ -326,7 +326,7 @@ let prop_random_workload_invariants =
     (fun (realloc, script) ->
       let config = if realloc then Ffs.Fs.realloc_config else Ffs.Fs.default_config in
       let fs = fresh ~config () in
-      let d = Ffs.Fs.mkdir fs ~parent:(Ffs.Fs.root fs) ~name:"w" in
+      let d = Ffs.Fs.mkdir_exn fs ~parent:(Ffs.Fs.root fs) ~name:"w" in
       let live = ref [] in
       let name = ref 0 in
       List.iter
@@ -334,20 +334,22 @@ let prop_random_workload_invariants =
           match op with
           | `Create size -> (
               incr name;
-              match create fs ~dir:d ~name:(Fmt.str "f%d" !name) ~size with
-              | inum -> live := inum :: !live
-              | exception Ffs.Fs.Out_of_space -> ())
+              match Ffs.Fs.create_file fs ~dir:d ~name:(Fmt.str "f%d" !name) ~size with
+              | Ok inum -> live := inum :: !live
+              | Error Ffs.Error.Out_of_space -> ()
+              | Error e -> Ffs.Error.raise_ e)
           | `Delete_random -> (
               match !live with
               | inum :: rest ->
-                  Ffs.Fs.delete_inum fs inum;
+                  Ffs.Fs.delete_inum_exn fs inum;
                   live := rest
               | [] -> ())
           | `Rewrite size -> (
               match !live with
               | inum :: _ -> (
-                  try Ffs.Fs.rewrite_file fs ~inum ~size
-                  with Ffs.Fs.Out_of_space -> ())
+                  match Ffs.Fs.rewrite_file fs ~inum ~size with
+                  | Ok () | Error Ffs.Error.Out_of_space -> ()
+                  | Error e -> Ffs.Error.raise_ e)
               | [] -> ()))
         script;
       Ffs.Fs.check_invariants fs;

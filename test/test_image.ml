@@ -31,7 +31,7 @@ let test_roundtrip () =
     (Ffs.Check.is_clean (Ffs.Check.run loaded.Aging.Image.result.Aging.Replay.fs));
   (* and usable: create a file on it *)
   let fs = loaded.Aging.Image.result.Aging.Replay.fs in
-  let inum = Ffs.Fs.create_file fs ~dir:(Ffs.Fs.root fs) ~name:"post-load" ~size:16384 in
+  let inum = Ffs.Fs.create_file_exn fs ~dir:(Ffs.Fs.root fs) ~name:"post-load" ~size:16384 in
   check_bool "writable after load" true (Ffs.Fs.file_exists fs inum)
 
 let expect_failure name f =

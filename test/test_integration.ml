@@ -21,7 +21,7 @@ let test_read_accounts_every_sector () =
   let sizes = [ 1000; block; (2 * block) + 3000; 96 * 1024; 104 * 1024; 900 * 1024 ] in
   List.iteri
     (fun i size ->
-      let inum = Ffs.Fs.create_file fs ~dir:(Ffs.Fs.root fs) ~name:(Fmt.str "f%d" i) ~size in
+      let inum = Ffs.Fs.create_file_exn fs ~dir:(Ffs.Fs.root fs) ~name:(Fmt.str "f%d" i) ~size in
       let ino = Ffs.Fs.inode fs inum in
       Ffs.Io_engine.reset engine;
       Ffs.Io_engine.read_file engine ~inum;
@@ -39,7 +39,7 @@ let test_overwrite_writes_every_data_sector () =
   let fs = Ffs.Fs.create params in
   let drive = Disk.Drive.create (Disk.Drive.paper_config ()) in
   let engine = Ffs.Io_engine.create ~fs ~drive () in
-  let inum = Ffs.Fs.create_file fs ~dir:(Ffs.Fs.root fs) ~name:"f" ~size:(50 * block) in
+  let inum = Ffs.Fs.create_file_exn fs ~dir:(Ffs.Fs.root fs) ~name:"f" ~size:(50 * block) in
   let ino = Ffs.Fs.inode fs inum in
   Ffs.Io_engine.reset engine;
   Ffs.Io_engine.overwrite_file engine ~inum;

@@ -16,7 +16,7 @@ let fresh ?config () =
 
 let test_clock_advances () =
   let fs, e = fresh () in
-  let inum = Ffs.Fs.create_file fs ~dir:(Ffs.Fs.root fs) ~name:"a" ~size:(4 * block) in
+  let inum = Ffs.Fs.create_file_exn fs ~dir:(Ffs.Fs.root fs) ~name:"a" ~size:(4 * block) in
   Alcotest.(check (float 0.0)) "starts at zero" 0.0 (Ffs.Io_engine.clock e);
   Ffs.Io_engine.read_file e ~inum;
   check_bool "clock moved" true (Ffs.Io_engine.clock e > 0.0);
@@ -25,7 +25,7 @@ let test_clock_advances () =
 
 let test_elapsed_of () =
   let fs, e = fresh () in
-  let inum = Ffs.Fs.create_file fs ~dir:(Ffs.Fs.root fs) ~name:"a" ~size:block in
+  let inum = Ffs.Fs.create_file_exn fs ~dir:(Ffs.Fs.root fs) ~name:"a" ~size:block in
   let t1 = Ffs.Io_engine.elapsed_of e (fun () -> Ffs.Io_engine.read_file e ~inum) in
   check_bool "positive elapsed" true (t1 > 0.0);
   let t0 = Ffs.Io_engine.elapsed_of e (fun () -> ()) in
@@ -34,8 +34,8 @@ let test_elapsed_of () =
 let test_metadata_cache () =
   let fs, e = fresh () in
   let d = Ffs.Fs.root fs in
-  let a = Ffs.Fs.create_file fs ~dir:d ~name:"a" ~size:block in
-  let b = Ffs.Fs.create_file fs ~dir:d ~name:"b" ~size:block in
+  let a = Ffs.Fs.create_file_exn fs ~dir:d ~name:"a" ~size:block in
+  let b = Ffs.Fs.create_file_exn fs ~dir:d ~name:"b" ~size:block in
   let t_first = Ffs.Io_engine.elapsed_of e (fun () -> Ffs.Io_engine.read_file e ~inum:a) in
   (* same directory, adjacent inode: all metadata reads now hit the cache *)
   let t_second = Ffs.Io_engine.elapsed_of e (fun () -> Ffs.Io_engine.read_file e ~inum:b) in
@@ -58,14 +58,14 @@ let test_contiguous_reads_faster_than_fragmented () =
   let make realloc =
     let config = if realloc then Ffs.Fs.realloc_config else Ffs.Fs.default_config in
     let fs, e = fresh ~config () in
-    let d = Ffs.Fs.mkdir_in_cg fs ~parent:(Ffs.Fs.root fs) ~name:"d" ~cg:1 in
+    let d = Ffs.Fs.mkdir_in_cg_exn fs ~parent:(Ffs.Fs.root fs) ~name:"d" ~cg:1 in
     let victims = ref [] in
     for i = 0 to 59 do
-      let inum = Ffs.Fs.create_file fs ~dir:d ~name:(Fmt.str "s%d" i) ~size:block in
+      let inum = Ffs.Fs.create_file_exn fs ~dir:d ~name:(Fmt.str "s%d" i) ~size:block in
       if i mod 2 = 0 then victims := inum :: !victims
     done;
-    List.iter (Ffs.Fs.delete_inum fs) !victims;
-    let inum = Ffs.Fs.create_file fs ~dir:d ~name:"big" ~size:(6 * block) in
+    List.iter (Ffs.Fs.delete_inum_exn fs) !victims;
+    let inum = Ffs.Fs.create_file_exn fs ~dir:d ~name:"big" ~size:(6 * block) in
     Ffs.Io_engine.elapsed_of e (fun () -> Ffs.Io_engine.read_file e ~inum)
   in
   let fragmented = make false in
@@ -74,7 +74,7 @@ let test_contiguous_reads_faster_than_fragmented () =
 
 let test_overwrite_slower_than_read_for_contiguous () =
   let fs, e = fresh () in
-  let inum = Ffs.Fs.create_file fs ~dir:(Ffs.Fs.root fs) ~name:"a" ~size:(32 * block) in
+  let inum = Ffs.Fs.create_file_exn fs ~dir:(Ffs.Fs.root fs) ~name:"a" ~size:(32 * block) in
   let read = Ffs.Io_engine.elapsed_of e (fun () -> Ffs.Io_engine.read_file e ~inum) in
   let write = Ffs.Io_engine.elapsed_of e (fun () -> Ffs.Io_engine.overwrite_file e ~inum) in
   (* reads stream via the track buffer; writes lose a rotation per
@@ -86,7 +86,7 @@ let test_soft_updates_cheaper_creates () =
     let fs = Ffs.Fs.create params in
     let drive = Disk.Drive.create (Disk.Drive.paper_config ()) in
     let e = Ffs.Io_engine.create ~fs ~drive ~metadata () in
-    let d = Ffs.Fs.mkdir fs ~parent:(Ffs.Fs.root fs) ~name:"d" in
+    let d = Ffs.Fs.mkdir_exn fs ~parent:(Ffs.Fs.root fs) ~name:"d" in
     Ffs.Io_engine.elapsed_of e (fun () ->
         for i = 0 to 19 do
           ignore (Ffs.Io_engine.create_and_write e ~dir:d ~name:(Fmt.str "f%d" i) ~size:8192)

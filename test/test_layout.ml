@@ -61,9 +61,9 @@ let test_aggregate_weighting () =
      perfect 11-block file and one broken 2-block file give 10/11 *)
   let fs = Ffs.Fs.create params in
   let d = Ffs.Fs.root fs in
-  ignore (Ffs.Fs.create_file fs ~dir:d ~name:"big" ~size:(11 * block));
+  ignore (Ffs.Fs.create_file_exn fs ~dir:d ~name:"big" ~size:(11 * block));
   (* fabricate a fragmented file by hand *)
-  let inum = Ffs.Fs.create_file fs ~dir:d ~name:"frag" ~size:(2 * block) in
+  let inum = Ffs.Fs.create_file_exn fs ~dir:d ~name:"frag" ~size:(2 * block) in
   let ino = Ffs.Fs.inode fs inum in
   (* detach its second block artificially for the metric (no allocator
      involvement; we only test the arithmetic) *)
@@ -75,17 +75,17 @@ let test_aggregate_weighting () =
 let test_aggregate_of_subset () =
   let fs = Ffs.Fs.create params in
   let d = Ffs.Fs.root fs in
-  let a = Ffs.Fs.create_file fs ~dir:d ~name:"a" ~size:(3 * block) in
-  let _b = Ffs.Fs.create_file fs ~dir:d ~name:"b" ~size:(3 * block) in
+  let a = Ffs.Fs.create_file_exn fs ~dir:d ~name:"a" ~size:(3 * block) in
+  let _b = Ffs.Fs.create_file_exn fs ~dir:d ~name:"b" ~size:(3 * block) in
   check_float "subset of one perfect file" 1.0
     (Aging.Layout_score.aggregate_of fs ~inums:[ a ])
 
 let test_by_size_buckets () =
   let fs = Ffs.Fs.create params in
   let d = Ffs.Fs.root fs in
-  ignore (Ffs.Fs.create_file fs ~dir:d ~name:"s" ~size:(16 * 1024));
-  ignore (Ffs.Fs.create_file fs ~dir:d ~name:"m" ~size:(100 * 1024));
-  ignore (Ffs.Fs.create_file fs ~dir:d ~name:"tiny" ~size:1000);
+  ignore (Ffs.Fs.create_file_exn fs ~dir:d ~name:"s" ~size:(16 * 1024));
+  ignore (Ffs.Fs.create_file_exn fs ~dir:d ~name:"m" ~size:(100 * 1024));
+  ignore (Ffs.Fs.create_file_exn fs ~dir:d ~name:"tiny" ~size:1000);
   (* one-block file excluded *)
   let buckets = Aging.Layout_score.by_size fs ~inums:None in
   check_int "two populated buckets" 2 (List.length buckets);
@@ -98,7 +98,7 @@ let test_by_size_buckets () =
 let test_by_size_overflow_bucket () =
   let fs = Ffs.Fs.create params in
   let d = Ffs.Fs.root fs in
-  ignore (Ffs.Fs.create_file fs ~dir:d ~name:"big" ~size:(3 * 1024 * 1024));
+  ignore (Ffs.Fs.create_file_exn fs ~dir:d ~name:"big" ~size:(3 * 1024 * 1024));
   let buckets =
     Aging.Layout_score.by_size ~bucket_lo:(16 * 1024) ~bucket_hi:(1024 * 1024) fs
       ~inums:None

@@ -76,8 +76,8 @@ let test_blocks_of_size () =
 let test_validation () =
   let expect_invalid name f =
     match f () with
-    | exception Invalid_argument _ -> ()
-    | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+    | Error (Ffs.Error.Invalid_params _) -> ()
+    | Ok _ | Error _ -> Alcotest.fail (name ^ ": expected Error Invalid_params")
   in
   expect_invalid "non-pow2 block" (fun () ->
       Ffs.Params.v ~block_bytes:6000 ~size_bytes:(64 * 1024 * 1024) ());
