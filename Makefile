@@ -1,6 +1,6 @@
 # Convenience targets; `make verify` is the tier-1 gate.
 
-.PHONY: all build test verify fmt bench figures crash-matrix metrics-smoke clean
+.PHONY: all build test verify fmt bench figures crash-matrix crash-explore metrics-smoke clean
 
 all: build
 
@@ -17,6 +17,7 @@ verify:
 	dune build
 	dune runtest
 	$(MAKE) crash-matrix
+	$(MAKE) crash-explore
 	$(MAKE) metrics-smoke
 
 # crash-consistency smoke: a small ground-truth workload through
@@ -34,6 +35,14 @@ crash-matrix:
 	done
 	@echo "== ffs_fsck inject/repair/re-audit =="
 	@dune exec bin/ffs_fsck.exe -- --fs small --days 10 --faults 12 -q
+
+# exhaustive crash-point exploration: on a small aged image, every
+# crash prefix of each multi-write operation class (plus bounded
+# write reorderings) must repair to a clean audit with no user data
+# lost
+crash-explore:
+	@echo "== ffs_fsck --explore =="
+	@dune exec bin/ffs_fsck.exe -- --fs small --days 5 --explore -q
 
 # observability smoke: a short aging run with the tracer and metrics
 # sink on (the JSONL and snapshot must come out non-empty), plus the

@@ -52,6 +52,15 @@ let replay_with_crashes ~params ~days ~config ~quiet ~crashes ~fault_seed ops =
     (cr.Aging.Replay.result, cr.Aging.Replay.recoveries)
   end
 
+(* Load a saved aged image or die with the corruption diagnosis; every
+   binary that reads an image wants exactly this behaviour. *)
+let load_image_or_exit ~path =
+  match Aging.Image.load ~path with
+  | Ok img -> img
+  | Error e ->
+      Fmt.epr "cannot load image: %a@." Ffs.Error.pp e;
+      exit 2
+
 let profile_kind_term =
   let open Cmdliner in
   let profile_conv =

@@ -7,15 +7,95 @@ let run_multi_seed ~days ~seed ~nseeds ~jobs ~quiet =
   let seeds = Benchlib.Experiments.default_seeds ~seed ~n:nseeds in
   let timings = Par.Timings.create () in
   let log msg = if not quiet then Fmt.epr "[age] %s@." msg in
-  let summary =
-    Par.Pool.with_pool ~jobs (fun pool ->
-        Benchlib.Experiments.build_seeds ~days ~pool ~timings ~log ~seeds ())
+  let outcome =
+    try
+      `Done
+        (Par.Pool.with_pool ~jobs (fun pool ->
+             Par.Pool.with_sigint pool (fun () ->
+                 Benchlib.Experiments.build_seeds ~days ~pool ~timings ~log ~seeds ())))
+    with Par.Pool.Interrupted { completed; total } -> `Stopped (completed, total)
   in
-  print_string (Benchlib.Experiments.seed_report summary);
-  Common.print_timings ~quiet timings
+  (match outcome with
+  | `Done summary -> print_string (Benchlib.Experiments.seed_report summary)
+  | `Stopped (completed, total) ->
+      Fmt.epr "interrupted: %d/%d tasks completed; timings below cover them@."
+        completed total);
+  Common.print_timings ~quiet timings;
+  match outcome with `Stopped _ -> exit 130 | `Done _ -> ()
+
+(* Checkpointed replay: periodic durable checkpoints, SIGINT-triggered
+   checkpoint-and-exit, and resume from the newest valid checkpoint.
+   Exits 130 when interrupted, 2 when the resume state is unusable. *)
+let replay_checkpointed ~params ~days ~config ~quiet ~crashes ~fault_seed
+    ~checkpoint_every ~checkpoint_dir ~checkpoint_keep ~resume ops =
+  let dir = match checkpoint_dir with Some d -> Some d | None -> resume in
+  let resume_ck =
+    match resume with
+    | None -> None
+    | Some rdir -> (
+        match Aging.Checkpoint.load_latest ~dir:rdir with
+        | Error e ->
+            Fmt.epr "cannot resume: %a@." Ffs.Error.pp e;
+            exit 2
+        | Ok (path, ck) ->
+            if not quiet then
+              Fmt.epr "resuming from %s (day %d, op %d)@." path
+                (Aging.Replay.checkpoint_day ck)
+                (Aging.Replay.checkpoint_next_op ck);
+            (* counters continue where the interrupted run left them, so
+               the finished run's totals match an uninterrupted one *)
+            Obs.Metrics.restore Obs.Metrics.default (Aging.Replay.checkpoint_metrics ck);
+            Some ck)
+  in
+  let stop = Atomic.make false in
+  let prev_sigint =
+    Sys.signal Sys.sigint
+      (Sys.Signal_handle
+         (fun _ ->
+           if Atomic.get stop then exit 130;
+           Atomic.set stop true;
+           prerr_endline "interrupt: checkpointing at the next operation (^C again to abort)"))
+  in
+  let save_ck ck =
+    match dir with
+    | None ->
+        if not quiet then
+          Fmt.epr "WARNING: no --checkpoint-dir; checkpoint dropped@."
+    | Some dir ->
+        let path = Aging.Checkpoint.save ~dir ~keep:checkpoint_keep ck in
+        if not quiet then
+          Fmt.epr "checkpoint written to %s (day %d)@." path
+            (Aging.Replay.checkpoint_day ck)
+  in
+  if not quiet then
+    Fmt.epr "workload: %a@." Workload.Op.pp_stats (Workload.Op.stats ops);
+  let outcome =
+    Fun.protect
+      ~finally:(fun () -> Sys.set_signal Sys.sigint prev_sigint)
+      (fun () ->
+        try
+          Aging.Replay.run_resumable ~config
+            ~progress:(Common.progress_of ~days ~quiet)
+            ?resume:resume_ck
+            ~should_stop:(fun () -> Atomic.get stop)
+            ~checkpoint_every ~on_checkpoint:save_ck ~params ~days ~crashes
+            ~fault_seed ops
+        with Ffs.Error.Error e ->
+          Fmt.epr "resume failed: %a@." Ffs.Error.pp e;
+          exit 2)
+  in
+  match outcome with
+  | `Interrupted ck ->
+      save_ck ck;
+      Fmt.epr "interrupted at day %d, op %d; resume with --resume@."
+        (Aging.Replay.checkpoint_day ck)
+        (Aging.Replay.checkpoint_next_op ck);
+      exit 130
+  | `Completed cr -> (cr.Aging.Replay.result, cr.Aging.Replay.recoveries)
 
 let run days seed nseeds jobs realloc policy kind profile_kind quiet params crashes
-    fault_seed trace metrics_out image_out csv_out workload_in workload_out =
+    fault_seed checkpoint_every checkpoint_dir checkpoint_keep resume trace
+    metrics_out image_out csv_out workload_in workload_out =
   Common.obs_setup ~trace ~metrics_out;
   if nseeds > 1 then begin
     run_multi_seed ~days ~seed ~nseeds ~jobs ~quiet;
@@ -40,8 +120,15 @@ let run days seed nseeds jobs realloc policy kind profile_kind quiet params cras
     | None -> days
     | Some _ -> (Workload.Op.stats ops).Workload.Op.days
   in
+  let checkpointing =
+    checkpoint_every > 0 || checkpoint_dir <> None || resume <> None
+  in
   let result, recoveries =
-    Common.replay_with_crashes ~params ~days ~config ~quiet ~crashes ~fault_seed ops
+    if checkpointing then
+      replay_checkpointed ~params ~days ~config ~quiet ~crashes ~fault_seed
+        ~checkpoint_every ~checkpoint_dir ~checkpoint_keep ~resume ops
+    else
+      Common.replay_with_crashes ~params ~days ~config ~quiet ~crashes ~fault_seed ops
   in
   let scores = result.Aging.Replay.daily_scores in
   Fmt.pr "allocator: %s@." (if realloc then "FFS + realloc" else "traditional FFS");
@@ -117,12 +204,40 @@ let cmd =
                    $(b,--seed)) through both allocators in parallel and report \
                    mean/stddev end-of-run layout scores instead of a single image.")
   in
+  let checkpoint_every =
+    Arg.(value & opt int 0
+         & info [ "checkpoint-every" ] ~docv:"DAYS"
+             ~doc:"Write a durable checkpoint every $(docv) simulated days \
+                   (0 disables periodic checkpoints). Single-seed runs only.")
+  in
+  let checkpoint_dir =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint-dir" ] ~docv:"DIR"
+             ~doc:"Directory for checkpoint files (created if missing). Enables \
+                   graceful SIGINT handling: the first $(b,^C) checkpoints and \
+                   exits 130, a second aborts immediately.")
+  in
+  let checkpoint_keep =
+    Arg.(value & opt int 3
+         & info [ "checkpoint-keep" ] ~docv:"M"
+             ~doc:"Retain the $(docv) newest checkpoints (0 keeps all); resume \
+                   falls back past a corrupted newest file.")
+  in
+  let resume =
+    Arg.(value & opt (some string) None
+         & info [ "resume" ] ~docv:"DIR"
+             ~doc:"Resume from the newest valid checkpoint in $(docv); the run's \
+                   result is bit-identical to one never interrupted. Also used \
+                   as the checkpoint directory unless $(b,--checkpoint-dir) is \
+                   given.")
+  in
   let term =
     Term.(
       const run $ Common.days_term $ Common.seed_term $ seeds $ Common.jobs_term
       $ Common.realloc_term $ Common.policy_term $ Common.workload_kind_term
       $ Common.profile_kind_term $ Common.quiet_term $ Common.params_term
-      $ Common.crashes_term $ Common.fault_seed_term $ Common.trace_term
+      $ Common.crashes_term $ Common.fault_seed_term $ checkpoint_every
+      $ checkpoint_dir $ checkpoint_keep $ resume $ Common.trace_term
       $ Common.metrics_out_term $ image_out $ csv_out $ workload_in $ workload_out)
   in
   Cmd.v

@@ -31,8 +31,30 @@ let metrics_of_image fs =
     (Ffs.Fs.cg_states fs);
   m
 
-let run image_path metrics metrics_out =
-  let image = Aging.Image.load ~path:image_path in
+(* --header: describe the durable container itself (any artifact —
+   aged image or checkpoint) without deserialising the payload. *)
+let print_header image_path =
+  match Recover.Container.inspect ~path:image_path with
+  | Error e ->
+      Fmt.epr "cannot inspect %s: %a@." image_path Ffs.Error.pp e;
+      exit 2
+  | Ok info ->
+      Fmt.pr "file:          %s@." image_path;
+      Fmt.pr "format:        FFSRECOV v%d@." info.Recover.Container.version;
+      Fmt.pr "kind:          %s@." info.Recover.Container.kind;
+      Fmt.pr "payload bytes: %d@." info.Recover.Container.payload_bytes;
+      Fmt.pr "crc stored:    0x%08lx@." info.Recover.Container.crc_stored;
+      (match info.Recover.Container.crc_computed with
+      | None -> Fmt.pr "crc status:    UNCHECKABLE (truncated payload)@."
+      | Some c ->
+          Fmt.pr "crc computed:  0x%08lx@." c;
+          Fmt.pr "crc status:    %s@."
+            (if Recover.Container.crc_ok info then "OK" else "MISMATCH"));
+      if not (Recover.Container.crc_ok info) then exit 1
+
+let run image_path header metrics metrics_out =
+  if header then (print_header image_path; exit 0);
+  let image = Common.load_image_or_exit ~path:image_path in
   let result = image.Aging.Image.result in
   let fs = result.Aging.Replay.fs in
   let params = Ffs.Fs.params fs in
@@ -102,6 +124,14 @@ let run image_path metrics metrics_out =
   if not (Ffs.Check.is_clean audit) then exit 1
 
 let cmd =
+  let header =
+    Arg.(value & flag
+         & info [ "header" ]
+             ~doc:"Print the durable-container header (format version, kind, \
+                   payload size, CRC status) of any artifact — aged image or \
+                   checkpoint — and exit without decoding the payload. Exits 1 \
+                   on a CRC mismatch, 2 on an unreadable file.")
+  in
   let metrics =
     Arg.(value & flag
          & info [ "metrics" ]
@@ -110,7 +140,7 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "ffs_inspect" ~doc:"Fragmentation and free-space report of an aged image")
-    Term.(const run $ Common.image_arg ~doc:"Aged image to inspect." $ metrics
+    Term.(const run $ Common.image_arg ~doc:"Aged image to inspect." $ header $ metrics
           $ Common.metrics_out_term)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,53 @@
+let src = Logs.Src.create "aging.checkpoint" ~doc:"aging checkpoint store"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let kind = "aging-checkpoint-1"
+
+(* ckpt-op000001234-day0042.ffsck — zero-padded so lexicographic name
+   order is op order, which makes "newest" a plain sort *)
+let filename ck =
+  Fmt.str "ckpt-op%09d-day%04d.ffsck" (Replay.checkpoint_next_op ck) (Replay.checkpoint_day ck)
+
+let is_checkpoint_file name =
+  String.length name > 5
+  && String.sub name 0 5 = "ckpt-"
+  && Filename.check_suffix name ".ffsck"
+
+let list ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+      let names = Array.to_list names |> List.filter is_checkpoint_file in
+      List.sort (fun a b -> compare b a) names |> List.map (Filename.concat dir)
+
+let save ~dir ~keep ck =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (filename ck) in
+  Recover.Container.write ~path ~kind (Marshal.to_string ck []);
+  (* retention: drop everything past the [keep] newest *)
+  let stale = match list ~dir with l when keep > 0 -> List.filteri (fun i _ -> i >= keep) l | l -> l in
+  List.iter
+    (fun p ->
+      try Sys.remove p
+      with Sys_error msg -> Log.warn (fun m -> m "could not prune old checkpoint %s: %s" p msg))
+    (if keep > 0 then stale else []);
+  path
+
+let load ~path =
+  Result.map
+    (fun payload -> (Marshal.from_string payload 0 : Replay.checkpoint))
+    (Recover.Container.read ~path ~kind)
+
+let load_latest ~dir =
+  let rec try_all = function
+    | [] -> Error (Ffs.Error.Corrupt (Fmt.str "%s: no valid checkpoint found" dir))
+    | path :: older -> (
+        match load ~path with
+        | Ok ck -> Ok (path, ck)
+        | Error e ->
+            Log.warn (fun m ->
+                m "skipping unusable checkpoint %s: %a; falling back" path Ffs.Error.pp e);
+            try_all older)
+  in
+  try_all (list ~dir)

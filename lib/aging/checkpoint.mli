@@ -1,0 +1,28 @@
+(** Durable checkpoint store for aging runs.
+
+    Each checkpoint is one {!Recover.Container} file
+    ([ckpt-op<NNNNNNNNN>-day<NNNN>.ffsck]) in a directory, written
+    atomically (temp + fsync + rename) and CRC-protected. The store
+    keeps the last few checkpoints, and loading falls back past a
+    corrupted newest file to the most recent valid one — losing power
+    {e while} checkpointing therefore costs at most one checkpoint
+    interval, never the run. *)
+
+val save : dir:string -> keep:int -> Replay.checkpoint -> string
+(** Write the checkpoint into [dir] (created if missing) and prune all
+    but the [keep] newest checkpoint files ([keep <= 0] keeps
+    everything). Returns the path written. *)
+
+val load : path:string -> (Replay.checkpoint, Ffs.Error.t) result
+(** [Error (Corrupt _)] for a missing, truncated, bit-flipped or
+    wrong-version file. *)
+
+val load_latest : dir:string -> (string * Replay.checkpoint, Ffs.Error.t) result
+(** Newest valid checkpoint in [dir] (returning its path), skipping —
+    with a logged warning — any newer file that fails validation.
+    [Error (Corrupt _)] when the directory holds no loadable
+    checkpoint. *)
+
+val list : dir:string -> string list
+(** Checkpoint files in [dir], newest first (empty for a missing
+    directory). *)

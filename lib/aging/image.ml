@@ -1,27 +1,17 @@
 type t = { days : int; description : string; result : Replay.result }
 
-(* bump the version suffix whenever the marshalled representation of
-   Replay.result or Fs.t changes *)
-let magic = "FFS-REPRO-IMAGE-1\n"
+(* bump the kind version suffix whenever the marshalled representation
+   of Replay.result or Fs.t changes; Container rejects mismatches as
+   Corrupt, so stale images fail loudly instead of segfaulting in
+   Marshal.from_string *)
+let kind = "aged-image-2"
 
-let save ~path t =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc magic;
-      Marshal.to_channel oc t [])
+let save ~path t = Recover.Container.write ~path ~kind (Marshal.to_string t [])
 
 let load ~path =
-  if not (Sys.file_exists path) then Fmt.failwith "Image.load: no such file: %s" path;
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      match
-        let header = really_input_string ic (String.length magic) in
-        if header <> magic then Fmt.failwith "Image.load: %s is not an aged image" path;
-        (Marshal.from_channel ic : t)
-      with
-      | t -> t
-      | exception End_of_file -> Fmt.failwith "Image.load: %s is truncated" path)
+  Result.map
+    (fun payload -> (Marshal.from_string payload 0 : t))
+    (Recover.Container.read ~path ~kind)
+
+let load_exn ~path =
+  match load ~path with Ok t -> t | Error e -> Ffs.Error.raise_ e

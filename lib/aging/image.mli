@@ -6,8 +6,12 @@
     benchmarks, inspectors and examples operate on the same image — the
     way the paper benchmarks one aged disk repeatedly.
 
-    The format is OCaml [Marshal] prefixed with a versioned magic
-    string; it is a cache, not an interchange format. *)
+    The payload is OCaml [Marshal] inside a {!Recover.Container}
+    envelope (versioned magic, kind tag, length, CRC-32, atomic
+    write-then-rename), so a truncated copy, a bit flip, or an image
+    written by an incompatible version of this library is detected and
+    reported as [Error Corrupt] rather than fed to [Marshal]. It is a
+    cache, not an interchange format. *)
 
 type t = {
   days : int;  (** length of the aging run *)
@@ -16,7 +20,13 @@ type t = {
 }
 
 val save : path:string -> t -> unit
+(** Durable write: temp file, fsync, atomic rename (see
+    {!Recover.Container.write}). *)
 
-val load : path:string -> t
-(** Raises [Failure] if the file is missing, truncated, or was written
-    by a different version of this library. *)
+val load : path:string -> (t, Ffs.Error.t) result
+(** [Error (Corrupt _)] (naming the file) if the file is missing, not a
+    container, truncated, fails its CRC, or was written by a different
+    version of this library. *)
+
+val load_exn : path:string -> t
+(** Like {!load} but raises {!Ffs.Error.Error}. *)

@@ -152,22 +152,7 @@ let finish e =
     ino_map = e.ino_map;
   }
 
-(* --- entry points --------------------------------------------------------- *)
-
 let default_max_skip_fraction = 0.9
-
-let run ?(config = Ffs.Fs.default_config) ?(progress = fun ~day:_ ~score:_ -> ())
-    ?(on_skip = fun _ ~skipped:_ -> ()) ?(max_skip_fraction = default_max_skip_fraction)
-    ~params ~days ops =
-  Obs.Trace.span "replay.run"
-    [ Obs.Trace.i "days" days; Obs.Trace.i "ops" (Array.length ops) ]
-  @@ fun () ->
-  let e =
-    make_engine ~config ~progress ~on_skip ~max_skip_fraction ~params ~days
-      ~total_ops:(Array.length ops)
-  in
-  Array.iter (step e) ops;
-  finish e
 
 (* --- crash-consistent replay ---------------------------------------------- *)
 
@@ -219,28 +204,158 @@ let crash e ~after_op ~rng ~intensity =
     files_lost = List.length lost;
   }
 
+(* --- checkpoint/resume ----------------------------------------------------- *)
+
+(* The complete state of a paused replay: everything [engine] holds
+   except its callbacks (closures don't marshal; the caller re-supplies
+   them on resume), plus the position in the op stream, the fault PRNG
+   state, the not-yet-fired crash points, the recoveries so far, and a
+   snapshot of the metrics registry. A checkpoint SHARES structure with
+   the live engine — serialise it (Checkpoint.save) before continuing
+   the run, or treat the run as abandoned. *)
+type checkpoint = {
+  ck_fs : Ffs.Fs.t;
+  ck_group_dirs : int array;
+  ck_ino_map : (int, int) Hashtbl.t;
+  ck_daily_scores : float array;
+  ck_daily_utilization : float array;
+  ck_days : int;
+  ck_total_ops : int;
+  ck_skipped : int;
+  ck_next_day : int;
+  ck_next_op : int;  (* index of the first op not yet applied *)
+  ck_ops_crc : int32;  (* fingerprint of the workload being replayed *)
+  ck_fault_rng : Util.Prng.t;
+  ck_pending_crashes : int list;
+  ck_recoveries : recovery list;  (* reverse chronological *)
+  ck_metrics : Obs.Metrics.snapshot;
+}
+
+let ops_fingerprint ops = Recover.Crc32.string (Marshal.to_string (ops : Workload.Op.t array) [])
+
+let checkpoint_day ck = ck.ck_next_day
+let checkpoint_next_op ck = ck.ck_next_op
+let checkpoint_metrics ck = ck.ck_metrics
+
+let checkpoint_of_engine e ~next_op ~ops_crc ~rng ~pending ~recoveries =
+  {
+    ck_fs = e.fs;
+    ck_group_dirs = e.group_dirs;
+    ck_ino_map = e.ino_map;
+    ck_daily_scores = e.daily_scores;
+    ck_daily_utilization = e.daily_utilization;
+    ck_days = e.days;
+    ck_total_ops = e.total_ops;
+    ck_skipped = e.skipped;
+    ck_next_day = e.next_day;
+    ck_next_op = next_op;
+    ck_ops_crc = ops_crc;
+    ck_fault_rng = Util.Prng.copy rng;
+    ck_pending_crashes = pending;
+    ck_recoveries = recoveries;
+    ck_metrics = Obs.Metrics.snapshot metrics;
+  }
+
+let corrupt_resume fmt = Fmt.kstr (fun m -> Ffs.Error.raise_ (Ffs.Error.Corrupt m)) fmt
+
+let engine_of_checkpoint ~progress ~on_skip ~max_skip_fraction ~days ~ops ~ops_crc ck =
+  if ck.ck_ops_crc <> ops_crc then
+    corrupt_resume "resume: checkpoint was taken against a different workload";
+  if ck.ck_days <> days then
+    corrupt_resume "resume: checkpoint is for a %d-day run, not %d days" ck.ck_days days;
+  if ck.ck_total_ops <> Array.length ops then
+    corrupt_resume "resume: checkpoint expects %d operations, workload has %d" ck.ck_total_ops
+      (Array.length ops);
+  {
+    fs = ck.ck_fs;
+    group_dirs = ck.ck_group_dirs;
+    ino_map = ck.ck_ino_map;
+    daily_scores = ck.ck_daily_scores;
+    daily_utilization = ck.ck_daily_utilization;
+    days;
+    total_ops = ck.ck_total_ops;
+    max_skip_fraction;
+    on_skip;
+    progress;
+    skipped = ck.ck_skipped;
+    next_day = ck.ck_next_day;
+  }
+
+(* --- the resumable driver -------------------------------------------------- *)
+
+let run_resumable ?(config = Ffs.Fs.default_config)
+    ?(progress = fun ~day:_ ~score:_ -> ()) ?(on_skip = fun _ ~skipped:_ -> ())
+    ?(max_skip_fraction = default_max_skip_fraction) ?(intensity = 4) ?resume
+    ?(should_stop = fun () -> false) ?(checkpoint_every = 0)
+    ?(on_checkpoint = fun (_ : checkpoint) -> ()) ~params ~days ~crashes ~fault_seed ops =
+  let ops_crc = ops_fingerprint ops in
+  let e, rng, pending0, recoveries0, start_op =
+    match resume with
+    | None ->
+        let e =
+          make_engine ~config ~progress ~on_skip ~max_skip_fraction ~params ~days
+            ~total_ops:(Array.length ops)
+        in
+        let rng = Util.Prng.create ~seed:fault_seed in
+        let points = Fault.Plan.crash_points ~rng ~n_ops:(Array.length ops) ~crashes in
+        (e, rng, points, [], 0)
+    | Some ck ->
+        let e = engine_of_checkpoint ~progress ~on_skip ~max_skip_fraction ~days ~ops ~ops_crc ck in
+        (e, ck.ck_fault_rng, ck.ck_pending_crashes, ck.ck_recoveries, ck.ck_next_op)
+  in
+  let recoveries = ref recoveries0 in
+  let pending = ref pending0 in
+  let last_ckpt_day = ref e.next_day in
+  let n = Array.length ops in
+  let interrupted = ref None in
+  let i = ref start_op in
+  while !interrupted = None && !i < n do
+    let idx = !i in
+    step e ops.(idx);
+    (match !pending with
+    | p :: rest when p = idx ->
+        pending := rest;
+        recoveries := crash e ~after_op:idx ~rng ~intensity :: !recoveries
+    | _ -> ());
+    incr i;
+    let take () =
+      checkpoint_of_engine e ~next_op:!i ~ops_crc ~rng ~pending:!pending ~recoveries:!recoveries
+    in
+    if should_stop () then interrupted := Some (take ())
+    else if checkpoint_every > 0 && e.next_day >= !last_ckpt_day + checkpoint_every then begin
+      last_ckpt_day := e.next_day;
+      Obs.Metrics.inc metrics "replay_checkpoints_total";
+      on_checkpoint (take ())
+    end
+  done;
+  match !interrupted with
+  | Some ck -> `Interrupted ck
+  | None -> `Completed { result = finish e; recoveries = List.rev !recoveries }
+
+(* --- the original entry points, now thin wrappers -------------------------- *)
+
+let completed_exn = function
+  | `Completed r -> r
+  | `Interrupted _ -> assert false (* no should_stop was supplied *)
+
+let run ?(config = Ffs.Fs.default_config) ?(progress = fun ~day:_ ~score:_ -> ())
+    ?(on_skip = fun _ ~skipped:_ -> ()) ?(max_skip_fraction = default_max_skip_fraction)
+    ~params ~days ops =
+  Obs.Trace.span "replay.run"
+    [ Obs.Trace.i "days" days; Obs.Trace.i "ops" (Array.length ops) ]
+  @@ fun () ->
+  (completed_exn
+     (run_resumable ~config ~progress ~on_skip ~max_skip_fraction ~params ~days ~crashes:0
+        ~fault_seed:0 ops))
+    .result
+
 let run_with_crashes ?(config = Ffs.Fs.default_config)
     ?(progress = fun ~day:_ ~score:_ -> ()) ?(on_skip = fun _ ~skipped:_ -> ())
     ?(max_skip_fraction = default_max_skip_fraction) ?(intensity = 4) ~params ~days
     ~crashes ~fault_seed ops =
-  let e =
-    make_engine ~config ~progress ~on_skip ~max_skip_fraction ~params ~days
-      ~total_ops:(Array.length ops)
-  in
-  let rng = Util.Prng.create ~seed:fault_seed in
-  let points = Fault.Plan.crash_points ~rng ~n_ops:(Array.length ops) ~crashes in
-  let recoveries = ref [] in
-  let next_crash = ref points in
-  Array.iteri
-    (fun i op ->
-      step e op;
-      match !next_crash with
-      | p :: rest when p = i ->
-          next_crash := rest;
-          recoveries := crash e ~after_op:i ~rng ~intensity :: !recoveries
-      | _ -> ())
-    ops;
-  { result = finish e; recoveries = List.rev !recoveries }
+  completed_exn
+    (run_resumable ~config ~progress ~on_skip ~max_skip_fraction ~intensity ~params ~days
+       ~crashes ~fault_seed ops)
 
 let hot_inums (result : result) ~since =
   Ffs.Fs.fold_files result.fs ~init:[] ~f:(fun acc ino ->

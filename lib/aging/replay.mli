@@ -81,6 +81,63 @@ val run_with_crashes :
     [crashes = 0] this is exactly {!run}. The final image is always
     fsck-clean: every crash is followed by a full repair. *)
 
+(** {2 Checkpoint/resume}
+
+    A long aging run can be paused and resumed with no effect on its
+    result: the checkpoint carries the complete replay state — the file
+    system image, the day and operation position, the layout-score
+    history, the fault PRNG state and pending crash points, and a
+    metrics-registry snapshot — and a resumed run is bit-identical to
+    one that was never interrupted (same marshalled image, same score
+    series, same counters). *)
+
+type checkpoint
+
+val checkpoint_day : checkpoint -> int
+(** Simulated days fully scored when the checkpoint was taken. *)
+
+val checkpoint_next_op : checkpoint -> int
+(** Index of the first operation the resumed run will apply. *)
+
+val checkpoint_metrics : checkpoint -> Obs.Metrics.snapshot
+(** The metrics registry as of the checkpoint; restore it with
+    {!Obs.Metrics.restore} before resuming so counter totals match an
+    uninterrupted run. *)
+
+val run_resumable :
+  ?config:Ffs.Fs.config ->
+  ?progress:(day:int -> score:float -> unit) ->
+  ?on_skip:(Workload.Op.t -> skipped:int -> unit) ->
+  ?max_skip_fraction:float ->
+  ?intensity:int ->
+  ?resume:checkpoint ->
+  ?should_stop:(unit -> bool) ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(checkpoint -> unit) ->
+  params:Ffs.Params.t ->
+  days:int ->
+  crashes:int ->
+  fault_seed:int ->
+  Workload.Op.t array ->
+  [ `Completed of crash_result | `Interrupted of checkpoint ]
+(** The engine beneath {!run} and {!run_with_crashes}, with pause and
+    resume.
+
+    [resume] continues from a checkpoint instead of an empty file
+    system; the same workload, [days] and (for crash runs) fault
+    schedule must be supplied — the checkpoint carries a workload
+    fingerprint, and a mismatch raises {!Ffs.Error.Error} with
+    [Corrupt _]. [should_stop] is polled between operations; when it
+    returns [true] the run stops and returns [`Interrupted] with a
+    checkpoint of the exact position. [checkpoint_every] > 0 calls
+    [on_checkpoint] whenever that many further days complete (measured
+    at the first operation past each boundary).
+
+    A checkpoint shares structure with the live engine: serialise it
+    (see {!Checkpoint}) inside [on_checkpoint]; do not keep using an
+    in-memory checkpoint after the run has advanced. [config] matters
+    only for fresh runs (a resumed image keeps its allocator). *)
+
 val hot_inums : result -> since:float -> int list
 (** Files in the aged image last modified at or after [since] — the
     paper's "hot set" (Section 5.2) when [since] is 30 days before the

@@ -288,6 +288,15 @@ let corrupt_counters t ~nffree ~nbfree =
   t.nffree <- nffree;
   t.nbfree <- nbfree
 
+(* raw single-structure writes for crash-state replay: each mirrors one
+   journal step landing on disk with no coordinated updates, so they are
+   deliberately tolerant (idempotent, never asserting) — the surrounding
+   state is by construction inconsistent until repair *)
+
+let corrupt_set_inode t i = Bitmap.set t.inode_used i
+let corrupt_clear_inode t i = Bitmap.clear t.inode_used i
+let corrupt_adjust_dirs t delta = t.ndirs <- max 0 (t.ndirs + delta)
+
 let check_invariants t =
   assert (t.nffree = Bitmap.count_clear t.frag_used);
   assert (t.nbfree = Bitmap.count_clear t.block_used);

@@ -115,3 +115,14 @@ val corrupt_set_frag : t -> int -> unit
 val corrupt_counters : t -> nffree:int -> nbfree:int -> unit
 (** Overwrite the free-fragment and free-block counters (a torn
     group-descriptor write). *)
+
+val corrupt_set_inode : t -> int -> unit
+(** Set one inode-bitmap bit with no counter update (the bitmap half of
+    an inode allocation landing alone). Idempotent. *)
+
+val corrupt_clear_inode : t -> int -> unit
+(** Clear one inode-bitmap bit with no counter update. Idempotent. *)
+
+val corrupt_adjust_dirs : t -> int -> unit
+(** Adjust the directory count by a delta, clamped at zero (a torn
+    group-descriptor write during mkdir/rmdir). *)

@@ -34,7 +34,33 @@ type t = {
   mutable clock : float;
   root_inum : int;
   stats : stats;
+  mutable jrec : Journal.step list ref option;
+      (* crash-exploration journal: when set, every metadata write is
+         also recorded (reverse order) — see [record_journal] *)
 }
+
+(* Record one journal step if a recording is open (one option check per
+   metadata write otherwise — the aging hot path stays unaffected). *)
+let jot t step = match t.jrec with Some r -> r := step :: !r | None -> ()
+
+let record_journal t f =
+  assert (t.jrec = None);
+  let r = ref [] in
+  t.jrec <- Some r;
+  Fun.protect
+    ~finally:(fun () -> t.jrec <- None)
+    (fun () ->
+      let v = f () in
+      (v, List.rev !r))
+
+(* Deep snapshot: journal steps outlive the operation, and the live
+   inode's arrays keep mutating after the step is recorded. *)
+let snapshot_inode ino =
+  {
+    ino with
+    Inode.entries = Array.copy ino.Inode.entries;
+    indirect_addrs = Array.copy ino.Inode.indirect_addrs;
+  }
 
 let default_config = { realloc = false; cluster_policy = `First_fit }
 let realloc_config = { realloc = true; cluster_policy = `First_fit }
@@ -77,7 +103,9 @@ let alloc_inode_near t ~cg =
     match Cg.alloc_inode t.cgs.(c) with
     | Some local ->
         Obs.Metrics.inc metrics "ffs_alloc_inodes_total";
-        Some ((c * ipg t) + local)
+        let inum = (c * ipg t) + local in
+        jot t (Journal.Inode_slot_set { inum });
+        Some inum
     | None -> None
   in
   let rec quadratic c i =
@@ -162,6 +190,7 @@ let alloc_block t ~pref_cg ~pref_block ~prev =
       if contig then
         t.stats.contiguous_allocations <- t.stats.contiguous_allocations + 1;
       let cg = cg_of_global t addr in
+      jot t (Journal.Data_set { addr; frags = fpb t });
       Obs.Metrics.inc metrics "ffs_alloc_blocks_total";
       if contig then Obs.Metrics.inc metrics "ffs_alloc_contiguous_total";
       Obs.Heatmap.record heat ~cg Obs.Heatmap.Block;
@@ -188,6 +217,7 @@ let alloc_frags t ~pref_cg ~pref_frag ~count =
   | Some addr ->
       t.stats.frags_allocated <- t.stats.frags_allocated + count;
       let cg = cg_of_global t addr in
+      jot t (Journal.Data_set { addr; frags = count });
       Obs.Metrics.inc metrics "ffs_alloc_frag_runs_total";
       Obs.Metrics.add metrics "ffs_alloc_frags_total" count;
       Obs.Heatmap.record heat ~cg Obs.Heatmap.Frag;
@@ -205,6 +235,7 @@ let alloc_frags t ~pref_cg ~pref_frag ~count =
 
 let free_run t ~addr ~frags =
   let cg, frag = local_of_global t addr in
+  jot t (Journal.Data_clear { addr; frags });
   Obs.Metrics.add metrics "ffs_free_frags_total" frags;
   Cg.free_frags t.cgs.(cg) ~pos:frag ~count:frags
 
@@ -423,7 +454,8 @@ let maybe_extend_dir t dir =
     in
     let addr = alloc_frags t ~pref_cg:cg ~pref_frag:pref ~count:1 in
     ino.Inode.entries <- Array.append ino.Inode.entries [| { Inode.addr; frags = 1 } |];
-    ino.Inode.size <- ino.Inode.size + t.params.Params.frag_bytes
+    ino.Inode.size <- ino.Inode.size + t.params.Params.frag_bytes;
+    jot t (Journal.Inode_write { ino = snapshot_inode ino })
   end
 
 let add_dir_entry t ~dir ~name ~inum =
@@ -433,7 +465,10 @@ let add_dir_entry t ~dir ~name ~inum =
   d.order <- name :: d.order;
   d.live_entries <- d.live_entries + 1;
   Hashtbl.replace t.parents inum (dir, name);
-  maybe_extend_dir t d
+  (* real write order: the directory grows first, then the new entry's
+     block is written — so the extension steps precede the entry step *)
+  maybe_extend_dir t d;
+  jot t (Journal.Dir_add { dir; name; inum })
 
 let remove_dir_entry t ~dir ~name =
   let d = get_dir t dir in
@@ -441,7 +476,8 @@ let remove_dir_entry t ~dir ~name =
   | None -> Error.raise_ (Error.No_such_name { dir; name })
   | Some inum -> Hashtbl.remove t.parents inum);
   Hashtbl.remove d.by_name name;
-  d.live_entries <- d.live_entries - 1
+  d.live_entries <- d.live_entries - 1;
+  jot t (Journal.Dir_remove { dir; name })
 
 (* --- construction ------------------------------------------------------- *)
 
@@ -458,6 +494,8 @@ let make_dir_at t ~cg ~time =
       Hashtbl.replace t.dirs inum
         { dir_inum = inum; by_name = Hashtbl.create 16; order = []; live_entries = 0 };
       Cg.add_dir t.cgs.(cg_of_inum t inum);
+      jot t (Journal.Inode_write { ino = snapshot_inode ino });
+      jot t (Journal.Dir_count { cg = cg_of_inum t inum; delta = 1 });
       inum
 
 let create ?(config = default_config) params =
@@ -472,6 +510,7 @@ let create ?(config = default_config) params =
       clock = 0.0;
       root_inum = -1;
       stats = fresh_stats ();
+      jrec = None;
     }
   in
   let root = make_dir_at t ~cg:0 ~time:0.0 in
@@ -494,6 +533,7 @@ let copy t =
        h);
     parents = Hashtbl.copy t.parents;
     stats = { t.stats with blocks_allocated = t.stats.blocks_allocated };
+    jrec = None;
   }
 
 let params t = t.params
@@ -553,9 +593,12 @@ let rmdir_exn t ~parent ~name =
       Array.iter (fun e -> free_run t ~addr:e.Inode.addr ~frags:e.Inode.frags) ino.Inode.entries;
       Hashtbl.remove t.inodes inum;
       Hashtbl.remove t.dirs inum;
+      jot t (Journal.Inode_clear { inum });
       remove_dir_entry t ~dir:parent ~name;
       Cg.remove_dir t.cgs.(cg_of_inum t inum);
-      Cg.free_inode t.cgs.(cg_of_inum t inum) (inum mod ipg t)
+      jot t (Journal.Dir_count { cg = cg_of_inum t inum; delta = -1 });
+      Cg.free_inode t.cgs.(cg_of_inum t inum) (inum mod ipg t);
+      jot t (Journal.Inode_slot_clear { inum })
 
 let lookup t ~dir ~name = lookup_opt t ~dir ~name
 
@@ -596,10 +639,12 @@ let create_file_exn t ~dir ~name ~size =
         ino.Inode.entries <- entries;
         ino.Inode.indirect_addrs <- indirects;
         Hashtbl.replace t.inodes inum ino;
+        jot t (Journal.Inode_write { ino = snapshot_inode ino });
         add_dir_entry t ~dir ~name ~inum;
         inum
       with Error.Error Error.Out_of_space ->
         Cg.free_inode t.cgs.(actual_cg) (inum mod ipg t);
+        jot t (Journal.Inode_slot_clear { inum });
         Error.raise_ Error.Out_of_space)
 
 let free_file_data t ino =
@@ -617,10 +662,12 @@ let delete_inum_exn t inum =
         Error.raise_ (Error.Is_a_directory { inum; op = "delete_inum" });
       free_file_data t ino;
       Hashtbl.remove t.inodes inum;
+      jot t (Journal.Inode_clear { inum });
       (match Hashtbl.find_opt t.parents inum with
       | Some (dir, name) -> remove_dir_entry t ~dir ~name
       | None -> ());
-      Cg.free_inode t.cgs.(cg_of_inum t inum) (inum mod ipg t)
+      Cg.free_inode t.cgs.(cg_of_inum t inum) (inum mod ipg t);
+      jot t (Journal.Inode_slot_clear { inum })
 
 let delete_file_exn t ~dir ~name =
   match lookup t ~dir ~name with
@@ -639,7 +686,8 @@ let rewrite_file_exn t ~inum ~size =
       ino.Inode.size <- size;
       ino.Inode.entries <- entries;
       ino.Inode.indirect_addrs <- indirects;
-      ino.Inode.mtime <- t.clock
+      ino.Inode.mtime <- t.clock;
+      jot t (Journal.Inode_write { ino = snapshot_inode ino })
 
 let inode t inum =
   match Hashtbl.find_opt t.inodes inum with Some i -> i | None -> raise Not_found
@@ -728,6 +776,64 @@ let check_invariants t =
       let cg, frag = local_of_global t addr in
       assert (not (Cg.frag_is_free t.cgs.(cg) frag)))
     claimed
+
+(* --- crash-state materialisation ------------------------------------------ *)
+
+(* Replay one recorded write onto an image as the raw disk write it
+   models: single-structure, no coordinated bookkeeping, tolerant of the
+   inconsistent surroundings a torn operation leaves (Check.repair
+   rebuilds all bitmaps and counters from the inode table's claims, so
+   the bitmap/counter halves only need to land, not to balance). *)
+let apply_step t step =
+  match step with
+  | Journal.Data_set { addr; frags } ->
+      let cg, frag = local_of_global t addr in
+      for i = 0 to frags - 1 do
+        Cg.corrupt_set_frag t.cgs.(cg) (frag + i)
+      done
+  | Journal.Data_clear { addr; frags } ->
+      let cg, frag = local_of_global t addr in
+      for i = 0 to frags - 1 do
+        Cg.corrupt_clear_frag t.cgs.(cg) (frag + i)
+      done
+  | Journal.Inode_slot_set { inum } ->
+      Cg.corrupt_set_inode t.cgs.(cg_of_inum t inum) (inum mod ipg t)
+  | Journal.Inode_slot_clear { inum } ->
+      Cg.corrupt_clear_inode t.cgs.(cg_of_inum t inum) (inum mod ipg t)
+  | Journal.Inode_write { ino } ->
+      (* copy again: many crash states replay the same recorded step, and
+         repair mutates inode arrays in place *)
+      let ino = snapshot_inode ino in
+      Hashtbl.replace t.inodes ino.Inode.inum ino;
+      if ino.Inode.kind = Inode.Dir && not (Hashtbl.mem t.dirs ino.Inode.inum) then
+        Hashtbl.replace t.dirs ino.Inode.inum
+          { dir_inum = ino.Inode.inum; by_name = Hashtbl.create 16; order = []; live_entries = 0 }
+  | Journal.Inode_clear { inum } ->
+      Hashtbl.remove t.inodes inum;
+      Hashtbl.remove t.dirs inum
+  | Journal.Dir_add { dir; name; inum } -> (
+      match Hashtbl.find_opt t.dirs dir with
+      | None -> ()  (* the directory's own inode write was lost *)
+      | Some d ->
+          if not (Hashtbl.mem d.by_name name) then begin
+            Hashtbl.replace d.by_name name inum;
+            d.order <- name :: d.order;
+            d.live_entries <- d.live_entries + 1
+          end;
+          Hashtbl.replace t.parents inum (dir, name))
+  | Journal.Dir_remove { dir; name } -> (
+      match Hashtbl.find_opt t.dirs dir with
+      | None -> ()
+      | Some d -> (
+          match Hashtbl.find_opt d.by_name name with
+          | None -> ()
+          | Some inum ->
+              Hashtbl.remove d.by_name name;
+              d.live_entries <- d.live_entries - 1;
+              Hashtbl.remove t.parents inum))
+  | Journal.Dir_count { cg; delta } -> Cg.corrupt_adjust_dirs t.cgs.(cg) delta
+
+let apply_journal t steps = List.iter (apply_step t) steps
 
 (* --- result-returning primaries ------------------------------------------ *)
 

@@ -201,3 +201,26 @@ val rebuild_allocation : t -> unit
     map and directory count from the inode and directory tables — the
     authoritative-claims half of fsck. Requires the surviving claims to
     be disjoint and in range (the repair pass prunes them first). *)
+
+(* Crash-exploration journal — see {!Journal} and [Recover.Explore]. *)
+
+val record_journal : t -> (unit -> 'a) -> 'a * Journal.step list
+(** Run [f] with journal recording on: every metadata write the
+    operation issues (bitmap updates, inode-table writes, directory
+    edits, group-descriptor touches) is captured in order. Returns [f]'s
+    value and the recorded sequence. Recording must not nest; if [f]
+    raises, recording stops and the exception propagates (any partial
+    sequence is discarded). Recording is off by default and costs one
+    option check per metadata write when off. *)
+
+val apply_journal : t -> Journal.step list -> unit
+(** Replay recorded steps onto an image as the raw disk writes they
+    model: each step changes exactly one structure with none of the
+    coordinated bookkeeping the live operation performs. Applying a
+    strict prefix (or a reordered subset) of an operation's journal to a
+    copy of the pre-operation image materialises the torn state a power
+    failure at that point would expose — internally inconsistent until
+    {!Check.repair} runs. Tolerant by construction: steps whose target
+    vanished with an elided earlier write (a [Dir_add] into a directory
+    whose inode write was lost) land as the lost-write no-ops a real
+    disk would exhibit. *)

@@ -1,0 +1,42 @@
+(* The ordered metadata-write sequence of one file-system operation.
+
+   Each step is one logical on-disk write a real FFS would issue while
+   performing the operation: a bitmap update, an inode-table write, a
+   directory-block edit, a group-descriptor touch. [Fs.record_journal]
+   captures the sequence a live operation performs; [Fs.apply_journal]
+   replays an arbitrary prefix (or reordered subset) of it onto a copy
+   of the pre-operation image, producing exactly the torn intermediate
+   states a power failure could expose. *)
+
+type step =
+  | Data_set of { addr : int; frags : int }
+      (* data-bitmap write marking a run allocated *)
+  | Data_clear of { addr : int; frags : int }
+      (* data-bitmap write returning a run to the free pool *)
+  | Inode_slot_set of { inum : int }  (* inode-bitmap write: slot claimed *)
+  | Inode_slot_clear of { inum : int }  (* inode-bitmap write: slot released *)
+  | Inode_write of { ino : Inode.t }
+      (* inode-table write: the full inode content at that point *)
+  | Inode_clear of { inum : int }  (* inode-table write zeroing the slot *)
+  | Dir_add of { dir : int; name : string; inum : int }
+      (* directory-block write adding an entry *)
+  | Dir_remove of { dir : int; name : string }
+      (* directory-block write removing an entry *)
+  | Dir_count of { cg : int; delta : int }
+      (* group-descriptor write adjusting the directory count *)
+
+let pp_step ppf = function
+  | Data_set { addr; frags } -> Fmt.pf ppf "data-bitmap set [%d..+%d]" addr frags
+  | Data_clear { addr; frags } -> Fmt.pf ppf "data-bitmap clear [%d..+%d]" addr frags
+  | Inode_slot_set { inum } -> Fmt.pf ppf "inode-bitmap set %d" inum
+  | Inode_slot_clear { inum } -> Fmt.pf ppf "inode-bitmap clear %d" inum
+  | Inode_write { ino } ->
+      Fmt.pf ppf "inode write %d (%d runs, %d bytes)" ino.Inode.inum
+        (Array.length ino.Inode.entries) ino.Inode.size
+  | Inode_clear { inum } -> Fmt.pf ppf "inode clear %d" inum
+  | Dir_add { dir; name; inum } -> Fmt.pf ppf "dir %d += %S -> %d" dir name inum
+  | Dir_remove { dir; name } -> Fmt.pf ppf "dir %d -= %S" dir name
+  | Dir_count { cg; delta } -> Fmt.pf ppf "group %d dirs %+d" cg delta
+
+let pp ppf steps =
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_step) steps

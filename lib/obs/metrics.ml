@@ -128,6 +128,34 @@ let snapshot t : snapshot =
   Mutex.unlock t.mutex;
   List.sort compare rows
 
+(* invert [snapshot]: rebuild the live instruments from their recorded
+   values (bucket upper bounds map back to their log-2 slots) *)
+let restore t (snap : snapshot) =
+  Mutex.lock t.mutex;
+  Hashtbl.reset t.table;
+  List.iter
+    (fun (key, v) ->
+      let inst =
+        match v with
+        | Counter_v c -> Counter { c }
+        | Gauge_v g -> Gauge { g }
+        | Hist_v { count; sum; buckets } ->
+            let counts = Array.make hist_buckets 0 in
+            List.iter
+              (fun (ub, n) ->
+                let rec slot i =
+                  if i >= hist_buckets then ()
+                  else if bucket_upper i = ub then counts.(i) <- counts.(i) + n
+                  else slot (i + 1)
+                in
+                slot 0)
+              buckets;
+            Histogram { hcount = count; hsum = sum; counts }
+      in
+      Hashtbl.replace t.table key inst)
+    snap;
+  Mutex.unlock t.mutex
+
 let find snap ?(labels = []) name = List.assoc_opt (name, canon labels) snap
 
 let counter_value snap ?labels name =

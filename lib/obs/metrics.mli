@@ -64,6 +64,13 @@ type snapshot = ((string * labels) * value) list
 
 val snapshot : t -> snapshot
 
+val restore : t -> snapshot -> unit
+(** Replace the registry's contents with a snapshot's series — the
+    inverse of {!snapshot}, used to carry counters across a
+    checkpoint/resume of a long run so resumed totals match an
+    uninterrupted run's. Works whether or not the registry is enabled;
+    [restore t (snapshot t)] leaves {!snapshot} unchanged. *)
+
 val diff : before:snapshot -> after:snapshot -> snapshot
 (** Per-series change: counters and histogram buckets subtract (series
     with no change are dropped), gauges keep their [after] value. *)

@@ -7,6 +7,11 @@ type t = {
   mutable live : bool;
   jobs : int;
   mutable domains : unit Domain.t list;
+  stop : bool Atomic.t;
+      (* cooperative stop: checked before each queued task starts, so
+         in-flight tasks drain and their timings flush, while not-yet-
+         started tasks are skipped (an Atomic because it is flipped from
+         a signal handler) *)
 }
 
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
@@ -39,6 +44,7 @@ let create ?jobs () =
       live = true;
       jobs;
       domains = [];
+      stop = Atomic.make false;
     }
   in
   t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
@@ -57,6 +63,31 @@ let shutdown t =
 let with_pool ?jobs f =
   let t = create ?jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* --- graceful stop --------------------------------------------------------- *)
+
+exception Interrupted of { completed : int; total : int }
+
+let () =
+  Printexc.register_printer (function
+    | Interrupted { completed; total } ->
+        Some (Fmt.str "Par.Pool.Interrupted (%d/%d tasks completed)" completed total)
+    | _ -> None)
+
+let request_stop t = Atomic.set t.stop true
+let stop_requested t = Atomic.get t.stop
+
+let with_sigint t f =
+  let prev =
+    Sys.signal Sys.sigint
+      (Sys.Signal_handle
+         (fun _ ->
+           if Atomic.get t.stop then exit 130;
+           request_stop t;
+           prerr_endline
+             "interrupt: draining in-flight tasks (^C again to abort)"))
+  in
+  Fun.protect ~finally:(fun () -> Sys.set_signal Sys.sigint prev) f
 
 (* --- per-task retry, backoff and timeout ---------------------------------- *)
 
@@ -126,9 +157,19 @@ let parallel_map (type a b) ?(retry = no_retry) ?timings ?label t (f : a -> b)
     let results : b option array = Array.make n None in
     let errors : (exn * Printexc.raw_backtrace) option array = Array.make n None in
     let remaining = ref n in
+    let skipped = ref 0 in
     (* [submitted] is stamped at enqueue so queue wait (submit -> pickup)
        and execution time stay separate in the timings and metrics *)
     let run_one i ~submitted =
+      if Atomic.get t.stop then begin
+        (* stop requested: started tasks drain, queued ones are dropped *)
+        Mutex.lock t.mutex;
+        incr skipped;
+        decr remaining;
+        Condition.broadcast t.changed;
+        Mutex.unlock t.mutex
+      end
+      else begin
       let started = Unix.gettimeofday () in
       let waited = started -. submitted in
       let name = match label with Some g -> g xs.(i) | None -> Fmt.str "task %d" i in
@@ -146,6 +187,7 @@ let parallel_map (type a b) ?(retry = no_retry) ?timings ?label t (f : a -> b)
       decr remaining;
       Condition.broadcast t.changed;
       Mutex.unlock t.mutex
+      end
     in
     Mutex.lock t.mutex;
     let submitted = Unix.gettimeofday () in
@@ -172,6 +214,8 @@ let parallel_map (type a b) ?(retry = no_retry) ?timings ?label t (f : a -> b)
             help ()
     in
     help ();
+    if !skipped > 0 then
+      raise (Interrupted { completed = n - !skipped; total = n });
     Array.iteri
       (fun _ -> function
         | Some (e, bt) -> Printexc.raise_with_backtrace e bt

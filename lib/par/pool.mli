@@ -48,6 +48,30 @@ val with_pool : ?jobs:int -> (t -> 'a) -> 'a
 (** [with_pool f] runs [f] with a fresh pool and shuts it down
     afterwards, whether [f] returns or raises. *)
 
+(** {2 Graceful stop}
+
+    A long sweep should survive being interrupted without losing the
+    work already done: on a stop request, tasks already running drain
+    to completion (flushing their {!Timings} entries and metrics as
+    usual), queued tasks that have not started are skipped, and the
+    batch raises {!Interrupted} so the caller can report partial
+    results. The stop flag is sticky for the pool's lifetime. *)
+
+exception Interrupted of { completed : int; total : int }
+(** Raised by {!parallel_map} (after the batch has drained) when a stop
+    request skipped at least one queued task. *)
+
+val request_stop : t -> unit
+(** Ask the pool to stop: safe to call from a signal handler or another
+    domain. Idempotent. *)
+
+val stop_requested : t -> bool
+
+val with_sigint : t -> (unit -> 'a) -> 'a
+(** Run [f] with a SIGINT handler that calls {!request_stop} on the
+    first [^C] (a second [^C] exits immediately with status 130); the
+    previous handler is restored afterwards. *)
+
 val run : t -> (unit -> 'a) -> 'a
 (** Run one task through the pool and wait for its result. *)
 

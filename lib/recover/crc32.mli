@@ -1,0 +1,18 @@
+(** CRC-32 (IEEE 802.3), the checksum behind {!Container}'s trailer and
+    the workload fingerprints in checkpoints. Table-driven, dependency
+    free. *)
+
+type t
+(** Running checksum state. *)
+
+val empty : t
+(** Initial state. *)
+
+val update : t -> string -> pos:int -> len:int -> t
+(** Fold a substring into the running state. *)
+
+val finish : t -> int32
+(** Final checksum value of the bytes folded so far. *)
+
+val string : string -> int32
+(** One-shot checksum of a whole string. *)

@@ -1,0 +1,56 @@
+(** Exhaustive crash-point exploration over multi-write operations.
+
+    For each operation class, one live operation is run on a copy of a
+    (typically aged) image with {!Ffs.Fs.record_journal} capturing its
+    ordered metadata writes, and every crash state the sequence admits
+    is materialised on a fresh copy of the pre-operation image: each
+    write prefix, plus each prefix with one write inside the last
+    [window] writes elided (a disk-scheduler reordering that delayed the
+    write past the crash). Every state must repair
+    ({!Ffs.Check.repair}) to a clean re-audit with all pre-existing file
+    data intact, and the full-sequence state must show the operation's
+    committed effect — the bounded black-box crash-consistency testing
+    discipline of CrashMonkey/B3, applied to the simulator.
+
+    Per-class progress is exported through {!Obs.Metrics} as
+    [crashx_states_total], [crashx_clean_total] and
+    [crashx_preserved_total], all labelled [{class=...}]. *)
+
+type op_class =
+  | Create_small  (** full blocks plus a fragment tail *)
+  | Create_frag  (** tail-only file, no full block *)
+  | Create_large  (** crosses the first indirect-block boundary *)
+  | Rewrite  (** truncate-and-rewrite of an existing file *)
+  | Delete
+  | Mkdir
+  | Rmdir
+
+val all_classes : op_class list
+val class_name : op_class -> string
+
+type class_report = {
+  cls : op_class;
+  steps : int;  (** journalled metadata writes in the operation *)
+  states : int;  (** crash states explored *)
+  clean : int;  (** states whose repair led to a clean re-audit *)
+  preserved : int;  (** clean states with no pre-existing data lost *)
+  committed_ok : bool;
+      (** the fully-durable state shows the operation's effect *)
+  failures : string list;  (** first few failing states, described *)
+  skipped : string option;  (** why the class could not run, if it couldn't *)
+}
+
+type report = { per_class : class_report list; total_states : int }
+
+val class_ok : class_report -> bool
+val all_ok : report -> bool
+
+val explore_class : ?window:int -> Ffs.Fs.t -> op_class -> class_report
+(** Explore one class against [fs] (which is never mutated — all work
+    happens on copies). [window] (default 3) bounds the reordering
+    distance. *)
+
+val run : ?window:int -> ?classes:op_class list -> Ffs.Fs.t -> report
+
+val pp_class : Format.formatter -> class_report -> unit
+val pp : Format.formatter -> report -> unit

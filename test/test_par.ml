@@ -278,6 +278,52 @@ let test_build_seeds_records_timings () =
   (* one workload build per seed plus a (seed x allocator) replay grid *)
   check_int "workloads + replays timed" 6 (List.length (Par.Timings.entries timings))
 
+(* --- graceful stop --------------------------------------------------------- *)
+
+let expect_interrupted name f =
+  match f () with
+  | exception Par.Pool.Interrupted { completed; total } -> (completed, total)
+  | _ -> Alcotest.fail (name ^ ": expected Par.Pool.Interrupted")
+
+let test_stop_before_batch_skips_everything () =
+  Par.Pool.with_pool ~jobs:2 (fun pool ->
+      Par.Pool.request_stop pool;
+      check_bool "stop observed" true (Par.Pool.stop_requested pool);
+      let completed, total =
+        expect_interrupted "pre-stopped batch" (fun () ->
+            Par.Pool.parallel_map pool (fun x -> x * 2) [| 1; 2; 3 |])
+      in
+      check_int "nothing completed" 0 completed;
+      check_int "total reported" 3 total)
+
+let test_stop_drains_in_flight_and_flushes_timings () =
+  (* jobs:1 makes the schedule deterministic: the caller runs tasks in
+     submission order, so a stop requested inside task 2 lets 0..2
+     finish and skips 3 and 4 *)
+  let timings = Par.Timings.create () in
+  Par.Pool.with_pool ~jobs:1 (fun pool ->
+      let completed, total =
+        expect_interrupted "stopped mid-batch" (fun () ->
+            Par.Pool.parallel_map ~timings
+              ~label:(fun i -> Fmt.str "t%d" i)
+              pool
+              (fun i ->
+                if i = 2 then Par.Pool.request_stop pool;
+                i)
+              [| 0; 1; 2; 3; 4 |])
+      in
+      check_int "tasks before the stop drained" 3 completed;
+      check_int "total reported" 5 total;
+      (* the drained tasks' timings were recorded, the skipped ones' not *)
+      check_int "timings flushed for completed tasks" 3
+        (List.length (Par.Timings.entries timings));
+      (* the stop flag is sticky: a later batch on the same pool stops too *)
+      let sticky_completed, _ =
+        expect_interrupted "sticky stop" (fun () ->
+            Par.Pool.parallel_map pool (fun x -> x) [| 1 |])
+      in
+      check_int "sticky: nothing completed" 0 sticky_completed)
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   let slow name f = Alcotest.test_case name `Slow f in
@@ -305,6 +351,11 @@ let () =
             test_retry_exhaustion_surfaces_original_exception;
           tc "timeout frees the worker" test_timeout_frees_the_worker;
           tc "within budget succeeds" test_timeout_within_budget_succeeds;
+        ] );
+      ( "graceful stop",
+        [
+          tc "pre-stopped batch skips everything" test_stop_before_batch_skips_everything;
+          tc "drains in-flight, flushes timings" test_stop_drains_in_flight_and_flushes_timings;
         ] );
       ( "properties",
         [
