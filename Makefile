@@ -1,6 +1,6 @@
 # Convenience targets; `make verify` is the tier-1 gate.
 
-.PHONY: all build test verify fmt bench figures crash-matrix crash-explore metrics-smoke clean
+.PHONY: all build test verify fmt bench bench-alloc figures crash-matrix crash-explore metrics-smoke freespace-smoke clean
 
 all: build
 
@@ -11,14 +11,17 @@ test:
 	dune runtest
 
 # the full gate: everything compiles, every suite passes, the
-# crash-consistency smoke matrix comes back fsck-clean, and the
-# observability pipeline emits a parseable trace + metrics snapshot
+# crash-consistency smoke matrix comes back fsck-clean, the
+# observability pipeline emits a parseable trace + metrics snapshot,
+# and the committed allocation benchmark is within 20% of its baseline
 verify:
 	dune build
 	dune runtest
 	$(MAKE) crash-matrix
 	$(MAKE) crash-explore
 	$(MAKE) metrics-smoke
+	$(MAKE) freespace-smoke
+	$(MAKE) bench-alloc
 
 # crash-consistency smoke: a small ground-truth workload through
 # {0,1,3} injected crashes on both allocators (each crash is torn
@@ -70,6 +73,24 @@ fmt:
 
 bench:
 	dune exec bench/main.exe
+
+# the committed allocation benchmark: scan vs extent-index allocs/sec on
+# the standard aged image. Rewrites BENCH_alloc.json and fails if the
+# indexed figure regresses >20% against the committed baseline (set
+# FFS_BENCH_ALLOC_SKIP_BASELINE=1 to record a new baseline on a slower
+# machine without failing)
+bench-alloc:
+	dune exec bench/main.exe -- alloc --no-csv
+
+# ffs_inspect --freespace smoke: age a small image, dump the per-group
+# free-extent histogram, and make sure the table actually came out
+freespace-smoke:
+	@echo "== ffs_inspect --freespace =="
+	@dune exec bin/ffs_age.exe -- --fs small --days 5 --workload ground-truth -q \
+		--image /tmp/ffs_freespace_smoke.img
+	@dune exec bin/ffs_inspect.exe -- --image /tmp/ffs_freespace_smoke.img --freespace \
+		| grep -q "free extents" || { echo "no free-extent histogram"; exit 1; }
+	@rm -f /tmp/ffs_freespace_smoke.img
 
 figures:
 	dune exec bin/ffs_figures.exe -- --csv-dir results

@@ -6,14 +6,53 @@
    the allocator hot paths.
 
    Usage:
-     main.exe [--days N] [--seed N] [--jobs N] [--csv-dir DIR|--no-csv] [EXPERIMENT ...]
+     main.exe [--days N] [--seed N] [--jobs N] [--csv-dir DIR|--no-csv]
+              [--alloc-ops N] [--alloc-out PATH] [EXPERIMENT ...]
    where EXPERIMENT is one of: table1 fig1 fig2 fig3 fig4 fig5 fig6
-   table2 checks ablations lfs micro. The default runs everything at
-   the paper's full scale (300 days; several minutes). *)
+   table2 checks ablations lfs micro alloc. The default runs everything
+   at the paper's full scale (300 days; several minutes). *)
 
 let experiments =
   [ "table1"; "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "table2"; "checks";
-    "ablations"; "lfs"; "micro" ]
+    "ablations"; "lfs"; "micro"; "alloc" ]
+
+(* --- allocation throughput (BENCH_alloc.json) ------------------------------ *)
+
+(* run the scan-vs-indexed allocation benchmark, compare against the
+   committed baseline in [out] (if any), then overwrite [out] with the
+   new figures. Returns false on a >20% regression of the indexed
+   allocs/sec — unless FFS_BENCH_ALLOC_SKIP_BASELINE=1, the escape
+   hatch for noisy CI machines. *)
+let run_alloc ~ops ~out =
+  print_endline "\n=== Allocation throughput: bitmap scan vs extent index ===\n";
+  let baseline =
+    if Sys.file_exists out then
+      let contents = In_channel.with_open_text out In_channel.input_all in
+      match Obs.Json.of_string contents with
+      | Ok j -> Some j
+      | Error msg ->
+          Fmt.epr "[bench] ignoring unreadable baseline %s: %s@." out msg;
+          None
+    else None
+  in
+  let r = Benchlib.Alloc_bench.run ~ops () in
+  Fmt.pr "%a@." Benchlib.Alloc_bench.pp r;
+  Out_channel.with_open_text out (fun oc ->
+      Out_channel.output_string oc (Obs.Json.to_string (Benchlib.Alloc_bench.to_json r));
+      Out_channel.output_char oc '\n');
+  Fmt.pr "wrote %s@." out;
+  let skip = Sys.getenv_opt "FFS_BENCH_ALLOC_SKIP_BASELINE" = Some "1" in
+  match baseline with
+  | Some b when not skip -> (
+      match Benchlib.Alloc_bench.gate ~baseline:b r with
+      | Ok () -> true
+      | Error msg ->
+          Fmt.epr "[bench] %s@." msg;
+          false)
+  | Some _ ->
+      Fmt.pr "baseline gate skipped (FFS_BENCH_ALLOC_SKIP_BASELINE=1)@.";
+      true
+  | None -> true
 
 (* --- Bechamel microbenchmarks ---------------------------------------------- *)
 
@@ -144,6 +183,8 @@ let () =
   let seed = ref 960117 in
   let jobs = ref (Par.Pool.default_jobs ()) in
   let csv_dir = ref (Some "results") in
+  let alloc_ops = ref Benchlib.Alloc_bench.default_ops in
+  let alloc_out = ref "BENCH_alloc.json" in
   let picked = ref [] in
   let rec parse = function
     | [] -> ()
@@ -161,6 +202,12 @@ let () =
         parse rest
     | "--no-csv" :: rest ->
         csv_dir := None;
+        parse rest
+    | "--alloc-ops" :: v :: rest ->
+        alloc_ops := int_of_string v;
+        parse rest
+    | "--alloc-out" :: v :: rest ->
+        alloc_out := v;
         parse rest
     | exp :: rest when List.mem exp experiments ->
         picked := exp :: !picked;
@@ -211,5 +258,7 @@ let () =
   end;
   if wanted "lfs" then print_string (Benchlib.Lfs_compare.report ~seed:!seed ~pool ~timings ());
   if wanted "micro" then run_micro ();
+  let alloc_ok = if wanted "alloc" then run_alloc ~ops:!alloc_ops ~out:!alloc_out else true in
   if not (Par.Timings.is_empty timings) then
-    Fmt.pr "@.=== Task timings ===@.@.%s@." (Par.Timings.report timings)
+    Fmt.pr "@.=== Task timings ===@.@.%s@." (Par.Timings.report timings);
+  if not alloc_ok then exit 1

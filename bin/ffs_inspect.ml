@@ -52,11 +52,43 @@ let print_header image_path =
             (if Recover.Container.crc_ok info then "OK" else "MISMATCH"));
       if not (Recover.Container.crc_ok info) then exit 1
 
-let run image_path header metrics metrics_out =
+(* --freespace: dump the allocator's free-extent index — a per-group
+   histogram of maximal free extents bucketed by power-of-two run
+   length. This walks the search structure the indexed allocator uses,
+   not a fresh bitmap scan, so it is also a quick eyeball check of the
+   index against the layout report. *)
+let print_freespace fs =
+  let cgs = Ffs.Fs.cg_states fs in
+  let hists = Array.map Ffs.Cg.extent_histogram cgs in
+  let labels =
+    Array.mapi
+      (fun i (lo, _) ->
+        if i = Array.length hists.(0) - 1 then Fmt.str "%d+" lo
+        else if (2 * lo) - 1 = lo then string_of_int lo
+        else Fmt.str "%d-%d" lo ((2 * lo) - 1))
+      hists.(0)
+  in
+  Fmt.pr "free extents by block-run length (extent index, power-of-two buckets)@.@.";
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun i cg ->
+           string_of_int (Ffs.Cg.index cg)
+           :: string_of_int (Ffs.Cg.free_block_count cg)
+           :: Array.to_list (Array.map (fun (_, n) -> string_of_int n) hists.(i)))
+         cgs)
+  in
+  print_string
+    (Util.Chart.table ~header:("cg" :: "free blocks" :: Array.to_list labels) ~rows);
+  let total = Array.fold_left (fun a h -> Array.fold_left (fun a (_, n) -> a + n) a h) 0 hists in
+  Fmt.pr "@.%d free extents across %d groups@." total (Array.length cgs)
+
+let run image_path header freespace metrics metrics_out =
   if header then (print_header image_path; exit 0);
   let image = Common.load_image_or_exit ~path:image_path in
   let result = image.Aging.Image.result in
   let fs = result.Aging.Replay.fs in
+  if freespace then (print_freespace fs; exit 0);
   let params = Ffs.Fs.params fs in
   Fmt.pr "image: %s@." image.Aging.Image.description;
   Fmt.pr "@.%a@.@." Ffs.Params.pp params;
@@ -132,6 +164,13 @@ let cmd =
                    checkpoint — and exit without decoding the payload. Exits 1 \
                    on a CRC mismatch, 2 on an unreadable file.")
   in
+  let freespace =
+    Arg.(value & flag
+         & info [ "freespace" ]
+             ~doc:"Print the per-group free-extent histogram straight from the \
+                   allocator's extent index (maximal free runs bucketed by \
+                   power-of-two length) and exit.")
+  in
   let metrics =
     Arg.(value & flag
          & info [ "metrics" ]
@@ -140,7 +179,7 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "ffs_inspect" ~doc:"Fragmentation and free-space report of an aged image")
-    Term.(const run $ Common.image_arg ~doc:"Aged image to inspect." $ header $ metrics
-          $ Common.metrics_out_term)
+    Term.(const run $ Common.image_arg ~doc:"Aged image to inspect." $ header $ freespace
+          $ metrics $ Common.metrics_out_term)
 
 let () = exit (Cmd.eval cmd)

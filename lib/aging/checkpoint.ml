@@ -2,7 +2,7 @@ let src = Logs.Src.create "aging.checkpoint" ~doc:"aging checkpoint store"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-let kind = "aging-checkpoint-1"
+let kind = "aging-checkpoint-2"
 
 (* ckpt-op000001234-day0042.ffsck — zero-padded so lexicographic name
    order is op order, which makes "newest" a plain sort *)

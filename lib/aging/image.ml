@@ -4,7 +4,7 @@ type t = { days : int; description : string; result : Replay.result }
    of Replay.result or Fs.t changes; Container rejects mismatches as
    Corrupt, so stale images fail loudly instead of segfaulting in
    Marshal.from_string *)
-let kind = "aged-image-2"
+let kind = "aged-image-3"
 
 let save ~path t = Recover.Container.write ~path ~kind (Marshal.to_string t [])
 

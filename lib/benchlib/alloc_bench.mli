@@ -1,0 +1,52 @@
+(** The committed allocation benchmark: allocs/sec on the standard aged
+    image, scan oracle vs extent index.
+
+    One deterministic operation schedule (seeded block, fragment-tail
+    and cluster allocations interleaved with frees of earlier
+    allocations, round-robin over the groups of an aged small image) is
+    replayed twice over copies of the same groups: once through
+    [Cg.Reference]'s linear bitmap scans, once through the extent index.
+    The placement traces are checksummed and must be identical — the
+    benchmark refuses to report a speedup between implementations that
+    place differently — so the two timings differ only in search cost.
+
+    [bench/main.ml alloc] runs this and writes [BENCH_alloc.json];
+    [make bench-alloc] (under [make verify]) gates on >20% regression of
+    the indexed allocs/sec against the committed baseline. *)
+
+type side = {
+  seconds : float;
+  allocs : int;  (** successful allocations (identical on both sides) *)
+  allocs_per_sec : float;
+}
+
+type result = {
+  days : int;  (** aging days of the standard image *)
+  seed : int;  (** workload seed of the standard image *)
+  ops : int;  (** schedule length (allocs + frees) *)
+  utilization : float;  (** aged-image fragment utilization, 0..1 *)
+  scan : side;
+  indexed : side;
+  speedup : float;  (** indexed allocs/sec over scan allocs/sec *)
+  checksum : int;  (** placement-trace checksum (equal in both modes) *)
+}
+
+val standard_days : int
+val standard_seed : int
+val default_ops : int
+
+val run : ?days:int -> ?seed:int -> ?ops:int -> unit -> result
+(** Build the aged image and measure both modes. Raises [Failure] if the
+    two placement traces diverge (the differential suite's invariant,
+    enforced again here at benchmark time). *)
+
+val to_json : result -> Obs.Json.t
+val pp : Format.formatter -> result -> unit
+
+val indexed_allocs_per_sec : Obs.Json.t -> float option
+(** Extract the gating figure from a (possibly older) BENCH_alloc.json. *)
+
+val gate : baseline:Obs.Json.t -> result -> (unit, string) Stdlib.result
+(** [Ok ()] if the new indexed allocs/sec is within 20% of the committed
+    baseline's (or the baseline has no readable figure); [Error msg]
+    describes the regression otherwise. *)

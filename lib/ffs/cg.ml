@@ -4,6 +4,7 @@ type t = {
   frag_used : Bitmap.t;  (* one bit per data fragment; set = allocated *)
   block_used : Bitmap.t;  (* one bit per block slot; set = any fragment used *)
   runs : Run_index.t;  (* incremental free-run summary (cg_clustersum) *)
+  ext : Extent_index.t;  (* indexed free-space summary over the bitmaps *)
   inode_used : Bitmap.t;
   mutable nffree : int;
   mutable nbfree : int;
@@ -22,6 +23,7 @@ let create params ~index =
     frag_used = Bitmap.create nfrags;
     block_used = Bitmap.create nblocks;
     runs = Run_index.create nblocks;
+    ext = Extent_index.create ~nblocks ~fpb:params.Params.frags_per_block;
     inode_used = Bitmap.create ninodes;
     nffree = nfrags;
     nbfree = nblocks;
@@ -36,6 +38,7 @@ let copy t =
     frag_used = Bitmap.copy t.frag_used;
     block_used = Bitmap.copy t.block_used;
     runs = Run_index.copy t.runs;
+    ext = Extent_index.copy t.ext;
     inode_used = Bitmap.copy t.inode_used;
   }
 
@@ -53,6 +56,22 @@ let block_is_free t b = not (Bitmap.get t.block_used b)
 let frag_is_free t f = not (Bitmap.get t.frag_used f)
 let fpb t = t.params.Params.frags_per_block
 
+(* Re-derive the extent-index entry of each block in [first..last] from
+   the fragment bitmap (after claim/free updated it). *)
+let sync_index t ~first_block ~last_block =
+  let fpb = fpb t in
+  for b = first_block to last_block do
+    let best = ref 0 and run = ref 0 in
+    for f = b * fpb to ((b + 1) * fpb) - 1 do
+      if Bitmap.get t.frag_used f then run := 0
+      else begin
+        incr run;
+        if !run > !best then best := !run
+      end
+    done;
+    Extent_index.update t.ext b ~maxrun:!best
+  done
+
 (* Mark a fragment run used and keep block bits and counters in sync. *)
 let claim_frags t ~pos ~count =
   assert (Bitmap.all_clear t.frag_used ~pos ~len:count);
@@ -66,7 +85,8 @@ let claim_frags t ~pos ~count =
       Run_index.allocate t.runs b;
       t.nbfree <- t.nbfree - 1
     end
-  done
+  done;
+  sync_index t ~first_block ~last_block
 
 let free_frags t ~pos ~count =
   assert (Bitmap.all_set t.frag_used ~pos ~len:count);
@@ -81,7 +101,53 @@ let free_frags t ~pos ~count =
       Run_index.free t.runs b;
       t.nbfree <- t.nbfree + 1
     end
-  done
+  done;
+  sync_index t ~first_block ~last_block
+
+(* --- free-space searches -------------------------------------------------- *)
+
+(* Find a [count]-fragment fit inside the (not entirely free) block [b],
+   scanning its fragments left to right. Shared by both strategies: only
+   {e which block} to look in differs between them. *)
+let fit_in_block t b ~count =
+  if block_is_free t b then None
+  else begin
+    let fpb = fpb t in
+    let base = b * fpb in
+    let rec scan pos run =
+      if pos >= base + fpb then None
+      else if frag_is_free t pos then
+        if run + 1 >= count then Some (pos - count + 1) else scan (pos + 1) (run + 1)
+      else scan (pos + 1) 0
+    in
+    scan base 0
+  end
+
+(* The allocators never touch the bitmaps directly: every placement
+   question goes through one of two interchangeable search strategies.
+   [scan_searches] is the seed's word-by-word bitmap walk, kept verbatim
+   as the placement oracle; [indexed_searches] answers the same queries
+   from the extent index in O(log). The differential suite
+   (test_cg_diff) pins the two bit-identical over random operation
+   scripts, aged images and crash/repair states, so routing the public
+   allocators through the index changes speed and nothing else. *)
+type searches = {
+  free_block_wrap : t -> start:int -> int option;
+      (* first entirely-free block scanning forward from [start], wrapping *)
+  free_in_cylinder : t -> pref:int -> int option;
+      (* rotationally nearest free block in [pref]'s fs cylinder *)
+  partial_fit : t -> start_block:int -> count:int -> int option;
+      (* first in-block [count]-fragment fit, scanning blocks from
+         [start_block] with wrap; never breaks a free block *)
+  cluster_first_fit : t -> start:int -> len:int -> int option;
+      (* first run of [len] free blocks scanning forward from [start],
+         wrapping *)
+  cluster_best_fit : t -> len:int -> int option;
+      (* start of the shortest adequate maximal free run, first
+         occurrence winning ties *)
+}
+
+(* --- the scan strategy (ffs_mapsearch and friends, as in the seed) -------- *)
 
 (* The traditional allocator's within-group search (ffs_alloccgblk):
    take the preferred block if free; otherwise the rotationally nearest
@@ -91,7 +157,7 @@ let free_frags t ~pos ~count =
    a forward bitmap scan from the preference (ffs_mapsearch). The search
    never considers the length of the free run it lands in: that myopia
    is the paper's central criticism. *)
-let nearest_in_cylinder t ~pref =
+let scan_nearest_in_cylinder t ~pref =
   let nblocks = data_blocks t in
   let cyl_blocks = t.params.Params.fs_cylinder_blocks in
   let cyl_start = pref / cyl_blocks * cyl_blocks in
@@ -105,7 +171,152 @@ let nearest_in_cylinder t ~pref =
   in
   scan 1
 
-let alloc_block t ~pref =
+let scan_partial_fit t ~start_block ~count =
+  let nblocks = data_blocks t in
+  let rec loop i =
+    if i >= nblocks then None
+    else begin
+      let b = (start_block + i) mod nblocks in
+      match fit_in_block t b ~count with Some pos -> Some pos | None -> loop (i + 1)
+    end
+  in
+  loop 0
+
+let scan_cluster_best_fit t ~len =
+  (* shortest adequate maximal run; first occurrence wins ties *)
+  let best = ref None in
+  Bitmap.iter_clear_runs t.block_used (fun ~pos ~len:run_len ->
+      if run_len >= len then
+        match !best with
+        | Some (_, best_len) when best_len <= run_len -> ()
+        | Some _ | None -> best := Some (pos, run_len));
+  Option.map fst !best
+
+let scan_searches =
+  {
+    free_block_wrap = (fun t ~start -> Bitmap.find_clear_wrap t.block_used ~start);
+    free_in_cylinder = (fun t ~pref -> scan_nearest_in_cylinder t ~pref);
+    partial_fit = scan_partial_fit;
+    cluster_first_fit =
+      (fun t ~start ~len -> Bitmap.find_clear_run_wrap t.block_used ~start ~len);
+    cluster_best_fit = scan_cluster_best_fit;
+  }
+
+(* --- the indexed strategy ------------------------------------------------- *)
+
+let idx_free_block_wrap t ~start =
+  let n = data_blocks t in
+  if n = 0 then None
+  else begin
+    let start = start mod n in
+    match Extent_index.succ_free t.ext ~start with
+    | Some _ as r -> r
+    | None -> (
+        match Extent_index.succ_free t.ext ~start:0 with
+        | Some b when b < start -> Some b
+        | _ -> None)
+  end
+
+let idx_free_in_cylinder t ~pref =
+  let nblocks = data_blocks t in
+  let cyl_blocks = t.params.Params.fs_cylinder_blocks in
+  let cyl_start = pref / cyl_blocks * cyl_blocks in
+  let cyl_end = min (cyl_start + cyl_blocks) nblocks - 1 in
+  (* the cyclic scan visits pref+1 .. cyl_end, then cyl_start .. pref-1 *)
+  match Extent_index.succ_free t.ext ~start:(pref + 1) with
+  | Some b when b <= cyl_end -> Some b
+  | Some _ | None -> (
+      match Extent_index.succ_free t.ext ~start:cyl_start with
+      | Some b when b < pref -> Some b
+      | Some _ | None -> None)
+
+let idx_partial_fit t ~start_block ~count =
+  let n = data_blocks t in
+  if n = 0 then None
+  else begin
+    let start = start_block mod n in
+    match Extent_index.succ_fit t.ext ~count ~start with
+    | Some b -> fit_in_block t b ~count
+    | None -> (
+        match Extent_index.succ_fit t.ext ~count ~start:0 with
+        | Some b when b < start -> fit_in_block t b ~count
+        | _ -> None)
+  end
+
+(* first window of [len] free blocks at index >= [pos]: hop from free
+   run to free run (run end = next used block) instead of bit-walking *)
+let rec idx_first_fit_from t ~pos ~len =
+  let n = data_blocks t in
+  match Extent_index.succ_free t.ext ~start:pos with
+  | None -> None
+  | Some s ->
+      if s + len > n then None
+      else begin
+        let e =
+          match Extent_index.succ_used t.ext ~start:s with
+          | Some u -> u - 1
+          | None -> n - 1
+        in
+        if e - s + 1 >= len then Some s else idx_first_fit_from t ~pos:(e + 1) ~len
+      end
+
+let idx_cluster_first_fit t ~start ~len =
+  let n = data_blocks t in
+  if n = 0 then None
+  else begin
+    let start = start mod n in
+    match idx_first_fit_from t ~pos:start ~len with
+    | Some _ as r -> r
+    | None -> (
+        match idx_first_fit_from t ~pos:0 ~len with
+        | Some b when b < start -> Some b
+        | _ -> None)
+  end
+
+let idx_cluster_best_fit t ~len =
+  (* the cluster summary knows the shortest adequate run length; the
+     winner is then the first run of exactly that length *)
+  let n = data_blocks t in
+  let rec shortest l =
+    if l > n then None else if Run_index.count_of_length t.runs l > 0 then Some l else shortest (l + 1)
+  in
+  match shortest len with
+  | None -> None
+  | Some target ->
+      let rec find pos =
+        match Extent_index.succ_free t.ext ~start:pos with
+        | None -> None
+        | Some s ->
+            let e =
+              match Extent_index.succ_used t.ext ~start:s with
+              | Some u -> u - 1
+              | None -> n - 1
+            in
+            if e - s + 1 = target then Some s else find (e + 1)
+      in
+      find 0
+
+let indexed_searches =
+  {
+    free_block_wrap = idx_free_block_wrap;
+    free_in_cylinder = idx_free_in_cylinder;
+    partial_fit = idx_partial_fit;
+    cluster_first_fit = idx_cluster_first_fit;
+    cluster_best_fit = idx_cluster_best_fit;
+  }
+
+(* which strategy the public allocators use; flipped (temporarily) only
+   by the differential tests *)
+let current_searches = ref indexed_searches
+
+let with_reference_searches f =
+  let saved = !current_searches in
+  current_searches := scan_searches;
+  Fun.protect ~finally:(fun () -> current_searches := saved) f
+
+(* --- allocation ----------------------------------------------------------- *)
+
+let alloc_block_with s t ~pref =
   if t.nbfree = 0 then None
   else begin
     let chosen =
@@ -116,10 +327,10 @@ let alloc_block t ~pref =
       | Some b -> (
           Obs.Metrics.inc metrics "ffs_alloc_pref_miss_total";
           let b = b mod data_blocks t in
-          match nearest_in_cylinder t ~pref:b with
+          match s.free_in_cylinder t ~pref:b with
           | Some _ as r -> r
-          | None -> Bitmap.find_clear_wrap t.block_used ~start:b)
-      | None -> Bitmap.find_clear_wrap t.block_used ~start:t.rotor
+          | None -> s.free_block_wrap t ~start:b)
+      | None -> s.free_block_wrap t ~start:t.rotor
     in
     match chosen with
     | None -> None
@@ -131,48 +342,20 @@ let alloc_block t ~pref =
 
 let free_block t b = free_frags t ~pos:(b * fpb t) ~count:(fpb t)
 
-(* Find a [count]-fragment fit inside an already-partial block, scanning
-   block slots forward (with wrap) from the block containing [pref]. *)
-let find_partial_fit t ~start_block ~count =
-  let nblocks = data_blocks t in
-  let fpb = fpb t in
-  let fit_in_block b =
-    if block_is_free t b then None
-    else begin
-      (* scan the block's fragments for a clear run of [count] *)
-      let base = b * fpb in
-      let rec scan pos run =
-        if pos >= base + fpb then None
-        else if frag_is_free t pos then
-          if run + 1 >= count then Some (pos - count + 1) else scan (pos + 1) (run + 1)
-        else scan (pos + 1) 0
-      in
-      scan base 0
-    end
-  in
-  let rec loop i =
-    if i >= nblocks then None
-    else begin
-      let b = (start_block + i) mod nblocks in
-      match fit_in_block b with Some pos -> Some pos | None -> loop (i + 1)
-    end
-  in
-  loop 0
-
-let alloc_frags t ~pref ~count =
+let alloc_frags_with s t ~pref ~count =
   assert (count >= 1 && count < fpb t);
   if t.nffree < count then None
   else begin
     let start_block =
       match pref with Some f -> f / fpb t mod data_blocks t | None -> t.rotor
     in
-    match find_partial_fit t ~start_block ~count with
+    match s.partial_fit t ~start_block ~count with
     | Some pos ->
         claim_frags t ~pos ~count;
         Some pos
     | None -> (
         (* no fit among partial blocks: break a free block *)
-        match alloc_block t ~pref:(Some start_block) with
+        match alloc_block_with s t ~pref:(Some start_block) with
         | None -> None
         | Some b ->
             let pos = b * fpb t in
@@ -181,7 +364,7 @@ let alloc_frags t ~pref ~count =
             Some pos)
   end
 
-let alloc_cluster t ~policy ~pref ~len =
+let alloc_cluster_with s t ~policy ~pref ~len =
   assert (len >= 1);
   (* the cluster summary rejects hopeless requests without a scan — the
      point of cg_clustersum in the real file system *)
@@ -201,16 +384,8 @@ let alloc_cluster t ~policy ~pref ~len =
       | Some _ as r -> r
       | None -> (
           match policy with
-          | `First_fit -> Bitmap.find_clear_run_wrap t.block_used ~start ~len
-          | `Best_fit ->
-              (* shortest adequate maximal run; first occurrence wins ties *)
-              let best = ref None in
-              Bitmap.iter_clear_runs t.block_used (fun ~pos ~len:run_len ->
-                  if run_len >= len then
-                    match !best with
-                    | Some (_, best_len) when best_len <= run_len -> ()
-                    | Some _ | None -> best := Some (pos, run_len));
-              Option.map fst !best)
+          | `First_fit -> s.cluster_first_fit t ~start ~len
+          | `Best_fit -> s.cluster_best_fit t ~len)
     in
     match found with
     | None -> None
@@ -223,9 +398,27 @@ let alloc_cluster t ~policy ~pref ~len =
         Some b
   end
 
+let alloc_block t ~pref = alloc_block_with !current_searches t ~pref
+let alloc_frags t ~pref ~count = alloc_frags_with !current_searches t ~pref ~count
+
+let alloc_cluster t ~policy ~pref ~len =
+  alloc_cluster_with !current_searches t ~policy ~pref ~len
+
+(* The seed's scan implementation, callable directly: the oracle the
+   differential suite and the alloc benchmark compare against. *)
+module Reference = struct
+  let alloc_block t ~pref = alloc_block_with scan_searches t ~pref
+  let alloc_frags t ~pref ~count = alloc_frags_with scan_searches t ~pref ~count
+
+  let alloc_cluster t ~policy ~pref ~len =
+    alloc_cluster_with scan_searches t ~policy ~pref ~len
+end
+
 let longest_free_run t = Run_index.longest t.runs
 
 let free_run_histogram t ~max = Run_index.histogram t.runs ~max
+
+let extent_histogram t = Extent_index.histogram t.ext
 
 let alloc_inode t =
   if t.nifree = 0 then None
@@ -266,6 +459,7 @@ let reset t =
       Run_index.free t.runs b
     end
   done;
+  Extent_index.reset t.ext;
   Bitmap.clear_range t.inode_used ~pos:0 ~len:(Bitmap.length t.inode_used);
   t.nffree <- nfrags;
   t.nbfree <- nblocks;
@@ -276,9 +470,10 @@ let reset t =
 
 (* The corrupt_* operations model torn metadata writes: they change one
    on-disk structure without the coordinated updates a live allocator
-   performs, so counters, bitmaps and the run index deliberately fall out
-   of sync. Only {!Check.repair} (via {!reset} and the mark_* rebuilders)
-   restores consistency; no allocation may run in between. *)
+   performs, so counters, bitmaps, the run index and the extent index
+   deliberately fall out of sync. Only {!Check.repair} (via {!reset} and
+   the mark_* rebuilders) restores consistency; no allocation may run in
+   between. *)
 
 let corrupt_clear_frag t f = Bitmap.clear t.frag_used f
 
@@ -297,6 +492,29 @@ let corrupt_set_inode t i = Bitmap.set t.inode_used i
 let corrupt_clear_inode t i = Bitmap.clear t.inode_used i
 let corrupt_adjust_dirs t delta = t.ndirs <- max 0 (t.ndirs + delta)
 
+let corrupt_index_toggle_free t b = Extent_index.corrupt_toggle_free t.ext b
+let corrupt_index_toggle_fit t b ~len = Extent_index.corrupt_toggle_fit t.ext b ~len
+
+(* --- consistency ---------------------------------------------------------- *)
+
+let audit_index t =
+  let ext =
+    Extent_index.audit t.ext ~frag_free:(fun f -> not (Bitmap.get t.frag_used f))
+  in
+  let runs =
+    (* audit a copy: [Run_index.check] settles the cached longest-run
+       hint as a side effect, and an fsck audit must not perturb the
+       image it inspects (the differential suite compares marshalled
+       bytes across audits) *)
+    match
+      Run_index.check (Run_index.copy t.runs)
+        ~bitmap_free:(fun b -> not (Bitmap.get t.block_used b))
+    with
+    | () -> []
+    | exception Error.Error (Error.Corrupt msg) -> [ msg ]
+  in
+  ext @ runs
+
 let check_invariants t =
   assert (t.nffree = Bitmap.count_clear t.frag_used);
   assert (t.nbfree = Bitmap.count_clear t.block_used);
@@ -306,4 +524,7 @@ let check_invariants t =
     let any_used = not (Bitmap.all_clear t.frag_used ~pos:(b * fpb) ~len:fpb) in
     assert (Bitmap.get t.block_used b = any_used)
   done;
-  Run_index.check t.runs ~bitmap_free:(fun b -> not (Bitmap.get t.block_used b))
+  Run_index.check t.runs ~bitmap_free:(fun b -> not (Bitmap.get t.block_used b));
+  match Extent_index.audit t.ext ~frag_free:(fun f -> not (Bitmap.get t.frag_used f)) with
+  | [] -> ()
+  | msg :: _ -> Error.raise_ (Error.Corrupt msg)

@@ -6,9 +6,16 @@
     [b*frags_per_block ..+ frags_per_block]). {!Fs} converts to and from
     global fragment addresses.
 
+    Every placement question — first free block, nearest-in-cylinder,
+    partial-block fragment fit, cluster run — is answered by the group's
+    {!Extent_index} in O(log); the seed's word-by-word bitmap scans are
+    kept verbatim behind {!module-Reference} as the placement oracle,
+    and the differential suite pins the two bit-identical.
+
     Invariants (checked by [check_invariants]):
     - a block-slot bit is set iff any of its fragments is set;
-    - [free_frags] and [free_blocks] agree with the bitmaps. *)
+    - [free_frags] and [free_blocks] agree with the bitmaps;
+    - the run index and the extent index agree with the bitmaps. *)
 
 type t
 
@@ -60,6 +67,28 @@ val alloc_cluster :
     adequate run, ties to the first). Returns the starting block index of
     the allocated run. *)
 
+(** {2 The scan oracle}
+
+    The seed's linear bitmap-scan allocators, unchanged. Same mutation
+    and accounting as the indexed entry points above — only the search
+    differs — so running the same script through both must produce the
+    same placements, bitmaps, summaries and counters. *)
+
+module Reference : sig
+  val alloc_block : t -> pref:int option -> int option
+  val alloc_frags : t -> pref:int option -> count:int -> int option
+
+  val alloc_cluster :
+    t -> policy:[ `First_fit | `Best_fit ] -> pref:int option -> len:int -> int option
+end
+
+val with_reference_searches : (unit -> 'a) -> 'a
+(** Run [f] with {e every} allocator in the process ([alloc_block],
+    [Fs], [Aging.Replay], ...) routed through the scan searches instead
+    of the index — the whole-pipeline pin of the differential suite.
+    Restores the indexed searches on exit, exceptional or not. Not
+    reentrant, not thread-safe; test-only. *)
+
 val longest_free_run : t -> int
 
 val free_run_histogram : t -> max:int -> int array
@@ -68,6 +97,11 @@ val free_run_histogram : t -> max:int -> int array
     longer than [max] counted in the last slot. Index 0 = length-1
     runs. *)
 
+val extent_histogram : t -> (int * int) array
+(** Free extents by power-of-two length bucket, enumerated from the
+    extent index: [(bucket_min, count)] pairs (see
+    {!Extent_index.histogram}). *)
+
 val alloc_inode : t -> int option
 (** Lowest free inode slot (local index), or [None]. *)
 
@@ -75,9 +109,16 @@ val free_inode : t -> int -> unit
 val add_dir : t -> unit
 val remove_dir : t -> unit
 
+val audit_index : t -> string list
+(** Compare the derived search structures — the extent index and the
+    cluster-run summary — against the bitmaps (ground truth). One
+    message per divergence; [[]] means consistent. Never raises; feeds
+    [Check.run]'s index-consistency pass. *)
+
 val check_invariants : t -> unit
 (** Raises [Assert_failure] if internal counters disagree with the
-    bitmaps. For tests. *)
+    bitmaps, or [Error.Error Corrupt] if a derived index does. For
+    tests. *)
 
 (** {2 Repair plumbing}
 
@@ -126,3 +167,12 @@ val corrupt_clear_inode : t -> int -> unit
 val corrupt_adjust_dirs : t -> int -> unit
 (** Adjust the directory count by a delta, clamped at zero (a torn
     group-descriptor write during mkdir/rmdir). *)
+
+val corrupt_index_toggle_free : t -> int -> unit
+(** Flip one block's bit in the extent index's free hierarchy without
+    touching the bitmaps (a torn summary write): the index now lies
+    about the block until repair rebuilds it. *)
+
+val corrupt_index_toggle_fit : t -> int -> len:int -> unit
+(** Flip one block's membership in the [len]-fragment fit bucket of the
+    extent index, bitmaps untouched. *)

@@ -6,6 +6,7 @@ type problem =
   | Orphan_inode of { inum : int }
   | Dangling_entry of { dir : int; name : string; inum : int }
   | Bad_run of { inum : int; addr : int; frags : int }
+  | Index_mismatch of { cg : int; what : string }
 
 type report = {
   problems : problem list;
@@ -92,6 +93,13 @@ let run fs =
   Fs.iter_all_inodes fs (fun ino ->
       if not (Hashtbl.mem referenced ino.Inode.inum) then
         add (Orphan_inode { inum = ino.Inode.inum }));
+  (* 6: derived search structures — the extent index and the cluster-run
+     summary must agree with the bitmaps they summarise *)
+  Array.iteri
+    (fun cg_index cg ->
+      List.iter (fun what -> add (Index_mismatch { cg = cg_index; what }))
+        (Cg.audit_index cg))
+    cgs;
   {
     problems = List.rev !problems;
     files = !files;
@@ -297,6 +305,8 @@ let pp_problem ppf = function
       Fmt.pf ppf "directory %d entry %S points to missing inode %d" dir name inum
   | Bad_run { inum; addr; frags } ->
       Fmt.pf ppf "inode %d has an invalid run (addr %d, %d fragments)" inum addr frags
+  | Index_mismatch { cg; what } ->
+      Fmt.pf ppf "group %d free-space index disagrees with bitmap: %s" cg what
 
 let pp_repair ppf log =
   if repair_is_noop log then Fmt.pf ppf "nothing to repair"

@@ -22,6 +22,10 @@ type problem =
       (** a directory entry naming a nonexistent inode *)
   | Bad_run of { inum : int; addr : int; frags : int }
       (** a data run with a nonsensical address or length *)
+  | Index_mismatch of { cg : int; what : string }
+      (** a derived search structure (the extent index or the cluster-run
+          summary) disagrees with the group's bitmaps; [what] is the
+          divergence in words *)
 
 type report = {
   problems : problem list;
@@ -66,8 +70,8 @@ val repair : Fs.t -> (repair_log, Error.t) result
 (** Repair in place, in four deterministic passes: (1) prune invalid and
     double-claimed runs from the inode table, arbitrating in ascending
     inode order (direct runs before indirect blocks); (2) rebuild every
-    group's bitmaps, counters and cluster summary from the surviving
-    claims; (3) remove directory entries naming dead inodes; (4)
+    group's bitmaps, counters, cluster summary and extent index from the
+    surviving claims; (3) remove directory entries naming dead inodes; (4)
     reattach unreferenced inodes to a [lost+found] directory under the
     root, creating it if needed.
 

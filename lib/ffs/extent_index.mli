@@ -1,0 +1,90 @@
+(** Per-cylinder-group indexed free-space summary.
+
+    A buddy-style hierarchy layered over the group's allocation bitmaps
+    so the allocator's searches become O(log) successor queries instead
+    of word-by-word scans:
+
+    - a {e free} hierarchy over block slots (bit set = block entirely
+      free) and its complement, the {e used} hierarchy, answer "first
+      free block at or after [b]" and "end of the free run starting at
+      [b]" — the queries behind [ffs_alloccgblk]'s map search and the
+      realloc pass's cluster search;
+    - {e fit} hierarchies, one per fragment-run length [1 ..
+      frags_per_block-1], list the partially-filled blocks whose longest
+      in-block free-fragment run is at least that length — the query
+      behind [ffs_alloccg]'s partial-block walk for file tails.
+
+    Each hierarchy is a tree of 63-bit words: every upper-level bit
+    records whether the word below it is nonzero, so a successor query
+    descends at most [log63 nblocks] words.
+
+    The index is {e derived} state: {!Cg} keeps it in sync with the
+    fragment bitmap on every allocate/free, and {!Check.repair} rebuilds
+    it from scratch (via {!reset} and the normal claim path) exactly as
+    it rebuilds bitmaps and counters. It must never disagree with the
+    bitmaps while the allocator runs; {!audit} reports any divergence,
+    and the [corrupt_*] primitives let tests manufacture one. *)
+
+type t
+
+val create : nblocks:int -> fpb:int -> t
+(** Everything free: [nblocks] block slots of [fpb] fragments each. *)
+
+val copy : t -> t
+
+val reset : t -> unit
+(** Return to the everything-free state (repair pass 2 rebuilds from
+    here through {!update}). *)
+
+val update : t -> int -> maxrun:int -> unit
+(** Record block [b]'s new fragment state, where [maxrun] is the longest
+    free-fragment run inside the block ([fpb] = entirely free, [0] =
+    entirely used, anything between = partial). Reclassifies the block
+    in the free/used hierarchies and the fit buckets. *)
+
+val block_maxrun : t -> int -> int
+(** The recorded in-block longest free run (for audits and tests). *)
+
+(** {2 Queries} — all successor-style, [O(log nblocks)]. *)
+
+val succ_free : t -> start:int -> int option
+(** First entirely-free block at index [>= start]. *)
+
+val succ_used : t -> start:int -> int option
+(** First not-entirely-free block at index [>= start] — gives the end of
+    the free run an allocation is considering. *)
+
+val succ_fit : t -> count:int -> start:int -> int option
+(** First partially-filled block at index [>= start] holding a free
+    fragment run of [>= count] fragments ([1 <= count < fpb]). *)
+
+val iter_free_extents : t -> (pos:int -> len:int -> unit) -> unit
+(** Every maximal free-block extent in ascending order, enumerated
+    through the hierarchies (not a bitmap scan). *)
+
+val histogram : t -> (int * int) array
+(** Free extents bucketed by power-of-two length: [(bucket_min, count)]
+    where bucket [i] holds extents of [2^i .. 2^(i+1)-1] blocks. Always
+    covers lengths up to the group size; trailing empty buckets are
+    kept so histograms of equal-sized groups align. *)
+
+(** {2 Consistency} *)
+
+val audit : t -> frag_free:(int -> bool) -> string list
+(** Compare every derived structure against the fragment bitmap (ground
+    truth): per-block classification, fit memberships, stored max runs,
+    and the internal summary levels of each hierarchy. Returns one
+    message per divergence; [[]] means consistent. *)
+
+(** {2 Fault injection}
+
+    Skew the index {e without} touching the bitmaps — the analogue of a
+    torn summary-structure write. Only {!Check.repair} may run
+    afterwards; used by the audit regression tests. *)
+
+val corrupt_toggle_free : t -> int -> unit
+(** Flip block [b]'s bit in the free hierarchy (summaries updated, so
+    the skew is only visible against the bitmaps). *)
+
+val corrupt_toggle_fit : t -> int -> len:int -> unit
+(** Flip block [b]'s membership in the [len]-fragment fit bucket. *)

@@ -81,6 +81,79 @@ let test_run_length_and_iter () =
     [ (0, 4); (6, 4); (11, 5) ]
     (List.rev !runs)
 
+(* runs that start, end, or straddle bits 63..65 exercise the carry
+   between the scanner's 64-bit words; these offsets are where a
+   word-at-a-time implementation loses or duplicates bits *)
+let test_word_boundary_runs () =
+  let full n =
+    let b = Ffs.Bitmap.create n in
+    Ffs.Bitmap.set_range b ~pos:0 ~len:n;
+    b
+  in
+  (* a single clear bit on each side of a word boundary *)
+  List.iter
+    (fun i ->
+      let b = full 192 in
+      Ffs.Bitmap.clear b i;
+      check_opt (Fmt.str "find_clear lands on %d" i) (Some i)
+        (Ffs.Bitmap.find_clear b ~start:0);
+      check_opt (Fmt.str "run of 1 at %d" i) (Some i)
+        (Ffs.Bitmap.find_clear_run b ~start:0 ~len:1);
+      check_opt (Fmt.str "no run of 2 around %d" i) None
+        (Ffs.Bitmap.find_clear_run b ~start:0 ~len:2))
+    [ 63; 64; 65; 127; 128 ];
+  (* a run straddling the first boundary: [61..67] clear in a full map *)
+  let b = full 192 in
+  Ffs.Bitmap.clear_range b ~pos:61 ~len:7;
+  check_opt "straddling run found" (Some 61) (Ffs.Bitmap.find_clear_run b ~start:0 ~len:7);
+  check_opt "start inside the straddle" (Some 62)
+    (Ffs.Bitmap.find_clear_run b ~start:62 ~len:6);
+  check_opt "one longer fails" None (Ffs.Bitmap.find_clear_run b ~start:0 ~len:8);
+  check_int "run length across boundary" 7 (Ffs.Bitmap.clear_run_length_at b 61);
+  (* a run ending exactly on the last bit of a word *)
+  let b = full 192 in
+  Ffs.Bitmap.clear_range b ~pos:56 ~len:8;
+  check_opt "ends at 63" (Some 56) (Ffs.Bitmap.find_clear_run b ~start:0 ~len:8);
+  check_opt "cannot cross into set bit 64" None (Ffs.Bitmap.find_clear_run b ~start:0 ~len:9);
+  (* a run starting exactly on the first bit of a word *)
+  let b = full 192 in
+  Ffs.Bitmap.clear_range b ~pos:64 ~len:3;
+  check_opt "starts at 64" (Some 64) (Ffs.Bitmap.find_clear_run b ~start:0 ~len:3);
+  check_opt "found when scan starts at 64" (Some 64)
+    (Ffs.Bitmap.find_clear_run b ~start:64 ~len:3);
+  check_opt "missed when scan starts at 65" None (Ffs.Bitmap.find_clear_run b ~start:65 ~len:3);
+  (* an exactly-word-sized run filling the middle word *)
+  let b = full 192 in
+  Ffs.Bitmap.clear_range b ~pos:64 ~len:64;
+  check_opt "full-word run" (Some 64) (Ffs.Bitmap.find_clear_run b ~start:0 ~len:64);
+  check_opt "full word + 1 fails" None (Ffs.Bitmap.find_clear_run b ~start:0 ~len:65);
+  check_int "full-word run length" 64 (Ffs.Bitmap.clear_run_length_at b 64)
+
+let test_word_boundary_wrap () =
+  (* wrap searches around a hole that straddles a word boundary *)
+  let b = Ffs.Bitmap.create 192 in
+  Ffs.Bitmap.set_range b ~pos:0 ~len:192;
+  Ffs.Bitmap.clear_range b ~pos:60 ~len:10;
+  (* starting inside the hole: the forward pass still has 65..69 ... *)
+  check_opt "tail of the hole first" (Some 65)
+    (Ffs.Bitmap.find_clear_run_wrap b ~start:65 ~len:5);
+  (* ... but one bit later it must wrap and find the hole from its head *)
+  check_opt "wraps back to the hole's head" (Some 60)
+    (Ffs.Bitmap.find_clear_run_wrap b ~start:66 ~len:5);
+  check_opt "nothing that long anywhere" None
+    (Ffs.Bitmap.find_clear_run_wrap b ~start:66 ~len:11);
+  (* empty maps of word-boundary sizes are one maximal run *)
+  List.iter
+    (fun n ->
+      let e = Ffs.Bitmap.create n in
+      check_opt (Fmt.str "empty %d-bit map, full run" n) (Some 0)
+        (Ffs.Bitmap.find_clear_run e ~start:0 ~len:n);
+      check_opt (Fmt.str "empty %d-bit map, wrap from middle" n) (Some (n / 2))
+        (Ffs.Bitmap.find_clear_run_wrap e ~start:(n / 2) ~len:(n - (n / 2)));
+      check_opt (Fmt.str "empty %d-bit map, oversize run" n) None
+        (Ffs.Bitmap.find_clear_run e ~start:0 ~len:(n + 1)))
+    [ 63; 64; 65; 128 ]
+
 let test_copy_independent () =
   let a = Ffs.Bitmap.create 8 in
   let b = Ffs.Bitmap.copy a in
@@ -201,6 +274,8 @@ let () =
           tc "find_clear_run" test_find_clear_run;
           tc "find_clear_run_wrap" test_find_clear_run_wrap;
           tc "runs and iter" test_run_length_and_iter;
+          tc "word-boundary runs" test_word_boundary_runs;
+          tc "word-boundary wrap" test_word_boundary_wrap;
           tc "copy" test_copy_independent;
         ] );
       ( "properties",

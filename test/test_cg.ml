@@ -161,6 +161,33 @@ let test_free_run_histogram () =
   let h = Ffs.Cg.free_run_histogram cg ~max:8 in
   check_int "isolated length-1 run" 1 h.(0)
 
+let test_extent_histogram () =
+  let cg = fresh () in
+  let nblocks = Ffs.Cg.data_blocks cg in
+  let total h = Array.fold_left (fun a (_, n) -> a + n) 0 h in
+  let count_for h len =
+    (* the bucket whose [lo, 2*lo) range holds [len] *)
+    let (_, n) =
+      Array.to_list h
+      |> List.filter (fun (lo, _) -> lo <= len && len < 2 * lo)
+      |> List.hd
+    in
+    n
+  in
+  let h = Ffs.Cg.extent_histogram cg in
+  check_int "fresh group is one extent" 1 (total h);
+  check_int "that extent is group-sized" 1 (count_for h nblocks);
+  (* splitting the run in the middle leaves two extents in smaller buckets *)
+  ignore (Ffs.Cg.alloc_block cg ~pref:(Some (nblocks / 2)));
+  let h = Ffs.Cg.extent_histogram cg in
+  check_int "split into two extents" 2 (total h);
+  check_int "group-sized bucket emptied" 0 (count_for h nblocks);
+  (* a fragment allocation removes its block from the free extents too:
+     the head extent shrinks by one block, the count stays at two *)
+  ignore (Ffs.Cg.alloc_frags cg ~pref:(Some 0) ~count:1);
+  let h = Ffs.Cg.extent_histogram cg in
+  check_int "partial block is not a free extent" 2 (total h)
+
 let test_inodes () =
   let cg = fresh () in
   check_opt "first inode" (Some 0) (Ffs.Cg.alloc_inode cg);
@@ -358,6 +385,7 @@ let () =
           tc "best fit" test_cluster_best_fit;
           tc "unavailable" test_cluster_unavailable;
           tc "free run histogram" test_free_run_histogram;
+          tc "extent histogram" test_extent_histogram;
         ] );
       ( "inodes/misc",
         [ tc "inodes" test_inodes; tc "copy" test_copy_independent ] );

@@ -79,6 +79,46 @@ let test_detects_corrupted_bitmap () =
       | Ffs.Check.Claim_not_allocated { fragment; _ } -> fragment = addr
       | _ -> false))
 
+(* deliberately skewed extent indexes: the index-consistency pass must
+   flag divergence from the bitmaps, and repair must rebuild it *)
+
+let test_detects_skewed_index () =
+  List.iter
+    (fun (what, skew) ->
+      let fs, _, _ = populated () in
+      let cg = (Ffs.Fs.cg_states fs).(0) in
+      skew cg;
+      let r = Ffs.Check.run fs in
+      check_bool (what ^ ": not clean") false (Ffs.Check.is_clean r);
+      check_bool (what ^ ": index mismatch reported") true
+        (has_problem r (function
+          | Ffs.Check.Index_mismatch { cg = 0; _ } -> true
+          | _ -> false));
+      ignore (Ffs.Check.repair_exn fs);
+      check_bool (what ^ ": clean after repair") true
+        (Ffs.Check.is_clean (Ffs.Check.run fs)))
+    [
+      (* a used block lies as free in the index *)
+      ("free bit on used block", fun cg -> Ffs.Cg.corrupt_index_toggle_free cg 0);
+      (* a genuinely free block vanishes from the index *)
+      ( "free bit dropped",
+        fun cg -> Ffs.Cg.corrupt_index_toggle_free cg (Ffs.Cg.data_blocks cg - 1) );
+      (* a wholly free block squats in a fragment-fit bucket *)
+      ( "bogus fit membership",
+        fun cg -> Ffs.Cg.corrupt_index_toggle_fit cg (Ffs.Cg.data_blocks cg - 1) ~len:3 );
+    ]
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_skewed_index_pp () =
+  let fs, _, _ = populated () in
+  Ffs.Cg.corrupt_index_toggle_free (Ffs.Fs.cg_states fs).(0) 0;
+  let dirty = Fmt.str "%a" Ffs.Check.pp (Ffs.Check.run fs) in
+  check_bool "report names the index" true (contains dirty "free-space index")
+
 let test_detects_bad_run () =
   let fs, a, _ = populated () in
   let ia = Ffs.Fs.inode fs a in
@@ -139,6 +179,8 @@ let () =
           tc "detects claim of free fragment" test_detects_claim_of_free_fragment;
           tc "detects corrupted bitmap" test_detects_corrupted_bitmap;
           tc "detects bad run" test_detects_bad_run;
+          tc "detects skewed extent index" test_detects_skewed_index;
+          tc "skewed index pp" test_skewed_index_pp;
           tc "pp smoke" test_pp_smoke;
         ] );
       ( "repair",
