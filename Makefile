@@ -1,6 +1,6 @@
 # Convenience targets; `make verify` is the tier-1 gate.
 
-.PHONY: all build test verify fmt bench bench-alloc figures crash-matrix crash-explore metrics-smoke freespace-smoke clean
+.PHONY: all build test verify fmt bench bench-alloc bench-fleet figures crash-matrix crash-explore metrics-smoke freespace-smoke fleet-smoke clean
 
 all: build
 
@@ -21,7 +21,9 @@ verify:
 	$(MAKE) crash-explore
 	$(MAKE) metrics-smoke
 	$(MAKE) freespace-smoke
+	$(MAKE) fleet-smoke
 	$(MAKE) bench-alloc
+	$(MAKE) bench-fleet
 
 # crash-consistency smoke: a small ground-truth workload through
 # {0,1,3} injected crashes on both allocators (each crash is torn
@@ -81,6 +83,22 @@ bench:
 # machine without failing)
 bench-alloc:
 	dune exec bench/main.exe -- alloc --no-csv
+
+# fleet supervision smoke: forced quarantine must degrade gracefully
+# (exit 3, volume reported, never dropped), and a 64-volume fleet with
+# fault injection killed with SIGKILL mid-flight must resume from its
+# manifest to a bit-identical aggregate (digest + allocation totals)
+fleet-smoke:
+	@dune build bin/ffs_fleet.exe bin/ffs_inspect.exe
+	@sh test/fleet_smoke.sh
+
+# the committed fleet benchmark: volumes aged per hour at --jobs 1/2/4
+# on the standard small fleet. Rewrites BENCH_fleet.json, asserts the
+# aggregate digest is identical at every concurrency level, and fails
+# if the best throughput regresses >30% against the committed baseline
+# (FFS_BENCH_FLEET_SKIP_BASELINE=1 to re-baseline)
+bench-fleet:
+	dune exec bench/main.exe -- fleet --no-csv
 
 # ffs_inspect --freespace smoke: age a small image, dump the per-group
 # free-extent histogram, and make sure the table actually came out

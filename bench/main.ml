@@ -7,14 +7,15 @@
 
    Usage:
      main.exe [--days N] [--seed N] [--jobs N] [--csv-dir DIR|--no-csv]
-              [--alloc-ops N] [--alloc-out PATH] [EXPERIMENT ...]
+              [--alloc-ops N] [--alloc-out PATH] [--fleet-out PATH]
+              [EXPERIMENT ...]
    where EXPERIMENT is one of: table1 fig1 fig2 fig3 fig4 fig5 fig6
-   table2 checks ablations lfs micro alloc. The default runs everything
-   at the paper's full scale (300 days; several minutes). *)
+   table2 checks ablations lfs micro alloc fleet. The default runs
+   everything at the paper's full scale (300 days; several minutes). *)
 
 let experiments =
   [ "table1"; "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "table2"; "checks";
-    "ablations"; "lfs"; "micro"; "alloc" ]
+    "ablations"; "lfs"; "micro"; "alloc"; "fleet" ]
 
 (* --- allocation throughput (BENCH_alloc.json) ------------------------------ *)
 
@@ -51,6 +52,42 @@ let run_alloc ~ops ~out =
           false)
   | Some _ ->
       Fmt.pr "baseline gate skipped (FFS_BENCH_ALLOC_SKIP_BASELINE=1)@.";
+      true
+  | None -> true
+
+(* --- fleet supervision throughput (BENCH_fleet.json) ----------------------- *)
+
+(* volumes aged per hour at --jobs 1/2/4 on the standard small fleet;
+   the run itself asserts the aggregate digest is identical at every
+   concurrency level. Same baseline-gate shape as run_alloc. *)
+let run_fleet_bench ~out =
+  print_endline "\n=== Fleet supervision throughput: volumes/hour by jobs ===\n";
+  let baseline =
+    if Sys.file_exists out then
+      let contents = In_channel.with_open_text out In_channel.input_all in
+      match Obs.Json.of_string contents with
+      | Ok j -> Some j
+      | Error msg ->
+          Fmt.epr "[bench] ignoring unreadable baseline %s: %s@." out msg;
+          None
+    else None
+  in
+  let r = Benchlib.Fleet_bench.run () in
+  Fmt.pr "%a@." Benchlib.Fleet_bench.pp r;
+  Out_channel.with_open_text out (fun oc ->
+      Out_channel.output_string oc (Obs.Json.to_string (Benchlib.Fleet_bench.to_json r));
+      Out_channel.output_char oc '\n');
+  Fmt.pr "wrote %s@." out;
+  let skip = Sys.getenv_opt "FFS_BENCH_FLEET_SKIP_BASELINE" = Some "1" in
+  match baseline with
+  | Some b when not skip -> (
+      match Benchlib.Fleet_bench.gate ~baseline:b r with
+      | Ok () -> true
+      | Error msg ->
+          Fmt.epr "[bench] %s@." msg;
+          false)
+  | Some _ ->
+      Fmt.pr "baseline gate skipped (FFS_BENCH_FLEET_SKIP_BASELINE=1)@.";
       true
   | None -> true
 
@@ -185,6 +222,7 @@ let () =
   let csv_dir = ref (Some "results") in
   let alloc_ops = ref Benchlib.Alloc_bench.default_ops in
   let alloc_out = ref "BENCH_alloc.json" in
+  let fleet_out = ref "BENCH_fleet.json" in
   let picked = ref [] in
   let rec parse = function
     | [] -> ()
@@ -208,6 +246,9 @@ let () =
         parse rest
     | "--alloc-out" :: v :: rest ->
         alloc_out := v;
+        parse rest
+    | "--fleet-out" :: v :: rest ->
+        fleet_out := v;
         parse rest
     | exp :: rest when List.mem exp experiments ->
         picked := exp :: !picked;
@@ -259,6 +300,7 @@ let () =
   if wanted "lfs" then print_string (Benchlib.Lfs_compare.report ~seed:!seed ~pool ~timings ());
   if wanted "micro" then run_micro ();
   let alloc_ok = if wanted "alloc" then run_alloc ~ops:!alloc_ops ~out:!alloc_out else true in
+  let fleet_ok = if wanted "fleet" then run_fleet_bench ~out:!fleet_out else true in
   if not (Par.Timings.is_empty timings) then
     Fmt.pr "@.=== Task timings ===@.@.%s@." (Par.Timings.report timings);
-  if not alloc_ok then exit 1
+  if not (alloc_ok && fleet_ok) then exit 1

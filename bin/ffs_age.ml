@@ -18,8 +18,17 @@ let run_multi_seed ~days ~seed ~nseeds ~jobs ~quiet =
   (match outcome with
   | `Done summary -> print_string (Benchlib.Experiments.seed_report summary)
   | `Stopped (completed, total) ->
-      Fmt.epr "interrupted: %d/%d tasks completed; timings below cover them@."
-        completed total);
+      (* the pool's Interrupted payload becomes the final report: say
+         exactly how far the run got and what the interruption cost,
+         not just a count *)
+      Fmt.pr "@.=== Multi-seed run INTERRUPTED ===@.@.";
+      Fmt.pr "%d/%d parallel tasks reached completion before the stop request drained \
+              the pool.@." completed total;
+      Fmt.pr "Multi-seed aggregates are only reported complete; the finished tasks are \
+              discarded.@.";
+      Fmt.pr "Re-running with the same --seed and --seeds reproduces the run \
+              bit-identically;@.";
+      Fmt.pr "for interruptible multi-volume runs with durable resume, use ffs_fleet.@.");
   Common.print_timings ~quiet timings;
   match outcome with `Stopped _ -> exit 130 | `Done _ -> ()
 

@@ -51,3 +51,6 @@ let load_latest ~dir =
             try_all older)
   in
   try_all (list ~dir)
+
+let load_latest_opt ~dir =
+  match load_latest ~dir with Ok v -> Some v | Error _ -> None

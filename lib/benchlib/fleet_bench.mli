@@ -1,0 +1,35 @@
+(** Fleet supervision throughput: volumes aged per hour at several
+    [--jobs] levels, on a standard small heterogeneous fleet with fault
+    injection.
+
+    The benchmark doubles as a determinism check — the aggregate
+    manifest digest must be identical at every concurrency level, or
+    the run fails. *)
+
+type level = { jobs : int; seconds : float; volumes_per_hour : float }
+
+type result = {
+  volumes : int;
+  days : int;
+  seed : int;
+  digest : int32;  (** aggregate digest, equal across all levels *)
+  levels : level list;
+}
+
+val standard_volumes : int
+val standard_days : int
+val standard_seed : int
+val default_jobs_levels : int list
+
+val run :
+  ?volumes:int -> ?days:int -> ?seed:int -> ?jobs_levels:int list -> unit -> result
+(** Ages the same fleet spec once per jobs level in throwaway state
+    directories. Raises [Failure] if any volume fails to complete or
+    the digests diverge across levels. *)
+
+val to_json : result -> Obs.Json.t
+val pp : Format.formatter -> result -> unit
+
+val gate : baseline:Obs.Json.t -> result -> (unit, string) Stdlib.result
+(** [Ok ()] unless the best volumes/hour dropped more than 30% below
+    the committed baseline (parsed from a previous run's [to_json]). *)

@@ -1,0 +1,102 @@
+(** The crash-safe fleet manifest.
+
+    One {!Recover.Container} artifact ([manifest.ffsm] in the fleet's
+    state directory) records the full fleet spec plus, per volume: its
+    status, its checkpoint-directory pointer, its failure history, and
+    — once done — a result summary with content digests. Every status
+    transition rewrites the whole file atomically (temp + fsync +
+    rename), so a [kill -9] at any instant leaves either the previous
+    or the new manifest, never a torn one; a resumed fleet trusts the
+    manifest for completed volumes and the per-volume
+    {!Aging.Checkpoint} stores for in-flight ones.
+
+    The manifest is the fleet's unit of accounting: a volume may be
+    pending, running, done, failed (retryable) or quarantined, but it
+    is always {e listed} — a fleet never silently drops a volume. *)
+
+type summary = {
+  final_score : float;  (** aggregate layout score at the end of the run *)
+  mean_score : float;  (** mean of the daily score series *)
+  utilization : float;
+  files_live : int;
+  blocks_allocated : int;  (** allocator counter, from [Ffs.Fs.stats] *)
+  frags_allocated : int;
+  skipped_ops : int;
+  crashes_recovered : int;  (** injected crashes survived via fsck-repair *)
+  score_digest : int32;  (** CRC-32 of the marshalled daily score+utilization series *)
+  image_digest : int32;  (** CRC-32 of the marshalled final image *)
+}
+
+type failure = {
+  failures : int;  (** consecutive failed attempts, across fleet incarnations *)
+  last_error : string;
+}
+
+type status =
+  | Pending  (** not started *)
+  | Running
+      (** in flight when the manifest was written; after a kill this
+          means "resume from the volume's checkpoint store" *)
+  | Done of summary
+  | Failed of failure
+      (** retry budget for this incarnation exhausted; a resume tries
+          again *)
+  | Quarantined of failure
+      (** too many consecutive failures; the fleet degrades gracefully
+          and reports the volume instead of retrying it *)
+
+type entry = {
+  spec : Spec.volume;
+  status : status;
+  checkpoint_dir : string;  (** relative to the state directory *)
+  attempts : int;  (** attempts spent on the volume, across incarnations *)
+}
+
+type t = {
+  spec_crc : int32;  (** {!Spec.fingerprint} of the generating spec *)
+  fleet_seed : int;
+  entries : entry array;  (** indexed by volume id *)
+}
+
+val create : Spec.t -> t
+(** All volumes [Pending], checkpoint dirs assigned. *)
+
+val file : dir:string -> string
+(** [dir/manifest.ffsm]. *)
+
+val save : dir:string -> t -> unit
+(** Atomic durable rewrite of {!file} (the directory is created if
+    missing). *)
+
+val load : dir:string -> (t, Ffs.Error.t) result
+(** [Error (Corrupt _)] for a missing, truncated, bit-flipped or
+    wrong-version manifest. *)
+
+val load_file : path:string -> (t, Ffs.Error.t) result
+(** {!load} for an explicit path ([ffs_inspect --manifest]). *)
+
+val status_name : status -> string
+(** ["pending" | "running" | "done" | "failed" | "quarantined"]. *)
+
+(** {2 Aggregation} *)
+
+type aggregate = {
+  total : int;
+  completed : int;  (** volumes with status [Done] *)
+  pending : int;  (** [Pending] or [Running] *)
+  failed : int;
+  quarantined : int;
+  scores : float array;  (** final layout scores of completed volumes, id order *)
+  blocks_allocated : int;  (** summed over completed volumes *)
+  frags_allocated : int;
+  files_live : int;
+  skipped_ops : int;
+  crashes_recovered : int;
+  digest : int32;
+      (** CRC-32 over the completed volumes' (id, score digest, image
+          digest) triples in id order — equal digests mean bit-identical
+          per-volume results, which is how the kill-and-resume tests pin
+          "resumed = uninterrupted" *)
+}
+
+val aggregate : t -> aggregate

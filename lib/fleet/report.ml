@@ -1,0 +1,166 @@
+let hex32 v = Fmt.str "0x%08lx" v
+
+let volume_rows (m : Manifest.t) =
+  Array.to_list
+    (Array.map
+       (fun (e : Manifest.entry) ->
+         let spec = e.Manifest.spec in
+         let score, util =
+           match e.Manifest.status with
+           | Manifest.Done s ->
+               (Fmt.str "%.3f" s.Manifest.final_score,
+                Fmt.str "%.1f%%" (100.0 *. s.Manifest.utilization))
+           | _ -> ("-", "-")
+         in
+         let detail =
+           match e.Manifest.status with
+           | Manifest.Failed f | Manifest.Quarantined f ->
+               Fmt.str "%d fails: %s" f.Manifest.failures
+                 (let msg = f.Manifest.last_error in
+                  if String.length msg > 40 then String.sub msg 0 37 ^ "..." else msg)
+           | Manifest.Done s when s.Manifest.crashes_recovered > 0 ->
+               Fmt.str "%d crashes recovered" s.Manifest.crashes_recovered
+           | _ -> ""
+         in
+         [
+           string_of_int spec.Spec.id;
+           Manifest.status_name e.Manifest.status;
+           Fmt.str "%a" Spec.pp_volume spec;
+           score;
+           util;
+           string_of_int e.Manifest.attempts;
+           detail;
+         ])
+       m.Manifest.entries)
+
+let aggregate_lines (agg : Manifest.aggregate) =
+  let dist =
+    if Array.length agg.Manifest.scores = 0 then "no completed volumes"
+    else if Array.length agg.Manifest.scores = 1 then
+      Fmt.str "score %.3f (1 volume)" agg.Manifest.scores.(0)
+    else
+      let s = Util.Stats.summarize agg.Manifest.scores in
+      Fmt.str "score mean %.3f stddev %.3f min %.3f max %.3f" s.Util.Stats.mean
+        s.Util.Stats.stddev s.Util.Stats.min s.Util.Stats.max
+  in
+  [
+    Fmt.str "volumes: %d total — %d done, %d pending, %d failed, %d quarantined"
+      agg.Manifest.total agg.Manifest.completed agg.Manifest.pending agg.Manifest.failed
+      agg.Manifest.quarantined;
+    Fmt.str "layout-score distribution: %s" dist;
+    Fmt.str "allocated: %d blocks, %d frags; %d files live; %d ops skipped"
+      agg.Manifest.blocks_allocated agg.Manifest.frags_allocated agg.Manifest.files_live
+      agg.Manifest.skipped_ops;
+    Fmt.str "crashes recovered: %d" agg.Manifest.crashes_recovered;
+    Fmt.str "aggregate digest: %s" (hex32 agg.Manifest.digest);
+  ]
+
+let text ?interrupted (m : Manifest.t) =
+  let agg = Manifest.aggregate m in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Util.Chart.table
+       ~header:[ "vol"; "status"; "spec"; "score"; "util"; "tries"; "detail" ]
+       ~rows:(volume_rows m));
+  Buffer.add_char b '\n';
+  List.iter
+    (fun l ->
+      Buffer.add_string b l;
+      Buffer.add_char b '\n')
+    (aggregate_lines agg);
+  (match interrupted with
+  | None -> ()
+  | Some (completed, total) ->
+      Buffer.add_string b
+        (Fmt.str
+           "INTERRUPTED: %d/%d scheduled volumes reached a terminal state; the rest are \
+            checkpointed — resume with --resume\n"
+           completed total));
+  Buffer.contents b
+
+let json_of_summary (s : Manifest.summary) =
+  Obs.Json.Obj
+    [
+      ("final_score", Obs.Json.Float s.Manifest.final_score);
+      ("mean_score", Obs.Json.Float s.Manifest.mean_score);
+      ("utilization", Obs.Json.Float s.Manifest.utilization);
+      ("files_live", Obs.Json.Int s.Manifest.files_live);
+      ("blocks_allocated", Obs.Json.Int s.Manifest.blocks_allocated);
+      ("frags_allocated", Obs.Json.Int s.Manifest.frags_allocated);
+      ("skipped_ops", Obs.Json.Int s.Manifest.skipped_ops);
+      ("crashes_recovered", Obs.Json.Int s.Manifest.crashes_recovered);
+      ("score_digest", Obs.Json.String (hex32 s.Manifest.score_digest));
+      ("image_digest", Obs.Json.String (hex32 s.Manifest.image_digest));
+    ]
+
+let json_of_entry (e : Manifest.entry) =
+  let spec = e.Manifest.spec in
+  let base =
+    [
+      ("id", Obs.Json.Int spec.Spec.id);
+      ("status", Obs.Json.String (Manifest.status_name e.Manifest.status));
+      ("geometry", Obs.Json.String spec.Spec.geometry);
+      ("profile", Obs.Json.String (Workload.Profiles.name spec.Spec.profile));
+      ("realloc", Obs.Json.Bool spec.Spec.realloc);
+      ("days", Obs.Json.Int spec.Spec.days);
+      ("seed", Obs.Json.Int spec.Spec.seed);
+      ("crashes", Obs.Json.Int spec.Spec.crashes);
+      ("attempts", Obs.Json.Int e.Manifest.attempts);
+      ("checkpoint_dir", Obs.Json.String e.Manifest.checkpoint_dir);
+    ]
+  in
+  let extra =
+    match e.Manifest.status with
+    | Manifest.Done s -> [ ("summary", json_of_summary s) ]
+    | Manifest.Failed f | Manifest.Quarantined f ->
+        [
+          ("failures", Obs.Json.Int f.Manifest.failures);
+          ("last_error", Obs.Json.String f.Manifest.last_error);
+        ]
+    | Manifest.Pending | Manifest.Running -> []
+  in
+  Obs.Json.Obj (base @ extra)
+
+let to_json ?interrupted (m : Manifest.t) =
+  let agg = Manifest.aggregate m in
+  let scores = Array.to_list (Array.map (fun s -> Obs.Json.Float s) agg.Manifest.scores) in
+  Obs.Json.Obj
+    [
+      ("fleet_seed", Obs.Json.Int m.Manifest.fleet_seed);
+      ("spec_crc", Obs.Json.String (hex32 m.Manifest.spec_crc));
+      ( "volumes",
+        Obs.Json.List (Array.to_list (Array.map json_of_entry m.Manifest.entries)) );
+      ( "aggregate",
+        Obs.Json.Obj
+          [
+            ("total", Obs.Json.Int agg.Manifest.total);
+            ("completed", Obs.Json.Int agg.Manifest.completed);
+            ("pending", Obs.Json.Int agg.Manifest.pending);
+            ("failed", Obs.Json.Int agg.Manifest.failed);
+            ("quarantined", Obs.Json.Int agg.Manifest.quarantined);
+            ("scores", Obs.Json.List scores);
+            ("blocks_allocated", Obs.Json.Int agg.Manifest.blocks_allocated);
+            ("frags_allocated", Obs.Json.Int agg.Manifest.frags_allocated);
+            ("files_live", Obs.Json.Int agg.Manifest.files_live);
+            ("skipped_ops", Obs.Json.Int agg.Manifest.skipped_ops);
+            ("crashes_recovered", Obs.Json.Int agg.Manifest.crashes_recovered);
+            ("digest", Obs.Json.String (hex32 agg.Manifest.digest));
+          ] );
+      ( "interrupted",
+        match interrupted with
+        | None -> Obs.Json.Null
+        | Some (completed, total) ->
+            Obs.Json.Obj
+              [ ("completed", Obs.Json.Int completed); ("total", Obs.Json.Int total) ] );
+    ]
+
+let set_gauges (m : Manifest.t) =
+  let agg = Manifest.aggregate m in
+  let g = Obs.Metrics.default in
+  Obs.Metrics.set g "fleet_volumes_total" (float_of_int agg.Manifest.total);
+  Obs.Metrics.set g "fleet_volumes_completed" (float_of_int agg.Manifest.completed);
+  Obs.Metrics.set g "fleet_volumes_pending" (float_of_int agg.Manifest.pending);
+  Obs.Metrics.set g "fleet_volumes_failed" (float_of_int agg.Manifest.failed);
+  Obs.Metrics.set g "fleet_volumes_quarantined" (float_of_int agg.Manifest.quarantined);
+  if Array.length agg.Manifest.scores > 0 then
+    Obs.Metrics.set g "fleet_score_mean" (Util.Stats.mean agg.Manifest.scores)

@@ -1,0 +1,25 @@
+(** Fleet reports: per-volume health plus aggregate layout-score
+    distribution, as a printable table and as JSON (via {!Obs.Json}).
+
+    Quarantined and failed volumes are always listed with their failure
+    counts and last error — a degraded fleet reports its casualties, it
+    never drops them. *)
+
+val text : ?interrupted:int * int -> Manifest.t -> string
+(** The human report: one row per volume (status, spec, score,
+    utilization, attempts, last error), then the aggregate block —
+    completed/pending/failed/quarantined counts, the layout-score
+    distribution over completed volumes (mean/stddev/min/max), summed
+    allocator counters, and the aggregate digest. [interrupted]
+    renders the drained-early banner with the pool's
+    [completed/total]. *)
+
+val to_json : ?interrupted:int * int -> Manifest.t -> Obs.Json.t
+(** The same data as a JSON object: ["volumes"] (list),
+    ["aggregate"], and ["interrupted"] (null or
+    [{"completed","total"}]). Digests are hex strings. *)
+
+val set_gauges : Manifest.t -> unit
+(** Export the aggregate as [fleet_*] gauges into
+    {!Obs.Metrics.default}, so [--metrics-out] snapshots carry the
+    fleet outcome. *)

@@ -1,0 +1,63 @@
+(** Fleet specifications: which volumes a fleet ages, and how.
+
+    A fleet is N independent volumes, each a complete aging experiment
+    of its own — geometry, allocator configuration, workload profile,
+    seed, length, and an optional budget of injected mid-replay power
+    failures. Every field is drawn deterministically from the fleet
+    seed, so a spec is a pure function of its arguments: the supervisor
+    can regenerate any volume's workload bit-for-bit from the spec
+    recorded in the manifest, which is what makes a killed fleet
+    resumable. *)
+
+type volume = {
+  id : int;  (** position in the fleet; also names the checkpoint dir *)
+  seed : int;  (** workload PRNG seed (child stream of the fleet seed) *)
+  days : int;  (** simulated length of this volume's aging run *)
+  geometry : string;  (** named {!Ffs.Params} geometry: ["paper"] or ["small"] *)
+  realloc : bool;  (** allocator under test: traditional FFS or FFS+realloc *)
+  policy : Ffs.Fs.cluster_policy;  (** cluster search policy when [realloc] *)
+  profile : Workload.Profiles.kind;  (** workload mix *)
+  crashes : int;  (** injected power failures during the replay *)
+  fault_seed : int;  (** PRNG seed for crash points and fault plans *)
+}
+
+type t = {
+  fleet_seed : int;
+  volumes : volume array;  (** indexed by [id] *)
+}
+
+val generate :
+  ?geometries:string list ->
+  ?profiles:Workload.Profiles.kind list ->
+  ?fault_rate:float ->
+  volumes:int ->
+  days:int ->
+  seed:int ->
+  unit ->
+  t
+(** A heterogeneous fleet: volume [i]'s seed, geometry (drawn from
+    [geometries], default [["small"]]), workload profile (from
+    [profiles], default all four), allocator, cluster policy, and crash
+    count (Poisson with mean [fault_rate], default 0) all come from
+    child streams of [seed]. Equal arguments give equal fleets,
+    bit-for-bit. *)
+
+val params_of_geometry : string -> (Ffs.Params.t, Ffs.Error.t) result
+(** Resolve a named geometry; [Error (Corrupt _)] for an unknown name
+    (it can only come from a damaged or foreign manifest). *)
+
+val geometry_names : string list
+(** The recognised geometry names, for CLI validation. *)
+
+val config_of_volume : volume -> Ffs.Fs.config
+
+val ops_of_volume : volume -> Workload.Op.t array
+(** Regenerate the volume's workload from its spec (deterministic).
+    Raises {!Ffs.Error.Error} on an unknown geometry. *)
+
+val fingerprint : t -> int32
+(** CRC-32 of the marshalled spec — the manifest's check that a resume
+    is continuing the fleet it thinks it is. *)
+
+val pp_volume : Format.formatter -> volume -> unit
+(** One-line description: geometry/allocator/profile/days/crashes. *)

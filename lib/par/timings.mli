@@ -14,15 +14,30 @@ type entry = {
           separated from [elapsed] so queue pressure and task cost don't
           blur together *)
   elapsed : float;  (** wall-clock seconds of execution, excluding the wait *)
+  attempts : int;
+      (** attempts the retry policy spent on the task (1 = first try
+          succeeded) *)
+  slept : float;
+      (** seconds spent in backoff sleeps between those attempts —
+          separated from [elapsed] so flaky-task overhead is visible *)
 }
 
 type t
 
 val create : unit -> t
 
-val record : t -> label:string -> started:float -> ?waited:float -> elapsed:float -> unit -> unit
-(** Append one entry ([waited] defaults to 0 for directly-run tasks).
-    Safe to call from any domain. *)
+val record :
+  t ->
+  label:string ->
+  started:float ->
+  ?waited:float ->
+  ?attempts:int ->
+  ?slept:float ->
+  elapsed:float ->
+  unit ->
+  unit
+(** Append one entry ([waited] defaults to 0 for directly-run tasks,
+    [attempts] to 1, [slept] to 0). Safe to call from any domain. *)
 
 val entries : t -> entry list
 (** All entries in start order. *)

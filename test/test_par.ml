@@ -174,6 +174,68 @@ let test_timeout_within_budget_succeeds () =
       in
       Alcotest.(check (array int)) "results intact" [| 1; 2; 3; 4 |] r)
 
+(* --- unit: backoff schedule ------------------------------------------------- *)
+
+let test_backoff_deterministic_and_bounded () =
+  let retry =
+    { Par.Pool.no_retry with backoff = 0.05; max_backoff = 0.4; jitter = 0.25; jitter_seed = 9 }
+  in
+  for attempt = 1 to 6 do
+    let d = Par.Pool.backoff_delay retry ~label:"vol-0001" ~attempt in
+    let d' = Par.Pool.backoff_delay retry ~label:"vol-0001" ~attempt in
+    Alcotest.(check (float 0.0)) (Fmt.str "attempt %d reproducible" attempt) d d';
+    let base = Float.min retry.Par.Pool.max_backoff (0.05 *. (2. ** float_of_int (attempt - 1))) in
+    check_bool
+      (Fmt.str "attempt %d within jitter band (%.4f vs base %.4f)" attempt d base)
+      true
+      (d >= base *. 0.75 -. 1e-9 && d <= base *. 1.25 +. 1e-9)
+  done
+
+let test_backoff_exponential_then_capped () =
+  let retry = { Par.Pool.no_retry with backoff = 0.05; max_backoff = 0.4; jitter = 0.0 } in
+  let d n = Par.Pool.backoff_delay retry ~label:"x" ~attempt:n in
+  Alcotest.(check (float 1e-9)) "attempt 1 = base" 0.05 (d 1);
+  Alcotest.(check (float 1e-9)) "attempt 2 doubles" 0.1 (d 2);
+  Alcotest.(check (float 1e-9)) "attempt 3 doubles again" 0.2 (d 3);
+  Alcotest.(check (float 1e-9)) "attempt 4 hits the cap" 0.4 (d 4);
+  Alcotest.(check (float 1e-9)) "attempt 9 stays capped" 0.4 (d 9)
+
+let test_backoff_jitter_varies_by_label () =
+  let retry = { Par.Pool.no_retry with backoff = 0.1; jitter = 0.5; jitter_seed = 3 } in
+  let delays =
+    List.map
+      (fun l -> Par.Pool.backoff_delay retry ~label:l ~attempt:1)
+      [ "a"; "b"; "c"; "d"; "e"; "f" ]
+  in
+  check_bool "labels don't all share one delay (no thundering herd)" true
+    (List.exists (fun d -> d <> List.hd delays) (List.tl delays))
+
+let test_timings_record_attempts_and_backoff () =
+  let timings = Par.Timings.create () in
+  Par.Pool.with_pool ~jobs:2 (fun p ->
+      let tries = Atomic.make 0 in
+      let retry = { Par.Pool.no_retry with attempts = 3; backoff = 0.002 } in
+      let r =
+        Par.Pool.parallel_map ~retry ~timings ~label:(fun _ -> "flaky") p
+          (fun i ->
+            if Atomic.fetch_and_add tries 1 < 2 then raise (Task_failed i) else i)
+          [| 7 |]
+      in
+      Alcotest.(check (array int)) "recovered" [| 7 |] r);
+  (match Par.Timings.entries timings with
+  | [ e ] ->
+      check_int "attempts recorded" 3 e.Par.Timings.attempts;
+      check_bool "backoff sleep recorded" true (e.Par.Timings.slept > 0.0)
+  | es -> Alcotest.failf "expected 1 entry, got %d" (List.length es));
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let report = Par.Timings.report timings in
+  check_bool "report grows tries/backoff columns" true
+    (contains report "tries" && contains report "backoff")
+
 (* --- properties ------------------------------------------------------------ *)
 
 let prop_map_matches_serial =
@@ -351,6 +413,13 @@ let () =
             test_retry_exhaustion_surfaces_original_exception;
           tc "timeout frees the worker" test_timeout_frees_the_worker;
           tc "within budget succeeds" test_timeout_within_budget_succeeds;
+        ] );
+      ( "backoff",
+        [
+          tc "deterministic and jitter-bounded" test_backoff_deterministic_and_bounded;
+          tc "exponential then capped" test_backoff_exponential_then_capped;
+          tc "jitter varies by label" test_backoff_jitter_varies_by_label;
+          tc "timings record attempts and backoff" test_timings_record_attempts_and_backoff;
         ] );
       ( "graceful stop",
         [
