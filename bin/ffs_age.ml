@@ -133,11 +133,49 @@ let run days seed nseeds jobs realloc policy kind profile_kind quiet params cras
     checkpoint_every > 0 || checkpoint_dir <> None || resume <> None
   in
   let result, recoveries =
-    if checkpointing then
+    if checkpointing then begin
+      (* --jobs must never be a silent no-op: say why it is ignored *)
+      if jobs > 1 then
+        Fmt.epr "note: --jobs %d ignored — checkpointed replay is serial-only \
+                 (see the intra-volume section of the README)@." jobs;
       replay_checkpointed ~params ~days ~config ~quiet ~crashes ~fault_seed
         ~checkpoint_every ~checkpoint_dir ~checkpoint_keep ~resume ops
-    else
+    end
+    else if crashes > 0 then begin
+      if jobs > 1 then
+        Fmt.epr "note: --jobs %d ignored — crash injection is serial-only@." jobs;
       Common.replay_with_crashes ~params ~days ~config ~quiet ~crashes ~fault_seed ops
+    end
+    else begin
+      (* intra-volume parallel aging: per-cylinder-group batches on a
+         domain pool. The result is bit-identical at every jobs level
+         (including --jobs 1), so this one engine serves every no-crash
+         single-seed run and the output never depends on the machine's
+         core count. *)
+      if not quiet then begin
+        Fmt.epr "workload: %a@." Workload.Op.pp_stats (Workload.Op.stats ops);
+        Fmt.epr "intra-volume parallel replay: %d jobs over %d cylinder groups@."
+          jobs params.Ffs.Params.ncg
+      end;
+      let on_day_stats =
+        match trace with
+        | None -> fun (_ : Aging.Replay.day_stats) -> ()
+        | Some _ ->
+            (* the per-day contention summary promised by --trace *)
+            fun (ds : Aging.Replay.day_stats) ->
+              Fmt.epr "  day %3d: %4d ops in %2d batches, %3d deferred; locks: %a@."
+                (ds.Aging.Replay.day + 1) ds.Aging.Replay.day_ops
+                ds.Aging.Replay.batches ds.Aging.Replay.deferred Ffs.Locks.pp_stats
+                ds.Aging.Replay.lock_stats
+      in
+      let r =
+        Par.Pool.with_pool ~jobs (fun pool ->
+            Aging.Replay.run_parallel ~config
+              ~progress:(Common.progress_of ~days ~quiet)
+              ~on_day_stats ~pool ~params ~days ops)
+      in
+      (r, [])
+    end
   in
   let scores = result.Aging.Replay.daily_scores in
   Fmt.pr "allocator: %s@." (if realloc then "FFS + realloc" else "traditional FFS");

@@ -1,0 +1,124 @@
+type level = {
+  jobs : int;
+  seconds : float;
+  days_per_sec : float;
+  digest : string;
+  final_score : float;
+  blocks_allocated : int;
+  skipped_ops : int;
+}
+
+type result = {
+  days : int;
+  seed : int;
+  digest : string;
+  blocks_allocated : int;
+  levels : level list;
+}
+
+let standard_days = 4
+let standard_seed = 960117
+let default_jobs_levels = [ 1; 2; 4 ]
+
+let run ?(days = standard_days) ?(seed = standard_seed)
+    ?(jobs_levels = default_jobs_levels) () =
+  let params = Ffs.Params.paper_fs in
+  let profile = { (Workload.Ground_truth.scaled params ~days) with seed } in
+  let ops = (Workload.Ground_truth.generate params profile).Workload.Ground_truth.ops in
+  let measure jobs =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Par.Pool.with_pool ~jobs (fun pool ->
+          Aging.Replay.run_parallel ~pool ~params ~days ops)
+    in
+    let seconds = Unix.gettimeofday () -. t0 in
+    let scores = r.Aging.Replay.daily_scores in
+    {
+      jobs;
+      seconds;
+      days_per_sec = float_of_int days /. seconds;
+      digest = Ffs.Fs.digest r.Aging.Replay.fs;
+      final_score = scores.(Array.length scores - 1);
+      blocks_allocated = (Ffs.Fs.stats r.Aging.Replay.fs).Ffs.Fs.blocks_allocated;
+      skipped_ops = r.Aging.Replay.skipped_ops;
+    }
+  in
+  let levels = List.map measure jobs_levels in
+  (* the determinism claim the bench rides on: the jobs level must not
+     change a single bit of the aged image or its allocation totals *)
+  (match levels with
+  | [] -> ()
+  | l0 :: rest ->
+      List.iter
+        (fun (l : level) ->
+          if
+            l.digest <> l0.digest
+            || l.final_score <> l0.final_score
+            || l.blocks_allocated <> l0.blocks_allocated
+            || l.skipped_ops <> l0.skipped_ops
+          then
+            failwith
+              (Fmt.str
+                 "age bench: results diverged across jobs levels: j%d (%s, score %.6f, \
+                  %d blocks, %d skips) vs j%d (%s, score %.6f, %d blocks, %d skips)"
+                 l0.jobs l0.digest l0.final_score l0.blocks_allocated l0.skipped_ops
+                 l.jobs l.digest l.final_score l.blocks_allocated l.skipped_ops))
+        rest);
+  let l0 = List.hd levels in
+  { days; seed; digest = l0.digest; blocks_allocated = l0.blocks_allocated; levels }
+
+let to_json r =
+  Obs.Json.Obj
+    [
+      ("benchmark", Obs.Json.String "age_parallel");
+      ("days", Obs.Json.Int r.days);
+      ("seed", Obs.Json.Int r.seed);
+      ("digest", Obs.Json.String r.digest);
+      ("blocks_allocated", Obs.Json.Int r.blocks_allocated);
+      ( "levels",
+        Obs.Json.List
+          (List.map
+             (fun l ->
+               Obs.Json.Obj
+                 [
+                   ("jobs", Obs.Json.Int l.jobs);
+                   ("seconds", Obs.Json.Float l.seconds);
+                   ("days_per_sec", Obs.Json.Float l.days_per_sec);
+                 ])
+             r.levels) );
+    ]
+
+let pp ppf r =
+  Fmt.pf ppf
+    "@[<v>age bench: %d days intra-volume parallel replay (seed %d), digest %s@ %a@]"
+    r.days r.seed r.digest
+    (Fmt.list ~sep:Fmt.cut (fun ppf l ->
+         Fmt.pf ppf "jobs %d: %6.2f days/sec (%.3fs)" l.jobs l.days_per_sec l.seconds))
+    r.levels
+
+let best_days_per_sec json =
+  match Obs.Json.member "levels" json with
+  | Some (Obs.Json.List levels) ->
+      List.fold_left
+        (fun acc l ->
+          match Option.bind (Obs.Json.member "days_per_sec" l) Obs.Json.to_float with
+          | Some v -> Some (match acc with None -> v | Some a -> Float.max a v)
+          | None -> acc)
+        None levels
+  | _ -> None
+
+let gate ~baseline r =
+  match best_days_per_sec baseline with
+  | None -> Ok ()
+  | Some old when old <= 0. -> Ok ()
+  | Some old ->
+      let now = List.fold_left (fun a l -> Float.max a l.days_per_sec) 0.0 r.levels in
+      if now >= 0.7 *. old then Ok ()
+      else
+        Error
+          (Fmt.str
+             "age bench regression: %.2f days/sec is %.0f%% below the committed \
+              baseline %.2f (limit 30%%)"
+             now
+             (100. *. (1. -. (now /. old)))
+             old)

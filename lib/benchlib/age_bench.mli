@@ -1,0 +1,41 @@
+(** Intra-volume parallel aging throughput: simulated days aged per
+    second at several jobs levels, on the paper's geometry with a short
+    ground-truth workload.
+
+    The benchmark doubles as a cross-level determinism check — the aged
+    image digest, final layout score, allocation totals and skip count
+    must be identical at every jobs level, or the run fails. *)
+
+type level = {
+  jobs : int;
+  seconds : float;
+  days_per_sec : float;
+  digest : string;  (** {!Ffs.Fs.digest} of the aged image *)
+  final_score : float;
+  blocks_allocated : int;
+  skipped_ops : int;
+}
+
+type result = {
+  days : int;
+  seed : int;
+  digest : string;  (** image digest, equal across all levels *)
+  blocks_allocated : int;
+  levels : level list;
+}
+
+val standard_days : int
+val standard_seed : int
+val default_jobs_levels : int list
+
+val run : ?days:int -> ?seed:int -> ?jobs_levels:int list -> unit -> result
+(** Ages the same workload once per jobs level with
+    {!Aging.Replay.run_parallel}. Raises [Failure] if any of the digest,
+    final score, block totals or skip counts diverge across levels. *)
+
+val to_json : result -> Obs.Json.t
+val pp : Format.formatter -> result -> unit
+
+val gate : baseline:Obs.Json.t -> result -> (unit, string) Stdlib.result
+(** [Ok ()] unless the best days/sec dropped more than 30% below the
+    committed baseline (parsed from a previous run's [to_json]). *)

@@ -10,6 +10,7 @@ type t =
   | Invalid_cg of { cg : int; ncg : int }
   | Invalid_params of string
   | Corrupt of string
+  | Cross_cg of { cg : int; pinned : int }
 
 exception Error of t
 
@@ -27,6 +28,11 @@ let pp ppf = function
   | Invalid_cg { cg; ncg } -> Fmt.pf ppf "cylinder group %d out of range (0..%d)" cg (ncg - 1)
   | Invalid_params msg -> Fmt.pf ppf "invalid parameters: %s" msg
   | Corrupt msg -> Fmt.pf ppf "corrupt file system: %s" msg
+  | Cross_cg { cg; pinned } ->
+      if cg < 0 then
+        Fmt.pf ppf "operation overflows cylinder group %d (domain pinned to it)" pinned
+      else
+        Fmt.pf ppf "operation touches cylinder group %d while pinned to %d" cg pinned
 
 let to_string = Fmt.to_to_string pp
 

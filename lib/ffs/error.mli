@@ -21,6 +21,14 @@ type t =
   | Invalid_params of string  (** rejected by [Params.v]'s validation *)
   | Corrupt of string
       (** an internal cross-check found inconsistent on-image state *)
+  | Cross_cg of { cg : int; pinned : int }
+      (** an operation running pinned to cylinder group [pinned] (see
+          {!Locks.with_pin}) needed to touch group [cg] — or, when [cg]
+          is [-1], needed a fs-wide overflow search. The parallel replay
+          catches this, rolls the operation back and defers it to the
+          serial phase; it never escapes to users of the serial API.
+          Declared last so earlier constructor tags (and thus marshalled
+          images) are unchanged. *)
 
 exception Error of t
 (** Raised by the [_exn] entry points. Registered with

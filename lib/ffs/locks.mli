@@ -1,0 +1,54 @@
+(** Per-cylinder-group lock table for intra-volume parallel aging.
+
+    One mutex per cylinder group (guarding that group's bitmaps, extent
+    index, cluster summaries and stats) plus a short global mutex for
+    superblock-level shared state. The lock hierarchy, outermost first:
+
+    {ul
+    {- cg locks, always acquired in ascending group-id order;}
+    {- the global lock, an innermost leaf taken only while a cg lock is
+       (possibly) held, never the other way round.}}
+
+    Acquisition order is therefore acyclic and the table deadlock-free.
+
+    A worker domain {e pins} itself to one group with {!with_pin};
+    while pinned, [Fs] confines allocation to that group (raising
+    {!Error.Cross_cg} for anything that would touch another) and routes
+    every superblock-level update through {!globally}. Unpinned
+    (serial) callers pay a single domain-local-storage read and touch
+    no mutex. *)
+
+type t
+
+type stats = {
+  acquisitions : int;  (** cg + global lock acquisitions *)
+  contended : int;  (** acquisitions that had to block *)
+  wait_seconds : float;  (** total wall-clock time spent blocked *)
+}
+
+val create : ncg:int -> t
+val ncg : t -> int
+
+val pinned : unit -> int option
+(** The cylinder group the calling domain is pinned to, if any. *)
+
+val with_pin : t -> cg:int -> (unit -> 'a) -> 'a
+(** Hold group [cg]'s lock and pin the calling domain to it for the
+    duration of [f]. Raises [Invalid_argument] if the domain is already
+    pinned (no nesting — multi-group work uses {!with_cgs} or runs
+    unpinned). *)
+
+val with_cgs : t -> int list -> (unit -> 'a) -> 'a
+(** Hold several group locks at once, acquired in ascending id order
+    regardless of the order given (the deadlock-freedom rule), without
+    pinning. For coordinator-side multi-group operations. *)
+
+val globally : (unit -> 'a) -> 'a
+(** Run [f] under the global lock {e if the calling domain is pinned};
+    a plain call otherwise. Wrap every read-modify-write of
+    superblock-level shared state (fs-wide counters, the shared inode /
+    directory tables) in this. *)
+
+val stats : t -> stats
+val diff : before:stats -> after:stats -> stats
+val pp_stats : Format.formatter -> stats -> unit
