@@ -1,6 +1,6 @@
 # Convenience targets; `make verify` is the tier-1 gate.
 
-.PHONY: all build test verify fmt bench bench-alloc bench-fleet bench-age-parallel figures crash-matrix crash-explore metrics-smoke freespace-smoke fleet-smoke clean
+.PHONY: all build test verify fmt bench bench-alloc bench-fleet bench-age-parallel bench-backend figures crash-matrix crash-explore metrics-smoke freespace-smoke fleet-smoke backend-smoke clean
 
 all: build
 
@@ -22,9 +22,11 @@ verify:
 	$(MAKE) metrics-smoke
 	$(MAKE) freespace-smoke
 	$(MAKE) fleet-smoke
+	$(MAKE) backend-smoke
 	$(MAKE) bench-alloc
 	$(MAKE) bench-fleet
 	$(MAKE) bench-age-parallel
+	$(MAKE) bench-backend
 
 # crash-consistency smoke: a small ground-truth workload through
 # {0,1,3} injected crashes on both allocators (each crash is torn
@@ -107,6 +109,35 @@ bench-fleet:
 # baseline (FFS_BENCH_AGE_SKIP_BASELINE=1 to re-baseline)
 bench-age-parallel:
 	dune exec bench/main.exe -- age --no-csv
+
+# storage-backend smoke: the same small aging run on the in-heap store
+# and the mmap'd file store must produce bit-identical images
+# (ffs_inspect --digest on both), and the full fault->repair pipeline
+# must come back clean when the volume lives in an mmap'd file
+backend-smoke:
+	@echo "== ffs_age --backend mmap vs --backend bytes =="
+	@dune exec bin/ffs_age.exe -- --fs small --days 5 --workload ground-truth -q \
+		--backend mmap --image /tmp/ffs_backend_smoke_mmap.img
+	@dune exec bin/ffs_age.exe -- --fs small --days 5 --workload ground-truth -q \
+		--backend bytes --image /tmp/ffs_backend_smoke_heap.img
+	@a=$$(dune exec bin/ffs_inspect.exe -- --image /tmp/ffs_backend_smoke_mmap.img --digest); \
+	b=$$(dune exec bin/ffs_inspect.exe -- --image /tmp/ffs_backend_smoke_heap.img --digest); \
+	if [ "$$a" = "$$b" ] && [ -n "$$a" ]; then echo "backend digests match: $$a"; \
+	else echo "backend digest mismatch: mmap=$$a bytes=$$b"; exit 1; fi
+	@echo "== ffs_fsck --backend mmap inject/repair =="
+	@dune exec bin/ffs_fsck.exe -- --fs small --days 5 --faults 8 --backend mmap -q \
+		| grep -q "image is clean" || { echo "mmap fsck pipeline not clean"; exit 1; }
+	@rm -f /tmp/ffs_backend_smoke_mmap.img /tmp/ffs_backend_smoke_heap.img
+
+# the committed storage-backend benchmark: the paper-geometry aging run
+# timed on the in-heap Bytes store and the mmap'd file store, plus the
+# same-moment full vs delta checkpoint sizes. Rewrites
+# BENCH_backend.json, asserts every backend produces the same image
+# digest and allocation totals, and fails if the best throughput
+# regresses >30% against the committed baseline
+# (FFS_BENCH_BACKEND_SKIP_BASELINE=1 to re-baseline)
+bench-backend:
+	dune exec bench/main.exe -- backend --no-csv
 
 # ffs_inspect --freespace smoke: age a small image, dump the per-group
 # free-extent histogram, and make sure the table actually came out

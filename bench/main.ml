@@ -8,14 +8,15 @@
    Usage:
      main.exe [--days N] [--seed N] [--jobs N] [--csv-dir DIR|--no-csv]
               [--alloc-ops N] [--alloc-out PATH] [--fleet-out PATH]
-              [--age-out PATH] [EXPERIMENT ...]
+              [--age-out PATH] [--backend-out PATH] [EXPERIMENT ...]
    where EXPERIMENT is one of: table1 fig1 fig2 fig3 fig4 fig5 fig6
-   table2 checks ablations lfs micro alloc fleet age. The default runs
-   everything at the paper's full scale (300 days; several minutes). *)
+   table2 checks ablations lfs micro alloc fleet age backend. The
+   default runs everything at the paper's full scale (300 days; several
+   minutes). *)
 
 let experiments =
   [ "table1"; "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "table2"; "checks";
-    "ablations"; "lfs"; "micro"; "alloc"; "fleet"; "age" ]
+    "ablations"; "lfs"; "micro"; "alloc"; "fleet"; "age"; "backend" ]
 
 (* --- allocation throughput (BENCH_alloc.json) ------------------------------ *)
 
@@ -125,6 +126,44 @@ let run_age_bench ~out =
           false)
   | Some _ ->
       Fmt.pr "baseline gate skipped (FFS_BENCH_AGE_SKIP_BASELINE=1)@.";
+      true
+  | None -> true
+
+(* --- storage backends (BENCH_backend.json) --------------------------------- *)
+
+(* days/sec aging the paper volume on the bytes and mmap backends, plus
+   full-vs-delta checkpoint sizes; the run itself asserts the aged image
+   digest is identical on every backend. Same baseline-gate shape as
+   run_alloc. *)
+let run_backend_bench ~out =
+  print_endline "\n=== Storage backends: days/sec by backend, checkpoint sizes ===\n";
+  let baseline =
+    if Sys.file_exists out then
+      let contents = In_channel.with_open_text out In_channel.input_all in
+      match Obs.Json.of_string contents with
+      | Ok j -> Some j
+      | Error msg ->
+          Fmt.epr "[bench] ignoring unreadable baseline %s: %s@." out msg;
+          None
+    else None
+  in
+  let r = Benchlib.Backend_bench.run () in
+  Fmt.pr "%a@." Benchlib.Backend_bench.pp r;
+  Out_channel.with_open_text out (fun oc ->
+      Out_channel.output_string oc
+        (Obs.Json.to_string (Benchlib.Backend_bench.to_json r));
+      Out_channel.output_char oc '\n');
+  Fmt.pr "wrote %s@." out;
+  let skip = Sys.getenv_opt "FFS_BENCH_BACKEND_SKIP_BASELINE" = Some "1" in
+  match baseline with
+  | Some b when not skip -> (
+      match Benchlib.Backend_bench.gate ~baseline:b r with
+      | Ok () -> true
+      | Error msg ->
+          Fmt.epr "[bench] %s@." msg;
+          false)
+  | Some _ ->
+      Fmt.pr "baseline gate skipped (FFS_BENCH_BACKEND_SKIP_BASELINE=1)@.";
       true
   | None -> true
 
@@ -261,6 +300,7 @@ let () =
   let alloc_out = ref "BENCH_alloc.json" in
   let fleet_out = ref "BENCH_fleet.json" in
   let age_out = ref "BENCH_age_parallel.json" in
+  let backend_out = ref "BENCH_backend.json" in
   let picked = ref [] in
   let rec parse = function
     | [] -> ()
@@ -290,6 +330,9 @@ let () =
         parse rest
     | "--age-out" :: v :: rest ->
         age_out := v;
+        parse rest
+    | "--backend-out" :: v :: rest ->
+        backend_out := v;
         parse rest
     | exp :: rest when List.mem exp experiments ->
         picked := exp :: !picked;
@@ -343,6 +386,9 @@ let () =
   let alloc_ok = if wanted "alloc" then run_alloc ~ops:!alloc_ops ~out:!alloc_out else true in
   let fleet_ok = if wanted "fleet" then run_fleet_bench ~out:!fleet_out else true in
   let age_ok = if wanted "age" then run_age_bench ~out:!age_out else true in
+  let backend_ok =
+    if wanted "backend" then run_backend_bench ~out:!backend_out else true
+  in
   if not (Par.Timings.is_empty timings) then
     Fmt.pr "@.=== Task timings ===@.@.%s@." (Par.Timings.report timings);
-  if not (alloc_ok && fleet_ok && age_ok) then exit 1
+  if not (alloc_ok && fleet_ok && age_ok && backend_ok) then exit 1

@@ -33,20 +33,20 @@ let progress_of ~days ~quiet ~day ~score =
   if (not quiet) && (day + 1) mod 25 = 0 then
     Fmt.epr "  day %3d/%d  aggregate layout score %.3f@." (day + 1) days score
 
-let replay_with_progress ~params ~days ~config ~quiet ops =
+let replay_with_progress ?backend ~params ~days ~config ~quiet ops =
   if not quiet then
     Fmt.epr "workload: %a@." Workload.Op.pp_stats (Workload.Op.stats ops);
-  Aging.Replay.run ~config ~progress:(progress_of ~days ~quiet) ~params ~days ops
+  Aging.Replay.run ?backend ~config ~progress:(progress_of ~days ~quiet) ~params ~days ops
 
 (* Like [replay_with_progress], but with [crashes] power failures drawn
    from [fault_seed]; returns the recovery records alongside the result. *)
-let replay_with_crashes ~params ~days ~config ~quiet ~crashes ~fault_seed ops =
-  if crashes = 0 then (replay_with_progress ~params ~days ~config ~quiet ops, [])
+let replay_with_crashes ?backend ~params ~days ~config ~quiet ~crashes ~fault_seed ops =
+  if crashes = 0 then (replay_with_progress ?backend ~params ~days ~config ~quiet ops, [])
   else begin
     if not quiet then
       Fmt.epr "workload: %a@." Workload.Op.pp_stats (Workload.Op.stats ops);
     let cr =
-      Aging.Replay.run_with_crashes ~config ~progress:(progress_of ~days ~quiet)
+      Aging.Replay.run_with_crashes ?backend ~config ~progress:(progress_of ~days ~quiet)
         ~params ~days ~crashes ~fault_seed ops
     in
     (cr.Aging.Replay.result, cr.Aging.Replay.recoveries)
@@ -54,8 +54,8 @@ let replay_with_crashes ~params ~days ~config ~quiet ~crashes ~fault_seed ops =
 
 (* Load a saved aged image or die with the corruption diagnosis; every
    binary that reads an image wants exactly this behaviour. *)
-let load_image_or_exit ~path =
-  match Aging.Image.load ~path with
+let load_image_or_exit ?backend ~path () =
+  match Aging.Image.load ?backend ~path with
   | Ok img -> img
   | Error e ->
       Fmt.epr "cannot load image: %a@." Ffs.Error.pp e;
@@ -120,6 +120,25 @@ let params_term =
        & info [ "fs" ] ~docv:"SIZE"
            ~doc:"File-system geometry: $(b,paper) (the paper's disk, default) or \
                  $(b,small) (test-sized, for quick smoke runs).")
+
+(* the shared storage-backend flag: every binary that builds or loads a
+   volume image accepts the same spellings, parsed by [Ffs.Store] itself
+   so the CLI and the library never disagree on names *)
+let backend_conv =
+  let parse s =
+    match Ffs.Store.spec_of_string s with
+    | Some spec -> Ok spec
+    | None ->
+        Error (`Msg (Fmt.str "unknown backend %S (expected bytes, mmap or mmap:PATH)" s))
+  in
+  Arg.conv (parse, fun ppf spec -> Fmt.string ppf (Ffs.Store.spec_name spec))
+
+let backend_term =
+  Arg.(value & opt backend_conv Ffs.Store.Heap_backend
+       & info [ "backend" ] ~docv:"BACKEND"
+           ~doc:"Storage backend for volume images: $(b,bytes) (in-heap, default), \
+                 $(b,mmap) (anonymous memory-mapped temp file, out of the OCaml heap) \
+                 or $(b,mmap:PATH) (memory-mapped at $(i,PATH)).")
 
 let crashes_term =
   Arg.(value & opt int 0

@@ -35,14 +35,14 @@ let run_multi_seed ~days ~seed ~nseeds ~jobs ~quiet =
 (* Checkpointed replay: periodic durable checkpoints, SIGINT-triggered
    checkpoint-and-exit, and resume from the newest valid checkpoint.
    Exits 130 when interrupted, 2 when the resume state is unusable. *)
-let replay_checkpointed ~params ~days ~config ~quiet ~crashes ~fault_seed
-    ~checkpoint_every ~checkpoint_dir ~checkpoint_keep ~resume ops =
+let replay_checkpointed ~backend ~params ~days ~config ~quiet ~crashes ~fault_seed
+    ~checkpoint_every ~checkpoint_dir ~checkpoint_keep ~checkpoint_full_every ~resume ops =
   let dir = match checkpoint_dir with Some d -> Some d | None -> resume in
   let resume_ck =
     match resume with
     | None -> None
     | Some rdir -> (
-        match Aging.Checkpoint.load_latest ~dir:rdir with
+        match Aging.Checkpoint.load_latest ~backend ~dir:rdir with
         | Error e ->
             Fmt.epr "cannot resume: %a@." Ffs.Error.pp e;
             exit 2
@@ -65,16 +65,26 @@ let replay_checkpointed ~params ~days ~config ~quiet ~crashes ~fault_seed
            Atomic.set stop true;
            prerr_endline "interrupt: checkpointing at the next operation (^C again to abort)"))
   in
+  let ckw =
+    Option.map
+      (fun dir ->
+        Aging.Checkpoint.writer ~dir ~keep:checkpoint_keep
+          ~full_every:checkpoint_full_every ())
+      dir
+  in
   let save_ck ck =
-    match dir with
+    match ckw with
     | None ->
         if not quiet then
           Fmt.epr "WARNING: no --checkpoint-dir; checkpoint dropped@."
-    | Some dir ->
-        let path = Aging.Checkpoint.save ~dir ~keep:checkpoint_keep ck in
-        if not quiet then
-          Fmt.epr "checkpoint written to %s (day %d)@." path
-            (Aging.Replay.checkpoint_day ck)
+    | Some w -> (
+        match Aging.Checkpoint.save_auto w ck with
+        | Error e -> Fmt.epr "WARNING: checkpoint failed: %a@." Ffs.Error.pp e
+        | Ok (path, written) ->
+            if not quiet then
+              Fmt.epr "checkpoint written to %s (day %d%s)@." path
+                (Aging.Replay.checkpoint_day ck)
+                (match written with `Delta -> ", delta" | `Full -> ""))
   in
   if not quiet then
     Fmt.epr "workload: %a@." Workload.Op.pp_stats (Workload.Op.stats ops);
@@ -83,7 +93,7 @@ let replay_checkpointed ~params ~days ~config ~quiet ~crashes ~fault_seed
       ~finally:(fun () -> Sys.set_signal Sys.sigint prev_sigint)
       (fun () ->
         try
-          Aging.Replay.run_resumable ~config
+          Aging.Replay.run_resumable ~backend ~config
             ~progress:(Common.progress_of ~days ~quiet)
             ?resume:resume_ck
             ~should_stop:(fun () -> Atomic.get stop)
@@ -102,16 +112,30 @@ let replay_checkpointed ~params ~days ~config ~quiet ~crashes ~fault_seed
       exit 130
   | `Completed cr -> (cr.Aging.Replay.result, cr.Aging.Replay.recoveries)
 
-let run days seed nseeds jobs realloc policy kind profile_kind quiet params crashes
-    fault_seed checkpoint_every checkpoint_dir checkpoint_keep resume trace
-    metrics_out image_out csv_out workload_in workload_out =
+let run days seed nseeds jobs realloc policy alloc_policy backend kind profile_kind
+    quiet params crashes fault_seed checkpoint_every checkpoint_dir checkpoint_keep
+    checkpoint_full_every resume trace metrics_out image_out csv_out workload_in
+    workload_out =
   Common.obs_setup ~trace ~metrics_out;
   if nseeds > 1 then begin
     run_multi_seed ~days ~seed ~nseeds ~jobs ~quiet;
     Common.obs_finish ~quiet ~trace ~metrics_out
   end
   else begin
-  let config = Common.config_of ~realloc ~policy in
+  (* --policy resolves through the registry and wins over --realloc;
+     --realloc alone keeps working as an alias for --policy realloc *)
+  let config =
+    match alloc_policy with
+    | None -> Common.config_of ~realloc ~policy
+    | Some name -> (
+        match Ffs.Policy.find name with
+        | Some p -> Ffs.Policy.apply p (Common.config_of ~realloc ~policy)
+        | None ->
+            Fmt.epr "unknown policy %S (registered: %s)@." name
+              (String.concat ", " (Ffs.Policy.names ()));
+            exit 2)
+  in
+  let realloc = config.Ffs.Fs.realloc in
   let ops =
     match workload_in with
     | Some path ->
@@ -138,13 +162,15 @@ let run days seed nseeds jobs realloc policy kind profile_kind quiet params cras
       if jobs > 1 then
         Fmt.epr "note: --jobs %d ignored — checkpointed replay is serial-only \
                  (see the intra-volume section of the README)@." jobs;
-      replay_checkpointed ~params ~days ~config ~quiet ~crashes ~fault_seed
-        ~checkpoint_every ~checkpoint_dir ~checkpoint_keep ~resume ops
+      replay_checkpointed ~backend ~params ~days ~config ~quiet ~crashes ~fault_seed
+        ~checkpoint_every ~checkpoint_dir ~checkpoint_keep ~checkpoint_full_every
+        ~resume ops
     end
     else if crashes > 0 then begin
       if jobs > 1 then
         Fmt.epr "note: --jobs %d ignored — crash injection is serial-only@." jobs;
-      Common.replay_with_crashes ~params ~days ~config ~quiet ~crashes ~fault_seed ops
+      Common.replay_with_crashes ~backend ~params ~days ~config ~quiet ~crashes
+        ~fault_seed ops
     end
     else begin
       (* intra-volume parallel aging: per-cylinder-group batches on a
@@ -170,7 +196,7 @@ let run days seed nseeds jobs realloc policy kind profile_kind quiet params cras
       in
       let r =
         Par.Pool.with_pool ~jobs (fun pool ->
-            Aging.Replay.run_parallel ~config
+            Aging.Replay.run_parallel ~backend ~config
               ~progress:(Common.progress_of ~days ~quiet)
               ~on_day_stats ~pool ~params ~days ops)
       in
@@ -221,8 +247,11 @@ let run days seed nseeds jobs realloc policy kind profile_kind quiet params cras
           (if realloc then "realloc" else "ffs")
           (match kind with Common.Ground_truth -> "ground-truth" | Common.Reconstructed -> "reconstructed")
       in
-      Aging.Image.save ~path { Aging.Image.days; description; result };
-      Fmt.pr "aged image written to %s@." path);
+      (match Aging.Image.save ~path { Aging.Image.days; description; result } with
+      | Ok () -> Fmt.pr "aged image written to %s@." path
+      | Error e ->
+          Fmt.epr "cannot save image: %a@." Ffs.Error.pp e;
+          exit 2));
   Common.obs_finish ~quiet ~trace ~metrics_out
   end
 
@@ -270,6 +299,20 @@ let cmd =
              ~doc:"Retain the $(docv) newest checkpoints (0 keeps all); resume \
                    falls back past a corrupted newest file.")
   in
+  let checkpoint_full_every =
+    Arg.(value & opt int 8
+         & info [ "checkpoint-full-every" ] ~docv:"N"
+             ~doc:"Write every $(docv)-th checkpoint in full; the rest are deltas \
+                   carrying only the cylinder groups dirtied since the previous \
+                   checkpoint ($(b,1) makes every checkpoint full).")
+  in
+  let alloc_policy =
+    Arg.(value & opt (some string) None
+         & info [ "policy" ] ~docv:"NAME"
+             ~doc:"Allocation policy, resolved through the $(b,Ffs.Policy) registry \
+                   ($(b,traditional) or $(b,realloc) built in); overrides \
+                   $(b,--realloc).")
+  in
   let resume =
     Arg.(value & opt (some string) None
          & info [ "resume" ] ~docv:"DIR"
@@ -281,11 +324,12 @@ let cmd =
   let term =
     Term.(
       const run $ Common.days_term $ Common.seed_term $ seeds $ Common.jobs_term
-      $ Common.realloc_term $ Common.policy_term $ Common.workload_kind_term
-      $ Common.profile_kind_term $ Common.quiet_term $ Common.params_term
-      $ Common.crashes_term $ Common.fault_seed_term $ checkpoint_every
-      $ checkpoint_dir $ checkpoint_keep $ resume $ Common.trace_term
-      $ Common.metrics_out_term $ image_out $ csv_out $ workload_in $ workload_out)
+      $ Common.realloc_term $ Common.policy_term $ alloc_policy $ Common.backend_term
+      $ Common.workload_kind_term $ Common.profile_kind_term $ Common.quiet_term
+      $ Common.params_term $ Common.crashes_term $ Common.fault_seed_term
+      $ checkpoint_every $ checkpoint_dir $ checkpoint_keep $ checkpoint_full_every
+      $ resume $ Common.trace_term $ Common.metrics_out_term $ image_out $ csv_out
+      $ workload_in $ workload_out)
   in
   Cmd.v
     (Cmd.info "ffs_age" ~doc:"Artificially age an FFS file system by replaying a ten-month workload")

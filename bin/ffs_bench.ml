@@ -8,7 +8,7 @@ let fresh_drive () = Disk.Drive.create (Disk.Drive.paper_config ())
 let mb v = v /. 1048576.0
 
 let load_image path =
-  let image = Common.load_image_or_exit ~path in
+  let image = Common.load_image_or_exit ~path () in
   Fmt.pr "image: %s (%s)@." path image.Aging.Image.description;
   image
 

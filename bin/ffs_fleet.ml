@@ -39,8 +39,8 @@ let parse_names ~what ~of_name spec =
     (String.split_on_char ',' spec)
 
 let run volumes days seed jobs geometries profiles fault_rate state_dir resume_flag
-    max_retries quarantine_after watchdog checkpoint_every chaos_spec quiet trace
-    metrics_out out =
+    max_retries quarantine_after watchdog checkpoint_every checkpoint_full_every
+    backend chaos_spec quiet trace metrics_out out =
   Common.obs_setup ~trace ~metrics_out;
   let log msg = if not quiet then Fmt.epr "[fleet] %s@." msg in
   let config =
@@ -51,6 +51,8 @@ let run volumes days seed jobs geometries profiles fault_rate state_dir resume_f
       quarantine_after;
       watchdog;
       checkpoint_every;
+      checkpoint_full_every;
+      backend;
       retry = { Par.Pool.no_retry with jitter = 0.25; jitter_seed = seed };
       log;
       chaos = parse_chaos chaos_spec;
@@ -156,6 +158,12 @@ let cmd =
                    checkpoints, the attempt counts as a failure, and the retry resumes \
                    from the checkpoint. 0 disables.")
   in
+  let checkpoint_full_every =
+    Arg.(value & opt int 8
+         & info [ "checkpoint-full-every" ] ~docv:"N"
+             ~doc:"Write every $(docv)-th per-volume checkpoint in full; the rest \
+                   are dirty-group deltas.")
+  in
   let checkpoint_every =
     Arg.(value & opt int 1
          & info [ "checkpoint-every" ] ~docv:"DAYS"
@@ -174,7 +182,8 @@ let cmd =
     Term.(
       const run $ volumes $ Common.days_term $ Common.seed_term $ Common.jobs_term
       $ geometries $ profiles $ fault_rate $ state_dir $ resume_flag $ max_retries
-      $ quarantine_after $ watchdog $ checkpoint_every $ chaos $ Common.quiet_term
+      $ quarantine_after $ watchdog $ checkpoint_every $ checkpoint_full_every
+      $ Common.backend_term $ chaos $ Common.quiet_term
       $ Common.trace_term $ Common.metrics_out_term $ out)
   in
   Cmd.v

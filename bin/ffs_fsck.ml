@@ -4,12 +4,12 @@
 
 open Cmdliner
 
-let age_fresh ~params ~days ~seed ~config ~quiet =
+let age_fresh ~backend ~params ~days ~seed ~config ~quiet =
   let ops =
     Common.build_workload ~params ~days ~seed ~kind:Common.Ground_truth
       ~profile_kind:Workload.Profiles.Home
   in
-  let result = Common.replay_with_progress ~params ~days ~config ~quiet ops in
+  let result = Common.replay_with_progress ~backend ~params ~days ~config ~quiet ops in
   result.Aging.Replay.fs
 
 (* --explore: enumerate every crash state of each multi-write operation
@@ -23,17 +23,17 @@ let run_explore fs ~window ~quiet =
   Fmt.pr "%a@." Recover.Explore.pp report;
   if Recover.Explore.all_ok report then 0 else 1
 
-let run image params days seed realloc policy faults fault_seed no_repair explore
-    window trace metrics_out quiet =
+let run image backend params days seed realloc policy faults fault_seed no_repair
+    explore window trace metrics_out quiet =
   Common.obs_setup ~trace ~metrics_out;
   let config = Common.config_of ~realloc ~policy in
   let fs =
     match image with
     | Some path ->
-        let img = Common.load_image_or_exit ~path in
+        let img = Common.load_image_or_exit ~backend ~path () in
         if not quiet then Fmt.epr "loaded %s (%s)@." path img.Aging.Image.description;
         img.Aging.Image.result.Aging.Replay.fs
-    | None -> age_fresh ~params ~days ~seed ~config ~quiet
+    | None -> age_fresh ~backend ~params ~days ~seed ~config ~quiet
   in
   if explore then begin
     let status = run_explore fs ~window ~quiet in
@@ -108,7 +108,8 @@ let cmd =
   in
   let term =
     Term.(
-      const run $ image $ Common.params_term $ Common.days_term $ Common.seed_term
+      const run $ image $ Common.backend_term $ Common.params_term $ Common.days_term
+      $ Common.seed_term
       $ Common.realloc_term $ Common.policy_term $ faults $ Common.fault_seed_term
       $ no_repair $ explore $ window $ Common.trace_term $ Common.metrics_out_term
       $ Common.quiet_term)

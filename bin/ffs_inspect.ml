@@ -122,7 +122,7 @@ let print_manifest path =
                    (fun (e : Fleet.Manifest.entry) ->
                      let ckdir = Filename.concat dir e.Fleet.Manifest.checkpoint_dir in
                      let newest =
-                       match Aging.Checkpoint.load_latest_opt ~dir:ckdir with
+                       match Aging.Checkpoint.load_latest_opt ?backend:None ~dir:ckdir with
                        | Some (p, ck) ->
                            Fmt.str "%s (day %d, op %d)" (Filename.basename p)
                              (Aging.Replay.checkpoint_day ck)
@@ -136,7 +136,7 @@ let print_manifest path =
                      ])
                    m.Fleet.Manifest.entries)))
 
-let run image_path manifest header freespace metrics metrics_out =
+let run image_path manifest backend header digest freespace metrics metrics_out =
   (match manifest with
   | Some path -> print_manifest path; exit 0
   | None -> ());
@@ -148,9 +148,15 @@ let run image_path manifest header freespace metrics metrics_out =
         exit 2
   in
   if header then (print_header image_path; exit 0);
-  let image = Common.load_image_or_exit ~path:image_path in
+  let image = Common.load_image_or_exit ~backend ~path:image_path () in
   let result = image.Aging.Image.result in
   let fs = result.Aging.Replay.fs in
+  if digest then begin
+    (* the backend-independent content digest: equal strings mean
+       bit-identical volume state, whatever store it lives on *)
+    Fmt.pr "%s@." (Ffs.Fs.digest fs);
+    exit 0
+  end;
   if freespace then (print_freespace fs; exit 0);
   let params = Ffs.Fs.params fs in
   Fmt.pr "image: %s@." image.Aging.Image.description;
@@ -227,6 +233,13 @@ let cmd =
                    checkpoint — and exit without decoding the payload. Exits 1 \
                    on a CRC mismatch, 2 on an unreadable file.")
   in
+  let digest =
+    Arg.(value & flag
+         & info [ "digest" ]
+             ~doc:"Print the image's backend-independent content digest \
+                   ($(b,Ffs.Fs.digest)) and exit; equal digests mean bit-identical \
+                   volume state across storage backends.")
+  in
   let freespace =
     Arg.(value & flag
          & info [ "freespace" ]
@@ -254,7 +267,7 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "ffs_inspect" ~doc:"Fragmentation and free-space report of an aged image")
-    Term.(const run $ image $ manifest $ header $ freespace
-          $ metrics $ Common.metrics_out_term)
+    Term.(const run $ image $ manifest $ Common.backend_term $ header $ digest
+          $ freespace $ metrics $ Common.metrics_out_term)
 
 let () = exit (Cmd.eval cmd)

@@ -1,17 +1,61 @@
 type t = { days : int; description : string; result : Replay.result }
 
-(* bump the kind version suffix whenever the marshalled representation
-   of Replay.result or Fs.t changes; Container rejects mismatches as
-   Corrupt, so stale images fail loudly instead of segfaulting in
-   Marshal.from_string *)
-let kind = "aged-image-3"
+(* bump the kind version suffix whenever the payload representation
+   changes; Container rejects mismatches as Corrupt, so stale images
+   fail loudly instead of segfaulting in Marshal.from_string.
+   "aged-image-4": the payload is the backend-independent
+   {!Replay.portable_result} plus a self-digest of the image, so an
+   mmap-backed volume saves and loads exactly like a heap one, and a
+   payload whose bytes decode but disagree with their recorded digest
+   is refused as [Corrupt] instead of silently trusted. *)
+let kind = "aged-image-4"
 
-let save ~path t = Recover.Container.write ~path ~kind (Marshal.to_string t [])
+type payload = {
+  pl_days : int;
+  pl_description : string;
+  pl_result : Replay.portable_result;
+  pl_fs_digest : string;
+}
 
-let load ~path =
-  Result.map
-    (fun payload -> (Marshal.from_string payload 0 : t))
-    (Recover.Container.read ~path ~kind)
+let io_error ~path = function
+  | Sys_error message -> Error (Ffs.Error.Io { path; message })
+  | Unix.Unix_error (e, op, _) ->
+      Error (Ffs.Error.Io { path; message = Fmt.str "%s: %s" op (Unix.error_message e) })
+  | exn -> raise exn
 
-let load_exn ~path =
-  match load ~path with Ok t -> t | Error e -> Ffs.Error.raise_ e
+let save ~path t =
+  let pl_result = Replay.portable_of_result t.result in
+  let payload =
+    {
+      pl_days = t.days;
+      pl_description = t.description;
+      pl_result;
+      pl_fs_digest = Ffs.Fs.digest_portable pl_result.Replay.pr_fs;
+    }
+  in
+  match Recover.Container.write ~path ~kind (Marshal.to_string payload []) with
+  | () -> Ok ()
+  | exception exn -> io_error ~path exn
+
+let save_exn ~path t =
+  match save ~path t with Ok () -> () | Error e -> Ffs.Error.raise_ e
+
+let[@warning "-16"] load ?backend ~path =
+  match Recover.Container.read ~path ~kind with
+  | Error _ as e -> e
+  | Ok bytes ->
+      let pl = (Marshal.from_string bytes 0 : payload) in
+      let digest = Ffs.Fs.digest_portable pl.pl_result.Replay.pr_fs in
+      if not (String.equal digest pl.pl_fs_digest) then
+        Error
+          (Ffs.Error.Corrupt
+             (Fmt.str "%s: image digest mismatch (recorded %s, payload hashes to %s)" path
+                pl.pl_fs_digest digest))
+      else begin
+        match Replay.result_of_portable ?backend pl.pl_result with
+        | result -> Ok { days = pl.pl_days; description = pl.pl_description; result }
+        | exception Ffs.Error.Error e -> Error e
+      end
+
+let[@warning "-16"] load_exn ?backend ~path =
+  match load ?backend ~path with Ok t -> t | Error e -> Ffs.Error.raise_ e

@@ -6,12 +6,15 @@
     benchmarks, inspectors and examples operate on the same image — the
     way the paper benchmarks one aged disk repeatedly.
 
-    The payload is OCaml [Marshal] inside a {!Recover.Container}
-    envelope (versioned magic, kind tag, length, CRC-32, atomic
-    write-then-rename), so a truncated copy, a bit flip, or an image
-    written by an incompatible version of this library is detected and
-    reported as [Error Corrupt] rather than fed to [Marshal]. It is a
-    cache, not an interchange format. *)
+    The payload is the backend-independent {!Replay.portable_result}
+    ([Marshal]led inside a {!Recover.Container} envelope: versioned
+    magic, kind tag, length, CRC-32, atomic write-then-rename) plus a
+    recorded {!Ffs.Fs.digest_portable} of the image. A truncated copy, a
+    bit flip, an image written by an incompatible version, or a payload
+    whose bytes decode but hash differently than recorded is detected
+    and reported as a typed error rather than trusted. Because the
+    persisted form is portable, an image aged on one storage backend
+    loads onto any other ([load ~backend]) bit-identically. *)
 
 type t = {
   days : int;  (** length of the aging run *)
@@ -19,14 +22,19 @@ type t = {
   result : Replay.result;
 }
 
-val save : path:string -> t -> unit
+val save : path:string -> t -> (unit, Ffs.Error.t) result
 (** Durable write: temp file, fsync, atomic rename (see
-    {!Recover.Container.write}). *)
+    {!Recover.Container.write}). OS-level failures come back as
+    [Error (Io _)]. *)
 
-val load : path:string -> (t, Ffs.Error.t) result
-(** [Error (Corrupt _)] (naming the file) if the file is missing, not a
-    container, truncated, fails its CRC, or was written by a different
-    version of this library. *)
+val save_exn : path:string -> t -> unit
 
-val load_exn : path:string -> t
+val load : ?backend:Ffs.Store.spec -> path:string -> (t, Ffs.Error.t) result
+(** Rebuild the image on the chosen backend (default in-heap).
+    [Error (Corrupt _)] (naming the file) if the file is missing, not a
+    container, truncated, fails its CRC, was written by a different
+    version of this library, or decodes to an image whose digest
+    disagrees with the one recorded at save time. *)
+
+val load_exn : ?backend:Ffs.Store.spec -> path:string -> t
 (** Like {!load} but raises {!Ffs.Error.Error}. *)

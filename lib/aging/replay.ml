@@ -41,8 +41,8 @@ type engine = {
   mutable next_day : int;
 }
 
-let make_engine ~config ~progress ~on_skip ~max_skip_fraction ~params ~days ~total_ops =
-  let fs = Ffs.Fs.create ~config params in
+let make_engine ~config ~backend ~progress ~on_skip ~max_skip_fraction ~params ~days ~total_ops =
+  let fs = Ffs.Fs.create ~config ~backend params in
   let ncg = params.Ffs.Params.ncg in
   (* one directory per cylinder group, pinned *)
   let group_dirs =
@@ -252,7 +252,7 @@ let papply e ~deferred op =
    parallel phase — so the merged result, and therefore the image
    digest, score series and counters, is bit-identical at every jobs
    level. *)
-let run_parallel ?(config = Ffs.Fs.default_config)
+let run_parallel ?(config = Ffs.Fs.default_config) ?(backend = Ffs.Store.Heap_backend)
     ?(progress = fun ~day:_ ~score:_ -> ()) ?(on_skip = fun _ ~skipped:_ -> ())
     ?(max_skip_fraction = default_max_skip_fraction)
     ?(on_day_stats = fun (_ : day_stats) -> ()) ~pool ~params ~days ops =
@@ -261,7 +261,7 @@ let run_parallel ?(config = Ffs.Fs.default_config)
       Obs.Trace.i "jobs" (Par.Pool.jobs pool) ]
   @@ fun () ->
   let e =
-    make_engine ~config ~progress ~on_skip ~max_skip_fraction ~params ~days
+    make_engine ~config ~backend ~progress ~on_skip ~max_skip_fraction ~params ~days
       ~total_ops:(Array.length ops)
   in
   let ncg = params.Ffs.Params.ncg in
@@ -417,6 +417,7 @@ let ops_fingerprint ops = Recover.Crc32.string (Marshal.to_string (ops : Workloa
 let checkpoint_day ck = ck.ck_next_day
 let checkpoint_next_op ck = ck.ck_next_op
 let checkpoint_metrics ck = ck.ck_metrics
+let checkpoint_fs ck = ck.ck_fs
 
 let checkpoint_of_engine e ~next_op ~ops_crc ~rng ~pending ~recoveries =
   {
@@ -435,6 +436,102 @@ let checkpoint_of_engine e ~next_op ~ops_crc ~rng ~pending ~recoveries =
     ck_pending_crashes = pending;
     ck_recoveries = recoveries;
     ck_metrics = Obs.Metrics.snapshot metrics;
+  }
+
+(* --- portable (serialisable) forms ----------------------------------------- *)
+
+(* What actually reaches disk: the fs flattened to its canonical
+   {!Ffs.Fs.portable} (raw bitmap bytes, no derived indexes, no backend
+   handles — an mmap-backed volume's [Fs.t] must never meet [Marshal]),
+   the inode map as a sorted association list, everything else verbatim.
+   Conversions deep-copy the mutable pieces, so a portable value is a
+   stable snapshot even while the run continues. *)
+type portable_checkpoint = {
+  pc_fs : Ffs.Fs.portable;
+  pc_group_dirs : int array;
+  pc_ino_map : (int * int) list;  (* sorted by workload inode *)
+  pc_daily_scores : float array;
+  pc_daily_utilization : float array;
+  pc_days : int;
+  pc_total_ops : int;
+  pc_skipped : int;
+  pc_next_day : int;
+  pc_next_op : int;
+  pc_ops_crc : int32;
+  pc_fault_rng : Util.Prng.t;
+  pc_pending_crashes : int list;
+  pc_recoveries : recovery list;
+  pc_metrics : Obs.Metrics.snapshot;
+}
+
+let sorted_bindings h = Hashtbl.fold (fun k v acc -> (k, v) :: acc) h [] |> List.sort compare
+
+let portable_of_checkpoint ck =
+  {
+    pc_fs = Ffs.Fs.to_portable ck.ck_fs;
+    pc_group_dirs = Array.copy ck.ck_group_dirs;
+    pc_ino_map = sorted_bindings ck.ck_ino_map;
+    pc_daily_scores = Array.copy ck.ck_daily_scores;
+    pc_daily_utilization = Array.copy ck.ck_daily_utilization;
+    pc_days = ck.ck_days;
+    pc_total_ops = ck.ck_total_ops;
+    pc_skipped = ck.ck_skipped;
+    pc_next_day = ck.ck_next_day;
+    pc_next_op = ck.ck_next_op;
+    pc_ops_crc = ck.ck_ops_crc;
+    pc_fault_rng = Util.Prng.copy ck.ck_fault_rng;
+    pc_pending_crashes = ck.ck_pending_crashes;
+    pc_recoveries = ck.ck_recoveries;
+    pc_metrics = ck.ck_metrics;
+  }
+
+let checkpoint_of_portable ?backend pc =
+  let ino_map = Hashtbl.create (max 4096 (List.length pc.pc_ino_map)) in
+  List.iter (fun (k, v) -> Hashtbl.replace ino_map k v) pc.pc_ino_map;
+  {
+    ck_fs = Ffs.Fs.of_portable ?backend pc.pc_fs;
+    ck_group_dirs = Array.copy pc.pc_group_dirs;
+    ck_ino_map = ino_map;
+    ck_daily_scores = Array.copy pc.pc_daily_scores;
+    ck_daily_utilization = Array.copy pc.pc_daily_utilization;
+    ck_days = pc.pc_days;
+    ck_total_ops = pc.pc_total_ops;
+    ck_skipped = pc.pc_skipped;
+    ck_next_day = pc.pc_next_day;
+    ck_next_op = pc.pc_next_op;
+    ck_ops_crc = pc.pc_ops_crc;
+    ck_fault_rng = Util.Prng.copy pc.pc_fault_rng;
+    ck_pending_crashes = pc.pc_pending_crashes;
+    ck_recoveries = pc.pc_recoveries;
+    ck_metrics = pc.pc_metrics;
+  }
+
+type portable_result = {
+  pr_fs : Ffs.Fs.portable;
+  pr_daily_scores : float array;
+  pr_daily_utilization : float array;
+  pr_skipped_ops : int;
+  pr_ino_map : (int * int) list;  (* sorted by workload inode *)
+}
+
+let portable_of_result (r : result) =
+  {
+    pr_fs = Ffs.Fs.to_portable r.fs;
+    pr_daily_scores = Array.copy r.daily_scores;
+    pr_daily_utilization = Array.copy r.daily_utilization;
+    pr_skipped_ops = r.skipped_ops;
+    pr_ino_map = sorted_bindings r.ino_map;
+  }
+
+let result_of_portable ?backend pr =
+  let ino_map = Hashtbl.create (max 4096 (List.length pr.pr_ino_map)) in
+  List.iter (fun (k, v) -> Hashtbl.replace ino_map k v) pr.pr_ino_map;
+  {
+    fs = Ffs.Fs.of_portable ?backend pr.pr_fs;
+    daily_scores = Array.copy pr.pr_daily_scores;
+    daily_utilization = Array.copy pr.pr_daily_utilization;
+    skipped_ops = pr.pr_skipped_ops;
+    ino_map;
   }
 
 let corrupt_resume fmt = Fmt.kstr (fun m -> Ffs.Error.raise_ (Ffs.Error.Corrupt m)) fmt
@@ -464,7 +561,7 @@ let engine_of_checkpoint ~progress ~on_skip ~max_skip_fraction ~days ~ops ~ops_c
 
 (* --- the resumable driver -------------------------------------------------- *)
 
-let run_resumable ?(config = Ffs.Fs.default_config)
+let run_resumable ?(config = Ffs.Fs.default_config) ?(backend = Ffs.Store.Heap_backend)
     ?(progress = fun ~day:_ ~score:_ -> ()) ?(on_skip = fun _ ~skipped:_ -> ())
     ?(max_skip_fraction = default_max_skip_fraction) ?(intensity = 4) ?resume
     ?(should_stop = fun () -> false) ?(checkpoint_every = 0)
@@ -474,7 +571,7 @@ let run_resumable ?(config = Ffs.Fs.default_config)
     match resume with
     | None ->
         let e =
-          make_engine ~config ~progress ~on_skip ~max_skip_fraction ~params ~days
+          make_engine ~config ~backend ~progress ~on_skip ~max_skip_fraction ~params ~days
             ~total_ops:(Array.length ops)
         in
         let rng = Util.Prng.create ~seed:fault_seed in
@@ -519,24 +616,24 @@ let completed_exn = function
   | `Completed r -> r
   | `Interrupted _ -> assert false (* no should_stop was supplied *)
 
-let run ?(config = Ffs.Fs.default_config) ?(progress = fun ~day:_ ~score:_ -> ())
-    ?(on_skip = fun _ ~skipped:_ -> ()) ?(max_skip_fraction = default_max_skip_fraction)
-    ~params ~days ops =
+let run ?(config = Ffs.Fs.default_config) ?backend
+    ?(progress = fun ~day:_ ~score:_ -> ()) ?(on_skip = fun _ ~skipped:_ -> ())
+    ?(max_skip_fraction = default_max_skip_fraction) ~params ~days ops =
   Obs.Trace.span "replay.run"
     [ Obs.Trace.i "days" days; Obs.Trace.i "ops" (Array.length ops) ]
   @@ fun () ->
   (completed_exn
-     (run_resumable ~config ~progress ~on_skip ~max_skip_fraction ~params ~days ~crashes:0
-        ~fault_seed:0 ops))
+     (run_resumable ~config ?backend ~progress ~on_skip ~max_skip_fraction ~params ~days
+        ~crashes:0 ~fault_seed:0 ops))
     .result
 
-let run_with_crashes ?(config = Ffs.Fs.default_config)
+let run_with_crashes ?(config = Ffs.Fs.default_config) ?backend
     ?(progress = fun ~day:_ ~score:_ -> ()) ?(on_skip = fun _ ~skipped:_ -> ())
     ?(max_skip_fraction = default_max_skip_fraction) ?(intensity = 4) ~params ~days
     ~crashes ~fault_seed ops =
   completed_exn
-    (run_resumable ~config ~progress ~on_skip ~max_skip_fraction ~intensity ~params ~days
-       ~crashes ~fault_seed ops)
+    (run_resumable ~config ?backend ~progress ~on_skip ~max_skip_fraction ~intensity
+       ~params ~days ~crashes ~fault_seed ops)
 
 let hot_inums (result : result) ~since =
   Ffs.Fs.fold_files result.fs ~init:[] ~f:(fun acc ino ->

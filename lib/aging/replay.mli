@@ -28,6 +28,7 @@ val default_max_skip_fraction : float
 
 val run :
   ?config:Ffs.Fs.config ->
+  ?backend:Ffs.Store.spec ->
   ?progress:(day:int -> score:float -> unit) ->
   ?on_skip:(Workload.Op.t -> skipped:int -> unit) ->
   ?max_skip_fraction:float ->
@@ -36,10 +37,12 @@ val run :
   Workload.Op.t array ->
   result
 (** Replay a time-sorted workload. [config] selects the allocator under
-    test (default: traditional FFS). [on_skip] observes every dropped
-    operation with the running skip count (default: ignore);
-    [max_skip_fraction] bounds the tolerated skips as a fraction of the
-    whole workload, raising {!Too_many_skips} mid-run when crossed. *)
+    test (default: traditional FFS); [backend] selects the volume's
+    storage backend (default in-heap; the aged image is bit-identical
+    either way). [on_skip] observes every dropped operation with the
+    running skip count (default: ignore); [max_skip_fraction] bounds the
+    tolerated skips as a fraction of the whole workload, raising
+    {!Too_many_skips} mid-run when crossed. *)
 
 (** {2 Intra-volume parallel replay}
 
@@ -65,6 +68,7 @@ type day_stats = {
 
 val run_parallel :
   ?config:Ffs.Fs.config ->
+  ?backend:Ffs.Store.spec ->
   ?progress:(day:int -> score:float -> unit) ->
   ?on_skip:(Workload.Op.t -> skipped:int -> unit) ->
   ?max_skip_fraction:float ->
@@ -106,6 +110,7 @@ type crash_result = { result : result; recoveries : recovery list }
 
 val run_with_crashes :
   ?config:Ffs.Fs.config ->
+  ?backend:Ffs.Store.spec ->
   ?progress:(day:int -> score:float -> unit) ->
   ?on_skip:(Workload.Op.t -> skipped:int -> unit) ->
   ?max_skip_fraction:float ->
@@ -145,8 +150,59 @@ val checkpoint_metrics : checkpoint -> Obs.Metrics.snapshot
     {!Obs.Metrics.restore} before resuming so counter totals match an
     uninterrupted run. *)
 
+val checkpoint_fs : checkpoint -> Ffs.Fs.t
+(** The live image inside the checkpoint (shared with the engine) — how
+    {!Checkpoint}'s delta writer reads the dirty-group set and
+    acknowledges it after a successful save. *)
+
+(** {3 Portable forms}
+
+    What {!Checkpoint} and {!Image} actually persist: the file system
+    flattened to {!Ffs.Fs.portable} (no derived indexes, no backend
+    handles — an mmap-backed [Fs.t] must never meet [Marshal]), tables
+    as sorted association lists, everything else verbatim. Conversions
+    deep-copy the mutable pieces, so a portable value is a stable
+    snapshot even while the run continues. *)
+
+type portable_checkpoint = {
+  pc_fs : Ffs.Fs.portable;
+  pc_group_dirs : int array;
+  pc_ino_map : (int * int) list;
+  pc_daily_scores : float array;
+  pc_daily_utilization : float array;
+  pc_days : int;
+  pc_total_ops : int;
+  pc_skipped : int;
+  pc_next_day : int;
+  pc_next_op : int;
+  pc_ops_crc : int32;
+  pc_fault_rng : Util.Prng.t;
+  pc_pending_crashes : int list;
+  pc_recoveries : recovery list;
+  pc_metrics : Obs.Metrics.snapshot;
+}
+
+val portable_of_checkpoint : checkpoint -> portable_checkpoint
+
+val checkpoint_of_portable : ?backend:Ffs.Store.spec -> portable_checkpoint -> checkpoint
+(** Rebuild a live checkpoint on the chosen backend (default in-heap).
+    Raises [Ffs.Error.Error Corrupt] if the portable image disagrees
+    with its own geometry. *)
+
+type portable_result = {
+  pr_fs : Ffs.Fs.portable;
+  pr_daily_scores : float array;
+  pr_daily_utilization : float array;
+  pr_skipped_ops : int;
+  pr_ino_map : (int * int) list;
+}
+
+val portable_of_result : result -> portable_result
+val result_of_portable : ?backend:Ffs.Store.spec -> portable_result -> result
+
 val run_resumable :
   ?config:Ffs.Fs.config ->
+  ?backend:Ffs.Store.spec ->
   ?progress:(day:int -> score:float -> unit) ->
   ?on_skip:(Workload.Op.t -> skipped:int -> unit) ->
   ?max_skip_fraction:float ->

@@ -98,23 +98,34 @@ let run ?(days = standard_days) ?(seed = standard_seed) ?(ops = default_ops) () 
   let schedule =
     make_schedule ~rng ~ncg:(Array.length base) ~nblocks ~nfrags ~fpb ~ops
   in
-  (* each mode gets its own copy of the aged groups and a short warm-up;
-     both maintain the extent index — only the searches differ *)
+  (* each repetition gets its own copy of the aged groups and a short
+     warm-up; both modes maintain the extent index — only the searches
+     differ. Best-of-3: the schedule replays in tens of milliseconds,
+     so a single timing is at the mercy of scheduler noise, and the
+     regression gate needs a stable figure. The placement trace must
+     not vary across repetitions. *)
   let measure mode =
-    let cgs = Array.map Ffs.Cg.copy base in
-    let warm = Array.map Ffs.Cg.copy base in
     let warmup = Array.sub schedule 0 (min (ops / 10) (Array.length schedule)) in
     let one () =
+      let cgs = Array.map Ffs.Cg.copy base in
+      let warm = Array.map Ffs.Cg.copy base in
       ignore (replay warm fpb warmup);
       let r = ref (0, 0) in
       let s = timed (fun () -> r := replay cgs fpb schedule) in
       (!r, s)
     in
-    let (allocs, cksum), seconds =
-      match mode with
-      | `Indexed -> one ()
-      | `Scan -> Ffs.Cg.with_reference_searches one
+    let rep () =
+      match mode with `Indexed -> one () | `Scan -> Ffs.Cg.with_reference_searches one
     in
+    let res0, s0 = rep () in
+    let seconds = ref s0 in
+    for _ = 2 to 3 do
+      let res, s = rep () in
+      if res <> res0 then failwith "alloc bench: repetitions diverged";
+      if s < !seconds then seconds := s
+    done;
+    let allocs, cksum = res0 in
+    let seconds = !seconds in
     ({ seconds; allocs; allocs_per_sec = float_of_int allocs /. seconds }, cksum)
   in
   let scan, ck_scan = measure `Scan in

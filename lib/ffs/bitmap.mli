@@ -4,14 +4,28 @@
     allocated. Includes the run-scanning primitives the allocators need
     (first clear bit, first clear run of a given length). Scans are
     byte-at-a-time with full-byte shortcuts, which is ample for
-    cylinder-group-sized maps (a few thousand bits). *)
+    cylinder-group-sized maps (a few thousand bits).
+
+    The bits live in a {!Store}: {!create} gives a standalone map over
+    its own little heap store, while {!of_store} views a byte range of a
+    shared volume store — that is how every bitmap poke reaches the
+    selected storage backend (and its dirty-chunk tracking). *)
 
 type t
 
 val create : int -> t
-(** All bits clear (everything free). *)
+(** All bits clear (everything free), in a standalone heap store. *)
+
+val of_store : Store.t -> base:int -> len:int -> t
+(** View [len] bits starting at byte [base] of [store]. The range must
+    lie inside the store; the caller owns the layout. *)
 
 val length : t -> int
+
+val base : t -> int
+(** The view's starting byte offset in its store. *)
+
+(** [copy t] is a standalone (heap-backed) copy of the bits. *)
 val copy : t -> t
 val get : t -> int -> bool
 val set : t -> int -> unit
@@ -44,9 +58,27 @@ val find_clear_run_wrap : t -> start:int -> len:int -> int option
     considered after those at/after it. A run never wraps around the end
     of the bitmap itself. *)
 
+val max_clear_run : t -> pos:int -> len:int -> int
+(** Length of the longest clear run inside [\[pos, pos+len)] — a single
+    table lookup when the range is one aligned byte (a block's fragment
+    bits under the standard geometry). *)
+
+val find_clear_fit : t -> pos:int -> len:int -> count:int -> int option
+(** First start in [\[pos, pos+len)] of [count] consecutive clear bits
+    lying wholly inside the range — first-fit, same placement as a
+    left-to-right scan; table-driven for one aligned byte. *)
+
 val clear_run_length_at : t -> int -> int
 (** Length of the clear run starting at the given index (0 if the bit is
     set). *)
 
 val iter_clear_runs : t -> (pos:int -> len:int -> unit) -> unit
 (** Apply the function to every maximal clear run, in address order. *)
+
+val to_string : t -> string
+(** The raw backing bytes ([ceil (len/8)] of them; padding bits zero) —
+    the portable serialisation of the map's content. *)
+
+val load : t -> string -> unit
+(** Overwrite the map's bytes with a string from {!to_string} (the
+    length must match exactly). *)

@@ -1,6 +1,8 @@
 type t = {
   params : Params.t;
   cg_index : int;
+  store : Store.t;  (* the backend holding this group's persisted bytes *)
+  region_base : int;  (* byte offset of the group's region in [store] *)
   frag_used : Bitmap.t;  (* one bit per data fragment; set = allocated *)
   block_used : Bitmap.t;  (* one bit per block slot; set = any fragment used *)
   runs : Run_index.t;  (* incremental free-run summary (cg_clustersum) *)
@@ -13,18 +15,29 @@ type t = {
   mutable rotor : int;  (* block index where the last preference-less scan ended *)
 }
 
-let create params ~index =
+(* Bitmap writes mark the group's dirty chunk through the store; the
+   counter-only mutators below call [touch] so a delta checkpoint never
+   misses a group whose bitmaps happened not to move. *)
+let touch t = Store.mark_dirty t.store ~pos:t.region_base
+
+let create_in ~store ~base params ~index =
+  let regions = Store.Layout.of_params params in
   let nblocks = Params.data_blocks_per_group params in
   let nfrags = nblocks * params.Params.frags_per_block in
   let ninodes = Params.inodes_per_group params in
   {
     params;
     cg_index = index;
-    frag_used = Bitmap.create nfrags;
-    block_used = Bitmap.create nblocks;
+    store;
+    region_base = base;
+    frag_used =
+      Bitmap.of_store store ~base:(base + regions.Store.Layout.frag_off) ~len:nfrags;
+    block_used =
+      Bitmap.of_store store ~base:(base + regions.Store.Layout.block_off) ~len:nblocks;
     runs = Run_index.create nblocks;
     ext = Extent_index.create ~nblocks ~fpb:params.Params.frags_per_block;
-    inode_used = Bitmap.create ninodes;
+    inode_used =
+      Bitmap.of_store store ~base:(base + regions.Store.Layout.inode_off) ~len:ninodes;
     nffree = nfrags;
     nbfree = nblocks;
     nifree = ninodes;
@@ -32,15 +45,41 @@ let create params ~index =
     rotor = 0;
   }
 
-let copy t =
+let create params ~index =
+  let regions = Store.Layout.of_params params in
+  let store =
+    Store.heap ~length:regions.Store.Layout.region_bytes
+      ~chunk_bytes:regions.Store.Layout.region_bytes
+  in
+  create_in ~store ~base:0 params ~index
+
+(* Rebind [t]'s views onto [store] (same layout, same region offset),
+   deep-copying the derived heap state. The caller must already have
+   copied the region's bytes (and, if exactness matters, the dirty
+   flags) into [store]. *)
+let rebind t ~store =
   {
     t with
-    frag_used = Bitmap.copy t.frag_used;
-    block_used = Bitmap.copy t.block_used;
+    store;
+    frag_used =
+      Bitmap.of_store store ~base:(Bitmap.base t.frag_used) ~len:(Bitmap.length t.frag_used);
+    block_used =
+      Bitmap.of_store store ~base:(Bitmap.base t.block_used)
+        ~len:(Bitmap.length t.block_used);
+    inode_used =
+      Bitmap.of_store store ~base:(Bitmap.base t.inode_used)
+        ~len:(Bitmap.length t.inode_used);
     runs = Run_index.copy t.runs;
     ext = Extent_index.copy t.ext;
-    inode_used = Bitmap.copy t.inode_used;
   }
+
+let copy t =
+  let store =
+    Store.heap ~length:(Store.length t.store) ~chunk_bytes:(Store.chunk_bytes t.store)
+  in
+  Store.blit ~src:t.store ~src_pos:0 ~dst:store ~dst_pos:0 ~len:(Store.length t.store);
+  Store.copy_dirty ~src:t.store ~dst:store;
+  rebind t ~store
 
 (* no-op until a harness enables the registry *)
 let metrics = Obs.Metrics.default
@@ -61,15 +100,8 @@ let fpb t = t.params.Params.frags_per_block
 let sync_index t ~first_block ~last_block =
   let fpb = fpb t in
   for b = first_block to last_block do
-    let best = ref 0 and run = ref 0 in
-    for f = b * fpb to ((b + 1) * fpb) - 1 do
-      if Bitmap.get t.frag_used f then run := 0
-      else begin
-        incr run;
-        if !run > !best then best := !run
-      end
-    done;
-    Extent_index.update t.ext b ~maxrun:!best
+    Extent_index.update t.ext b
+      ~maxrun:(Bitmap.max_clear_run t.frag_used ~pos:(b * fpb) ~len:fpb)
   done
 
 (* Mark a fragment run used and keep block bits and counters in sync. *)
@@ -113,14 +145,7 @@ let fit_in_block t b ~count =
   if block_is_free t b then None
   else begin
     let fpb = fpb t in
-    let base = b * fpb in
-    let rec scan pos run =
-      if pos >= base + fpb then None
-      else if frag_is_free t pos then
-        if run + 1 >= count then Some (pos - count + 1) else scan (pos + 1) (run + 1)
-      else scan (pos + 1) 0
-    in
-    scan base 0
+    Bitmap.find_clear_fit t.frag_used ~pos:(b * fpb) ~len:fpb ~count
   end
 
 (* The allocators never touch the bitmaps directly: every placement
@@ -305,9 +330,11 @@ let indexed_searches =
     cluster_best_fit = idx_cluster_best_fit;
   }
 
-(* which strategy the public allocators use; flipped (temporarily) only
-   by the differential tests *)
+(* which strategy the public allocators use; flipped by the differential
+   tests (temporarily) and by {!Policy} instances (for the process) *)
 let current_searches = ref indexed_searches
+
+let set_searches s = current_searches := s
 
 let with_reference_searches f =
   let saved = !current_searches in
@@ -435,10 +462,13 @@ let free_inode t i =
   Bitmap.clear t.inode_used i;
   t.nifree <- t.nifree + 1
 
-let add_dir t = t.ndirs <- t.ndirs + 1
+let add_dir t =
+  touch t;
+  t.ndirs <- t.ndirs + 1
 
 let remove_dir t =
   assert (t.ndirs > 0);
+  touch t;
   t.ndirs <- t.ndirs - 1
 
 (* --- fsck/repair plumbing ----------------------------------------------- *)
@@ -480,6 +510,7 @@ let corrupt_clear_frag t f = Bitmap.clear t.frag_used f
 let corrupt_set_frag t f = Bitmap.set t.frag_used f
 
 let corrupt_counters t ~nffree ~nbfree =
+  touch t;
   t.nffree <- nffree;
   t.nbfree <- nbfree
 
@@ -490,7 +521,10 @@ let corrupt_counters t ~nffree ~nbfree =
 
 let corrupt_set_inode t i = Bitmap.set t.inode_used i
 let corrupt_clear_inode t i = Bitmap.clear t.inode_used i
-let corrupt_adjust_dirs t delta = t.ndirs <- max 0 (t.ndirs + delta)
+
+let corrupt_adjust_dirs t delta =
+  touch t;
+  t.ndirs <- max 0 (t.ndirs + delta)
 
 let corrupt_index_toggle_free t b = Extent_index.corrupt_toggle_free t.ext b
 let corrupt_index_toggle_fit t b ~len = Extent_index.corrupt_toggle_fit t.ext b ~len
@@ -528,3 +562,71 @@ let check_invariants t =
   match Extent_index.audit t.ext ~frag_free:(fun f -> not (Bitmap.get t.frag_used f)) with
   | [] -> ()
   | msg :: _ -> Error.raise_ (Error.Corrupt msg)
+
+(* --- portable form --------------------------------------------------------- *)
+
+(* The group's canonical serialisation: the persisted bytes (the three
+   bitmaps, raw) plus the superblock-level counters and the rotor.
+   Derived state — the run summary and the extent index — is rebuilt
+   from the bitmaps on load, exactly as {!Check.repair} rebuilds it, so
+   the form is independent of query history (the lazily-settled
+   longest-run hint never reaches disk) and of the storage backend.
+   Checkpoints, aged images and digests all go through it. *)
+type portable = {
+  p_index : int;
+  p_frag_bits : string;
+  p_block_bits : string;
+  p_inode_bits : string;
+  p_nffree : int;
+  p_nbfree : int;
+  p_nifree : int;
+  p_ndirs : int;
+  p_rotor : int;
+}
+
+let to_portable t =
+  {
+    p_index = t.cg_index;
+    p_frag_bits = Bitmap.to_string t.frag_used;
+    p_block_bits = Bitmap.to_string t.block_used;
+    p_inode_bits = Bitmap.to_string t.inode_used;
+    p_nffree = t.nffree;
+    p_nbfree = t.nbfree;
+    p_nifree = t.nifree;
+    p_ndirs = t.ndirs;
+    p_rotor = t.rotor;
+  }
+
+(* Overwrite [t] (fresh from [create_in]) with a portable group's state,
+   rebuilding the derived indexes from the loaded bitmaps. *)
+let load_portable t p =
+  let expect what want got =
+    if want <> got then
+      Error.raise_
+        (Error.Corrupt
+           (Fmt.str "cg %d: portable %s is %d bytes, geometry wants %d" p.p_index what
+              got want))
+  in
+  let bytes_for bits = (bits + 7) / 8 in
+  expect "fragment bitmap" (bytes_for (data_frags t)) (String.length p.p_frag_bits);
+  expect "block bitmap" (bytes_for (data_blocks t)) (String.length p.p_block_bits);
+  expect "inode bitmap"
+    (bytes_for (Bitmap.length t.inode_used))
+    (String.length p.p_inode_bits);
+  Bitmap.load t.frag_used p.p_frag_bits;
+  Bitmap.load t.block_used p.p_block_bits;
+  Bitmap.load t.inode_used p.p_inode_bits;
+  for b = 0 to data_blocks t - 1 do
+    if Bitmap.get t.block_used b then Run_index.allocate t.runs b
+  done;
+  sync_index t ~first_block:0 ~last_block:(data_blocks t - 1);
+  t.nffree <- p.p_nffree;
+  t.nbfree <- p.p_nbfree;
+  t.nifree <- p.p_nifree;
+  t.ndirs <- p.p_ndirs;
+  t.rotor <- p.p_rotor
+
+let of_portable_into ~store ~base params p =
+  let t = create_in ~store ~base params ~index:p.p_index in
+  load_portable t p;
+  t

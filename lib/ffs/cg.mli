@@ -20,7 +20,22 @@
 type t
 
 val create : Params.t -> index:int -> t
+(** A standalone everything-free group over its own one-region heap
+    {!Store} — unchanged behaviour for tests and scratch use. *)
+
+val create_in : store:Store.t -> base:int -> Params.t -> index:int -> t
+(** An everything-free group whose persisted bytes live at byte offset
+    [base] of a shared volume [store], laid out by {!Store.Layout}. *)
+
 val copy : t -> t
+(** A deep standalone copy (fresh heap store, bytes, dirty flags and
+    derived indexes all duplicated). *)
+
+val rebind : t -> store:Store.t -> t
+(** Rebind [t]'s views onto [store] at the same offsets, deep-copying
+    the derived heap state. The caller must already have blitted the
+    region's bytes into [store] — this is {!Fs.copy}'s plumbing for
+    copying a whole volume with one store-to-store blit. *)
 
 val index : t -> int
 val data_frags : t -> int
@@ -66,6 +81,40 @@ val alloc_cluster :
     first such run scanning forward from [pref]; [`Best_fit]: shortest
     adequate run, ties to the first). Returns the starting block index of
     the allocated run. *)
+
+(** {2 Search strategies}
+
+    Every placement question the allocators ask, as a first-class record
+    of searches. Two built-in strategies answer them — the extent
+    index's O(log) queries ({!indexed_searches}, the default) and the
+    seed's word-by-word bitmap scans ({!scan_searches}, the oracle) —
+    and {!Policy} instances may install their own. A strategy only
+    {e searches}; mutation and accounting are shared, so swapping one in
+    changes speed, never placements' bookkeeping. *)
+
+type searches = {
+  free_block_wrap : t -> start:int -> int option;
+      (** first entirely-free block scanning forward from [start],
+          wrapping *)
+  free_in_cylinder : t -> pref:int -> int option;
+      (** rotationally nearest free block in [pref]'s fs cylinder *)
+  partial_fit : t -> start_block:int -> count:int -> int option;
+      (** first in-block [count]-fragment fit, scanning blocks from
+          [start_block] with wrap; never breaks a free block *)
+  cluster_first_fit : t -> start:int -> len:int -> int option;
+      (** first run of [len] free blocks scanning forward from [start],
+          wrapping *)
+  cluster_best_fit : t -> len:int -> int option;
+      (** start of the shortest adequate maximal free run, first
+          occurrence winning ties *)
+}
+
+val indexed_searches : searches
+val scan_searches : searches
+
+val set_searches : searches -> unit
+(** Route every allocator in the process through the given strategy
+    (listed policies call this via {!Policy.install}). *)
 
 (** {2 The scan oracle}
 
@@ -176,3 +225,32 @@ val corrupt_index_toggle_free : t -> int -> unit
 val corrupt_index_toggle_fit : t -> int -> len:int -> unit
 (** Flip one block's membership in the [len]-fragment fit bucket of the
     extent index, bitmaps untouched. *)
+
+(** {2 Portable form}
+
+    The group's canonical serialisation: the persisted bytes (the three
+    bitmaps, raw) plus the counters and the rotor. Derived state — the
+    run summary and the extent index — is rebuilt from the bitmaps on
+    load, so the form is independent of query history and of the storage
+    backend. Checkpoints, aged images and digests all go through it. *)
+
+type portable = {
+  p_index : int;
+  p_frag_bits : string;
+  p_block_bits : string;
+  p_inode_bits : string;
+  p_nffree : int;
+  p_nbfree : int;
+  p_nifree : int;
+  p_ndirs : int;
+  p_rotor : int;
+}
+
+val to_portable : t -> portable
+
+val of_portable_into : store:Store.t -> base:int -> Params.t -> portable -> t
+(** Rebuild a live group at byte offset [base] of [store] from its
+    portable form. Raises [Error.Error Corrupt] if a bitmap string's
+    length disagrees with the geometry. Counters are restored verbatim
+    (not cross-checked), so inconsistent fault-injected states round-trip
+    faithfully. *)

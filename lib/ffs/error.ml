@@ -11,6 +11,7 @@ type t =
   | Invalid_params of string
   | Corrupt of string
   | Cross_cg of { cg : int; pinned : int }
+  | Io of { path : string; message : string }
 
 exception Error of t
 
@@ -33,6 +34,7 @@ let pp ppf = function
         Fmt.pf ppf "operation overflows cylinder group %d (domain pinned to it)" pinned
       else
         Fmt.pf ppf "operation touches cylinder group %d while pinned to %d" cg pinned
+  | Io { path; message } -> Fmt.pf ppf "%s: %s" path message
 
 let to_string = Fmt.to_to_string pp
 

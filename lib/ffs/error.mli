@@ -27,8 +27,13 @@ type t =
           is [-1], needed a fs-wide overflow search. The parallel replay
           catches this, rolls the operation back and defers it to the
           serial phase; it never escapes to users of the serial API.
-          Declared last so earlier constructor tags (and thus marshalled
-          images) are unchanged. *)
+          Declared after the original constructors so earlier tags (and
+          thus marshalled images) are unchanged. *)
+  | Io of { path : string; message : string }
+      (** a durable-artifact read or write failed at the OS level (the
+          result-typed twins of [Aging.Image.save] and
+          [Aging.Checkpoint.save] catch [Sys_error]/[Unix_error] into
+          this). Declared last; see {!Cross_cg}. *)
 
 exception Error of t
 (** Raised by the [_exn] entry points. Registered with

@@ -26,6 +26,10 @@ type dir_state = {
 
 type t = {
   params : Params.t;
+  store : Store.t;
+      (* the volume's persisted metadata bytes (every cg's bitmaps);
+         chunk index = cg index, so [Store.dirty_chunks] is the delta
+         checkpoint's work list *)
   cgs : Cg.t array;
   inodes : (int, Inode.t) Hashtbl.t;
   dirs : (int, dir_state) Hashtbl.t;
@@ -535,11 +539,18 @@ let make_dir_at t ~cg ~time =
       jot t (Journal.Dir_count { cg = cg_of_inum t inum; delta = 1 });
       inum
 
-let create ?(config = default_config) params =
+let create ?(config = default_config) ?(backend = Store.Heap_backend) params =
+  let store = Store.Layout.store_for backend params in
+  let regions = Store.Layout.of_params params in
   let t =
     {
       params;
-      cgs = Array.init params.Params.ncg (fun index -> Cg.create params ~index);
+      store;
+      cgs =
+        Array.init params.Params.ncg (fun index ->
+            Cg.create_in ~store
+              ~base:(Store.Layout.region_base regions ~index)
+              params ~index);
       inodes = Hashtbl.create 1024;
       dirs = Hashtbl.create 64;
       parents = Hashtbl.create 1024;
@@ -555,9 +566,18 @@ let create ?(config = default_config) params =
   { t with root_inum = root }
 
 let copy t =
+  (* one whole-store blit, then rebind the group views onto the copy.
+     The copy is always heap-backed — copies are in-memory twins for
+     differential tests and crash exploration, never out-of-core. *)
+  let store =
+    Store.heap ~length:(Store.length t.store) ~chunk_bytes:(Store.chunk_bytes t.store)
+  in
+  Store.blit ~src:t.store ~src_pos:0 ~dst:store ~dst_pos:0 ~len:(Store.length t.store);
+  Store.copy_dirty ~src:t.store ~dst:store;
   {
     t with
-    cgs = Array.map Cg.copy t.cgs;
+    store;
+    cgs = Array.map (fun cg -> Cg.rebind cg ~store) t.cgs;
     inodes =
       (let h = Hashtbl.create (Hashtbl.length t.inodes) in
        Hashtbl.iter (fun k v -> Hashtbl.replace h k { v with Inode.inum = v.Inode.inum }) t.inodes;
@@ -860,64 +880,160 @@ let check_invariants t =
       assert (not (Cg.frag_is_free t.cgs.(cg) frag)))
     claimed
 
+(* --- portable form --------------------------------------------------------- *)
+
+(* The fs's canonical serialisation: geometry, config, clock, counters,
+   each group's {!Cg.portable} (raw bitmap bytes + counters, no derived
+   indexes), and the logical tables flattened to sorted association
+   lists. The form is independent of the storage backend, of hashtable
+   internals and of query history (the groups' lazily-settled search
+   hints never appear), so a digest of it is canonical; checkpoints and
+   aged images persist exactly this. *)
+type portable_dir = {
+  pd_inum : int;
+  pd_names : (string * int) list;  (* sorted by name *)
+  pd_order : string list;
+  pd_live : int;
+}
+
+type portable = {
+  pf_params : Params.t;
+  pf_config : config;
+  pf_clock : float;
+  pf_root : int;
+  pf_stats : stats;
+  pf_cgs : Cg.portable array;
+  pf_inodes : (int * Inode.t) list;  (* sorted by inum; deep-copied *)
+  pf_dirs : (int * portable_dir) list;  (* sorted by inum *)
+  pf_parents : (int * (int * string)) list;  (* sorted by inum *)
+}
+
+let sorted_keys h = Hashtbl.fold (fun k _ acc -> k :: acc) h [] |> List.sort compare
+
+let to_portable t =
+  {
+    pf_params = t.params;
+    pf_config = t.cfg;
+    pf_clock = t.clock;
+    pf_root = t.root_inum;
+    pf_stats = { t.stats with blocks_allocated = t.stats.blocks_allocated };
+    pf_cgs = Array.map Cg.to_portable t.cgs;
+    pf_inodes =
+      List.map
+        (fun inum -> (inum, snapshot_inode (Hashtbl.find t.inodes inum)))
+        (sorted_keys t.inodes);
+    pf_dirs =
+      List.map
+        (fun dnum ->
+          let d = Hashtbl.find t.dirs dnum in
+          let names =
+            Hashtbl.fold (fun name inum acc -> (name, inum) :: acc) d.by_name []
+            |> List.sort compare
+          in
+          ( dnum,
+            { pd_inum = d.dir_inum; pd_names = names; pd_order = d.order; pd_live = d.live_entries } ))
+        (sorted_keys t.dirs);
+    pf_parents =
+      List.map (fun inum -> (inum, Hashtbl.find t.parents inum)) (sorted_keys t.parents);
+  }
+
+let of_portable ?(backend = Store.Heap_backend) p =
+  let params = p.pf_params in
+  let store = Store.Layout.store_for backend params in
+  let regions = Store.Layout.of_params params in
+  let cgs =
+    Array.map
+      (fun cp ->
+        Cg.of_portable_into ~store
+          ~base:(Store.Layout.region_base regions ~index:cp.Cg.p_index)
+          params cp)
+      p.pf_cgs
+  in
+  let inodes = Hashtbl.create (max 1024 (List.length p.pf_inodes)) in
+  List.iter (fun (inum, ino) -> Hashtbl.replace inodes inum (snapshot_inode ino)) p.pf_inodes;
+  let dirs = Hashtbl.create (max 64 (List.length p.pf_dirs)) in
+  List.iter
+    (fun (dnum, pd) ->
+      let by_name = Hashtbl.create 16 in
+      List.iter (fun (name, inum) -> Hashtbl.replace by_name name inum) pd.pd_names;
+      Hashtbl.replace dirs dnum
+        { dir_inum = pd.pd_inum; by_name; order = pd.pd_order; live_entries = pd.pd_live })
+    p.pf_dirs;
+  let parents = Hashtbl.create (max 1024 (List.length p.pf_parents)) in
+  List.iter (fun (inum, v) -> Hashtbl.replace parents inum v) p.pf_parents;
+  (* loading wrote every byte, so the dirty map is all-set — the
+     conservative truth for a resumed volume (the first checkpoint after
+     a resume is a full one anyway) *)
+  {
+    params;
+    store;
+    cgs;
+    inodes;
+    dirs;
+    parents;
+    cfg = p.pf_config;
+    clock = p.pf_clock;
+    root_inum = p.pf_root;
+    stats = { p.pf_stats with blocks_allocated = p.pf_stats.blocks_allocated };
+    jrec = None;
+  }
+
 (* --- canonical digest ------------------------------------------------------ *)
 
 (* A digest of the fs's logical content that is independent of hashtable
-   internals: two file systems that agree on every inode, directory,
-   group image and counter hash identically even when their tables were
-   populated in different orders (exactly what parallel aging produces).
-   Raw [Marshal] of [t] would not have this property. *)
-let digest_parts t =
+   internals and of the storage backend: two file systems that agree on
+   every inode, directory, group image and counter hash identically even
+   when their tables were populated in different orders (exactly what
+   parallel aging produces) or their bytes live in different backends
+   (exactly what the backend differential suite pins). Raw [Marshal] of
+   [t] would have neither property. *)
+let digest_parts_of_portable p =
   let part name fill =
     let buf = Buffer.create (1 lsl 12) in
     let add v = Buffer.add_string buf (Marshal.to_string v []) in
     fill add;
     (name, Digest.to_hex (Digest.string (Buffer.contents buf)))
   in
-  let sorted_keys h = Hashtbl.fold (fun k _ acc -> k :: acc) h [] |> List.sort compare in
   [
-    part "header" (fun add -> add (t.params, t.cfg, t.clock, t.root_inum));
+    part "header" (fun add -> add (p.pf_params, p.pf_config, p.pf_clock, p.pf_root));
     part "stats" (fun add ->
         add
-          ( t.stats.blocks_allocated,
-            t.stats.frags_allocated,
-            t.stats.contiguous_allocations,
-            t.stats.cg_fallbacks,
-            t.stats.realloc_attempts,
-            t.stats.realloc_moves,
-            t.stats.realloc_failures,
-            t.stats.indirect_switches ));
-    part "cgs" (fun add ->
-        Array.iter
-          (fun cg ->
-            (* settle the lazily-refined free-run cache first: audits and
-               other reads refine it as a side effect, and the digest must
-               hash logical content, not read history *)
-            ignore (Cg.longest_free_run cg);
-            add cg)
-          t.cgs);
-    part "inodes" (fun add ->
-        List.iter (fun inum -> add (Hashtbl.find t.inodes inum)) (sorted_keys t.inodes));
+          ( p.pf_stats.blocks_allocated,
+            p.pf_stats.frags_allocated,
+            p.pf_stats.contiguous_allocations,
+            p.pf_stats.cg_fallbacks,
+            p.pf_stats.realloc_attempts,
+            p.pf_stats.realloc_moves,
+            p.pf_stats.realloc_failures,
+            p.pf_stats.indirect_switches ));
+    part "cgs" (fun add -> Array.iter add p.pf_cgs);
+    part "inodes" (fun add -> List.iter add p.pf_inodes);
     part "dirs" (fun add ->
         List.iter
-          (fun dnum ->
-            let d = Hashtbl.find t.dirs dnum in
-            let names =
-              Hashtbl.fold (fun name inum acc -> (name, inum) :: acc) d.by_name []
-              |> List.sort compare
-            in
-            add (d.dir_inum, names, d.order, d.live_entries))
-          (sorted_keys t.dirs));
-    part "parents" (fun add ->
-        add
-          (List.map
-             (fun inum -> (inum, Hashtbl.find t.parents inum))
-             (sorted_keys t.parents)));
+          (fun (_, d) -> add (d.pd_inum, d.pd_names, d.pd_order, d.pd_live))
+          p.pf_dirs);
+    part "parents" (fun add -> add p.pf_parents);
   ]
 
-let digest t =
-  Digest.to_hex
-    (Digest.string (String.concat ";" (List.map (fun (_, d) -> d) (digest_parts t))))
+let digest_of_parts parts =
+  Digest.to_hex (Digest.string (String.concat ";" (List.map (fun (_, d) -> d) parts)))
+
+let digest_parts t = digest_parts_of_portable (to_portable t)
+let digest_portable p = digest_of_parts (digest_parts_of_portable p)
+let digest t = digest_of_parts (digest_parts t)
+
+(* --- storage backend ------------------------------------------------------- *)
+
+let store t = t.store
+let backend_name t = Store.repr_name t.store
+let sync t = Store.sync t.store
+
+let dirty_cgs t =
+  (* chunk = cg region under [Store.Layout], so chunk index = cg index *)
+  Store.dirty_chunks t.store
+
+let clear_dirty t = Store.clear_dirty t.store
+let mark_all_dirty t = Store.mark_all_dirty t.store
 
 (* --- crash-state materialisation ------------------------------------------ *)
 

@@ -44,9 +44,12 @@ type stats = {
   mutable indirect_switches : int;  (** cg switches forced by indirect blocks *)
 }
 
-val create : ?config:config -> Params.t -> t
+val create : ?config:config -> ?backend:Store.spec -> Params.t -> t
 (** Fresh, empty file system with a root directory in group 0. Default
-    config: traditional allocator (realloc off), first-fit clusters. *)
+    config: traditional allocator (realloc off), first-fit clusters.
+    [backend] selects where the volume's persisted metadata bytes live
+    (default {!Store.Heap_backend}; [Mmap_backend] for out-of-core
+    volumes) — placements never depend on it. *)
 
 val default_config : config
 val realloc_config : config
@@ -197,6 +200,64 @@ val digest_parts : t -> (string * string) list
 (** The named component digests [digest] is built from (header, stats,
     cgs, inodes, dirs, parents) — for pinpointing which structure two
     images that should be identical actually differ in. *)
+
+(* Portable form — the canonical serialisation checkpoints and aged
+   images persist. *)
+
+type portable_dir = {
+  pd_inum : int;
+  pd_names : (string * int) list;
+  pd_order : string list;
+  pd_live : int;
+}
+
+type portable = {
+  pf_params : Params.t;
+  pf_config : config;
+  pf_clock : float;
+  pf_root : int;
+  pf_stats : stats;
+  pf_cgs : Cg.portable array;
+  pf_inodes : (int * Inode.t) list;
+  pf_dirs : (int * portable_dir) list;
+  pf_parents : (int * (int * string)) list;
+}
+
+val to_portable : t -> portable
+(** Flatten to the canonical form: raw bitmap bytes plus counters per
+    group (no derived indexes, no search hints), tables as sorted
+    association lists, inodes deep-copied. Independent of the storage
+    backend and safe to [Marshal]. *)
+
+val of_portable : ?backend:Store.spec -> portable -> t
+(** Rebuild a live file system (derived indexes reconstructed from the
+    bitmaps) on the chosen backend. Raises [Error.Error Corrupt] if a
+    group's bitmap strings disagree with the geometry. *)
+
+val digest_portable : portable -> string
+(** [digest_portable (to_portable t) = digest t]. *)
+
+(* Storage backend *)
+
+val store : t -> Store.t
+(** The volume's metadata byte store (chunk index = group index). *)
+
+val backend_name : t -> string
+(** Display name of the live backend ("bytes", "mmap", "mmap:PATH"). *)
+
+val sync : t -> unit
+(** Flush the backend to durable storage (fsync for file-backed
+    mappings; no-op for the heap). *)
+
+val dirty_cgs : t -> int list
+(** Cylinder groups whose persisted bytes changed since the last
+    {!clear_dirty}, ascending — the work list for a delta checkpoint. *)
+
+val clear_dirty : t -> unit
+(** Acknowledge {!dirty_cgs} (called after a checkpoint captures them). *)
+
+val mark_all_dirty : t -> unit
+(** Force the next delta to cover every group. *)
 
 (* Repair & fault-injection plumbing — the raw directory and inode-table
    edits [Check.repair] and the fault injector are built from. These

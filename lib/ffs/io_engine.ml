@@ -180,6 +180,14 @@ let create_and_write t ~dir ~name ~size =
     (io_plan t ino);
   inum
 
+let sync t =
+  (* the fsync path: pending delayed metadata goes to the drive, then
+     the volume's backend store is made durable (a real fsync for
+     mmap-backed volumes, free for the heap) *)
+  Hashtbl.iter (fun a f -> write_block t ~addr:a ~frags:f) t.dirty_meta;
+  Hashtbl.reset t.dirty_meta;
+  Fs.sync t.fs
+
 let elapsed_of t action =
   let before = t.clock in
   action ();

@@ -56,5 +56,11 @@ val create_and_write : t -> dir:int -> name:string -> size:int -> int
     then clustered data writes and indirect-block writes. Returns the
     inode number. *)
 
+val sync : t -> unit
+(** The fsync path: flush any delayed (soft-updates) metadata writes to
+    the drive model, then make the file system's storage backend durable
+    ({!Fs.sync} — a real fsync for mmap-backed volumes, a no-op for the
+    heap). *)
+
 val elapsed_of : t -> (unit -> unit) -> float
 (** Run the action and return the clock advance it caused. *)

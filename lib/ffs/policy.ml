@@ -1,0 +1,48 @@
+(* Allocation policies as first-class values: a name (for the CLI
+   registry), a search strategy (the {!Cg.searches} record every
+   allocator routes through), and a config hook (whether the realloc
+   pass runs, and under which cluster search).  The two built-ins are
+   the paper's pair — the traditional allocator and the McKusick
+   cluster-reallocation enhancement — both answering searches from the
+   extent index. *)
+
+module type S = sig
+  val name : string
+  val searches : Cg.searches
+  val configure : Fs.config -> Fs.config
+end
+
+module Traditional : S = struct
+  let name = "traditional"
+  let searches = Cg.indexed_searches
+  let configure cfg = { cfg with Fs.realloc = false }
+end
+
+module Realloc : S = struct
+  let name = "realloc"
+  let searches = Cg.indexed_searches
+  let configure cfg = { cfg with Fs.realloc = true }
+end
+
+let registry : (string, (module S)) Hashtbl.t = Hashtbl.create 8
+
+let register (module P : S) = Hashtbl.replace registry P.name (module P)
+
+let () =
+  register (module Traditional);
+  register (module Realloc)
+
+let find name = Hashtbl.find_opt registry name
+
+let names () =
+  Hashtbl.fold (fun name _ acc -> name :: acc) registry [] |> List.sort compare
+
+let name (module P : S) = P.name
+
+let install (module P : S) = Cg.set_searches P.searches
+
+let configure (module P : S) cfg = P.configure cfg
+
+let apply (module P : S) cfg =
+  Cg.set_searches P.searches;
+  P.configure cfg

@@ -1,0 +1,43 @@
+(** Allocation policies, first-class and named.
+
+    A policy bundles the two levers the paper compares: {e how placement
+    questions are searched} (a {!Cg.searches} record) and {e whether the
+    realloc pass rewrites completed windows} (a {!Fs.config} hook). The
+    built-ins are {!Traditional} (the historic allocator) and {!Realloc}
+    (cluster reallocation); both search via the extent index, so they
+    stay bit-identical to the seed's placements. External experiments
+    may {!register} their own and the CLIs' [--policy] flag resolves
+    through the registry. *)
+
+module type S = sig
+  val name : string
+  (** Registry key; what [--policy NAME] matches. *)
+
+  val searches : Cg.searches
+  (** The search strategy every allocator routes through while this
+      policy is installed. *)
+
+  val configure : Fs.config -> Fs.config
+  (** The policy's config adjustments (the realloc hook). *)
+end
+
+module Traditional : S
+module Realloc : S
+
+val register : (module S) -> unit
+(** Add (or replace) a policy under its own name. *)
+
+val find : string -> (module S) option
+val names : unit -> string list
+(** Registered names, sorted. *)
+
+val name : (module S) -> string
+
+val install : (module S) -> unit
+(** Route every allocator in the process through the policy's searches
+    (process-global, like {!Cg.set_searches}). *)
+
+val configure : (module S) -> Fs.config -> Fs.config
+
+val apply : (module S) -> Fs.config -> Fs.config
+(** {!install} then {!configure} — what the CLIs call once at startup. *)

@@ -1,0 +1,286 @@
+(* The storage backend behind a volume's on-disk metadata regions.
+
+   Every byte the allocator persists — the per-group fragment, block and
+   inode bitmaps — lives in one flat address space owned by a [t].  Two
+   built-in representations:
+
+   - [Heap]: an in-process [Bytes.t], the seed's behaviour and the
+     default everywhere (bit-identical placements, Marshal-able, free);
+   - [Map]: a [Bigarray]-mmap'd file, so a volume's image can exceed the
+     OCaml heap.  With no path the mapping is backed by an unlinked
+     temporary file (purely out-of-core scratch); with a path the file
+     persists and [sync] pushes the dirty pages with fsync.
+
+   A third [Custom] case packs a first-class module implementing
+   {!module-type-S}, the documented contract, so an external backend
+   (RAID simulation, network block device, ...) drops in without
+   touching this file.  The hot path ([get_byte]/[set_byte]) dispatches
+   on a three-constructor variant rather than through a module, which
+   keeps the per-bit cost of the allocator's bitmap pokes flat.
+
+   Dirty-region tracking rides on the same object: the address space is
+   divided into power-of-two chunks (one chunk per cylinder group the
+   way {!Layout} sizes them) and every write marks its chunk's byte in
+   [dirty].  Writes from concurrently pinned domains land on distinct
+   dirty bytes (one group, one chunk), so marking needs no lock beyond
+   the per-group discipline {!Locks} already enforces.  Checkpoint
+   writers read {!dirty_chunks} to emit deltas and {!clear_dirty} after
+   a successful save. *)
+
+module type S = sig
+  val length : int
+  val get : int -> char
+  val set : int -> char -> unit
+  val sync : unit -> unit
+end
+
+type bigstring =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type repr =
+  | Heap of Bytes.t
+  | Map of { arr : bigstring; fd : Unix.file_descr; path : string option }
+  | Custom of (module S)
+
+type t = {
+  repr : repr;
+  len : int;
+  chunk_shift : int;
+  dirty : Bytes.t;  (* one byte per chunk; '\001' = written since last clear *)
+}
+
+type spec = Heap_backend | Mmap_backend of string option
+
+let spec_name = function
+  | Heap_backend -> "bytes"
+  | Mmap_backend None -> "mmap"
+  | Mmap_backend (Some path) -> "mmap:" ^ path
+
+let spec_of_string s =
+  match s with
+  | "bytes" | "heap" -> Some Heap_backend
+  | "mmap" -> Some (Mmap_backend None)
+  | s when String.length s > 5 && String.sub s 0 5 = "mmap:" ->
+      Some (Mmap_backend (Some (String.sub s 5 (String.length s - 5))))
+  | _ -> None
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let shift_of_chunk chunk_bytes =
+  assert (is_pow2 chunk_bytes);
+  let rec log2 n acc = if n = 1 then acc else log2 (n lsr 1) (acc + 1) in
+  log2 chunk_bytes 0
+
+let nchunks ~length ~chunk_bytes = (length + chunk_bytes - 1) / chunk_bytes
+
+let make repr ~length ~chunk_bytes =
+  {
+    repr;
+    len = length;
+    chunk_shift = shift_of_chunk chunk_bytes;
+    dirty = Bytes.make (max 1 (nchunks ~length ~chunk_bytes)) '\000';
+  }
+
+let heap ~length ~chunk_bytes =
+  make (Heap (Bytes.make length '\000')) ~length ~chunk_bytes
+
+let map_file path ~length =
+  (* with no path, back the mapping by an unlinked temporary: the pages
+     are out-of-core scratch reclaimed when the fd (or process) goes *)
+  let path_arg = path in
+  let path, unlink =
+    match path with
+    | Some p -> (p, false)
+    | None -> (Filename.temp_file "ffs_store" ".mem", true)
+  in
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o600 in
+  if unlink then Sys.remove path;
+  Unix.ftruncate fd (max 1 length);
+  let arr =
+    Bigarray.array1_of_genarray
+      (Unix.map_file fd Bigarray.char Bigarray.c_layout true [| max 1 length |])
+  in
+  Map { arr; fd; path = (if unlink then None else path_arg) }
+
+let mmap ?path ~length ~chunk_bytes () =
+  make (map_file path ~length) ~length ~chunk_bytes
+
+let create spec ~length ~chunk_bytes =
+  match spec with
+  | Heap_backend -> heap ~length ~chunk_bytes
+  | Mmap_backend path -> mmap ?path ~length ~chunk_bytes ()
+
+let custom (module M : S) ~chunk_bytes =
+  make (Custom (module M)) ~length:M.length ~chunk_bytes
+
+let length t = t.len
+let chunk_bytes t = 1 lsl t.chunk_shift
+let is_heap t = match t.repr with Heap _ -> true | Map _ | Custom _ -> false
+let heap_bytes t = match t.repr with Heap b -> Some b | Map _ | Custom _ -> None
+
+let dirty_cell t ~pos ~len =
+  if len <= 0 then None
+  else
+    let c0 = pos lsr t.chunk_shift and c1 = (pos + len - 1) lsr t.chunk_shift in
+    if c0 = c1 then Some (t.dirty, c0) else None
+
+let backing_path t =
+  match t.repr with Map { path; _ } -> path | Heap _ | Custom _ -> None
+
+let repr_name t =
+  match t.repr with
+  | Heap _ -> "bytes"
+  | Map { path = None; _ } -> "mmap"
+  | Map { path = Some p; _ } -> "mmap:" ^ p
+  | Custom _ -> "custom"
+
+(* --- the byte plane ------------------------------------------------------- *)
+
+let get_byte t i =
+  match t.repr with
+  | Heap b -> Bytes.unsafe_get b i
+  | Map { arr; _ } -> Bigarray.Array1.unsafe_get arr i
+  | Custom (module M) -> M.get i
+
+let mark_dirty t ~pos = Bytes.unsafe_set t.dirty (pos lsr t.chunk_shift) '\001'
+
+let set_byte t i c =
+  mark_dirty t ~pos:i;
+  match t.repr with
+  | Heap b -> Bytes.unsafe_set b i c
+  | Map { arr; _ } -> Bigarray.Array1.unsafe_set arr i c
+  | Custom (module M) -> M.set i c
+
+let mark_dirty_range t ~pos ~len =
+  if len > 0 then
+    for c = pos lsr t.chunk_shift to (pos + len - 1) lsr t.chunk_shift do
+      Bytes.unsafe_set t.dirty c '\001'
+    done
+
+let read t ~pos ~len =
+  assert (pos >= 0 && len >= 0 && pos + len <= t.len);
+  match t.repr with
+  | Heap b -> Bytes.sub_string b pos len
+  | Map _ | Custom _ -> String.init len (fun i -> get_byte t (pos + i))
+
+let write t ~pos s =
+  let len = String.length s in
+  assert (pos >= 0 && pos + len <= t.len);
+  mark_dirty_range t ~pos ~len;
+  match t.repr with
+  | Heap b -> Bytes.blit_string s 0 b pos len
+  | Map _ | Custom _ ->
+      for i = 0 to len - 1 do
+        (match t.repr with
+        | Map { arr; _ } -> Bigarray.Array1.unsafe_set arr (pos + i) s.[i]
+        | Heap _ -> assert false
+        | Custom (module M) -> M.set (pos + i) s.[i])
+      done
+
+let blit ~src ~src_pos ~dst ~dst_pos ~len =
+  assert (src_pos >= 0 && len >= 0 && src_pos + len <= src.len);
+  assert (dst_pos >= 0 && dst_pos + len <= dst.len);
+  mark_dirty_range dst ~pos:dst_pos ~len;
+  match (src.repr, dst.repr) with
+  | Heap s, Heap d -> Bytes.blit s src_pos d dst_pos len
+  | _ ->
+      for i = 0 to len - 1 do
+        set_byte dst (dst_pos + i) (get_byte src (src_pos + i))
+      done
+
+let digest_region t ~pos ~len =
+  assert (pos >= 0 && len >= 0 && pos + len <= t.len);
+  match t.repr with
+  | Heap b -> Digest.to_hex (Digest.subbytes b pos len)
+  | Map _ | Custom _ -> Digest.to_hex (Digest.string (read t ~pos ~len))
+
+let sync t =
+  match t.repr with
+  | Heap _ -> ()
+  | Map { fd; _ } ->
+      (* fsync on the backing fd flushes the mapping's dirty page-cache
+         pages (there is no msync binding in the stdlib; on Linux the
+         pages share the page cache, so fsync covers them) *)
+      Unix.fsync fd
+  | Custom (module M) -> M.sync ()
+
+let close t =
+  match t.repr with
+  | Heap _ | Custom _ -> ()
+  | Map { fd; _ } -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+
+(* --- dirty chunks --------------------------------------------------------- *)
+
+let chunk_count t = Bytes.length t.dirty
+
+let chunk_dirty t c = Bytes.get t.dirty c <> '\000'
+
+let dirty_chunks t =
+  let acc = ref [] in
+  for c = Bytes.length t.dirty - 1 downto 0 do
+    if Bytes.unsafe_get t.dirty c <> '\000' then acc := c :: !acc
+  done;
+  !acc
+
+let clear_dirty t = Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\000'
+
+let mark_all_dirty t = Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\001'
+
+let copy_dirty ~src ~dst =
+  assert (Bytes.length src.dirty = Bytes.length dst.dirty);
+  Bytes.blit src.dirty 0 dst.dirty 0 (Bytes.length src.dirty)
+
+(* --- the metadata layout --------------------------------------------------- *)
+
+(* Where each group's persisted metadata lives in the store's flat
+   address space: one fixed-size region per group, its size rounded up
+   to a power of two so the region doubles as the dirty-tracking chunk
+   (region index = chunk index = group index, and dirty marking inside
+   [set_byte] is a single shift). *)
+module Layout = struct
+  type regions = {
+    frag_off : int;
+    frag_bytes : int;
+    block_off : int;
+    block_bytes : int;
+    inode_off : int;
+    inode_bytes : int;
+    region_bytes : int;  (* power of two *)
+  }
+
+  let next_pow2 n =
+    let rec go p = if p >= n then p else go (p * 2) in
+    go 1
+
+  let bitmap_bytes bits = (bits + 7) / 8
+
+  let of_params (p : Params.t) =
+    let nblocks = Params.data_blocks_per_group p in
+    let nfrags = nblocks * p.Params.frags_per_block in
+    let ninodes = Params.inodes_per_group p in
+    let frag_bytes = bitmap_bytes nfrags in
+    let block_bytes = bitmap_bytes nblocks in
+    let inode_bytes = bitmap_bytes ninodes in
+    let frag_off = 0 in
+    let block_off = frag_off + frag_bytes in
+    let inode_off = block_off + block_bytes in
+    {
+      frag_off;
+      frag_bytes;
+      block_off;
+      block_bytes;
+      inode_off;
+      inode_bytes;
+      region_bytes = next_pow2 (inode_off + inode_bytes);
+    }
+
+  let total_bytes (p : Params.t) = p.Params.ncg * (of_params p).region_bytes
+
+  let region_base regions ~index = index * regions.region_bytes
+
+  let store_for spec (p : Params.t) =
+    let regions = of_params p in
+    create spec
+      ~length:(p.Params.ncg * regions.region_bytes)
+      ~chunk_bytes:regions.region_bytes
+end

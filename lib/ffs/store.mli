@@ -1,0 +1,141 @@
+(** Storage backends for a volume's persisted metadata.
+
+    A {!t} owns one flat byte address space holding everything the
+    allocator persists — each cylinder group's fragment, block and inode
+    bitmaps, laid out by {!Layout}.  The data plane is swappable:
+
+    - {!Heap_backend} keeps the bytes in an in-process [Bytes.t] — the
+      default, bit-identical to the seed's behaviour and [Marshal]-able
+      (so differential tests may compare whole values);
+    - {!Mmap_backend} maps a file with [Bigarray], letting a volume's
+      image live out of core.  [Mmap_backend None] is backed by an
+      unlinked temporary (scratch space, reclaimed on close);
+      [Mmap_backend (Some path)] persists and {!sync} fsyncs it.
+
+    The byte contract both implement (and {!module-type-S} documents for
+    external backends): addresses are absolute offsets into the store,
+    reads see the latest write, and placements must not depend on the
+    representation — the differential suite pins [Heap] and [Map] images
+    bit-identical.
+
+    Every write also marks its {e chunk} (a power-of-two span, one per
+    cylinder group under {!Layout}) in a dirty map, under the same
+    per-group {!Locks} discipline that already serialises the writes
+    themselves.  Delta checkpoints are built from {!dirty_chunks} and
+    acknowledged with {!clear_dirty}. *)
+
+(** The backend contract, for plugging in an external representation via
+    {!custom}.  [get]/[set] take absolute byte offsets in
+    [0 .. length-1]; [sync] makes previous writes durable (a no-op for
+    volatile backends). *)
+module type S = sig
+  val length : int
+  val get : int -> char
+  val set : int -> char -> unit
+  val sync : unit -> unit
+end
+
+type t
+
+(** Backend selection, as taken by [Fs.create] and [Aging.Image.load]
+    (and the CLIs' [--backend bytes|mmap\[:PATH\]]). *)
+type spec = Heap_backend | Mmap_backend of string option
+
+val spec_name : spec -> string
+val spec_of_string : string -> spec option
+
+val create : spec -> length:int -> chunk_bytes:int -> t
+(** A zero-filled store of [length] bytes with dirty tracking at
+    [chunk_bytes] granularity ([chunk_bytes] must be a power of two). *)
+
+val heap : length:int -> chunk_bytes:int -> t
+val mmap : ?path:string -> length:int -> chunk_bytes:int -> unit -> t
+val custom : (module S) -> chunk_bytes:int -> t
+
+val length : t -> int
+val chunk_bytes : t -> int
+
+val is_heap : t -> bool
+(** Is this the in-heap representation? (Heap-backed values are safe to
+    [Marshal]; mapped ones are not.) *)
+
+val heap_bytes : t -> Bytes.t option
+(** The live buffer of a heap store — the bitmap layer's bit-poke fast
+    path (the allocator flips bits per fragment, so the per-byte
+    dispatch of {!get_byte}/{!set_byte} is measurable there). Writes
+    through it bypass dirty tracking; the writer must {!mark_dirty}
+    every byte it touches (or set the {!dirty_cell} directly). *)
+
+val dirty_cell : t -> pos:int -> len:int -> (Bytes.t * int) option
+(** The dirty-map byte covering [pos .. pos+len-1], when that range
+    lies within one chunk — so a hot writer can mark its writes with a
+    single [Bytes.unsafe_set buf idx '\001'] instead of a
+    {!mark_dirty} call per byte. [None] when the range spans chunks
+    (or is empty). *)
+
+val backing_path : t -> string option
+(** The persistent file behind an [Mmap_backend (Some _)] store. *)
+
+val repr_name : t -> string
+(** The representation, for display: ["bytes"], ["mmap"],
+    ["mmap:PATH"] or ["custom"]. *)
+
+val get_byte : t -> int -> char
+val set_byte : t -> int -> char -> unit
+
+val read : t -> pos:int -> len:int -> string
+val write : t -> pos:int -> string -> unit
+
+val blit : src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> unit
+
+val digest_region : t -> pos:int -> len:int -> string
+(** MD5 (hex) of the region's current bytes. *)
+
+val sync : t -> unit
+(** Flush to durable storage: fsync for file-backed mappings, a no-op
+    for the heap. *)
+
+val close : t -> unit
+(** Release backend resources (the mapping's fd). The store must not be
+    used afterwards. *)
+
+(** {2 Dirty chunks} *)
+
+val chunk_count : t -> int
+val chunk_dirty : t -> int -> bool
+
+val dirty_chunks : t -> int list
+(** Chunks written since the last {!clear_dirty}, ascending. *)
+
+val clear_dirty : t -> unit
+val mark_all_dirty : t -> unit
+val mark_dirty : t -> pos:int -> unit
+
+val copy_dirty : src:t -> dst:t -> unit
+(** Overwrite [dst]'s dirty map with [src]'s (same geometry required) —
+    used by deep copies that must preserve checkpoint state exactly. *)
+
+(** {2 Metadata layout} *)
+
+(** The flat layout of persisted metadata: one fixed region per cylinder
+    group (fragment bitmap, block bitmap, inode bitmap back to back),
+    rounded to a power of two so region index = dirty-chunk index =
+    group index. *)
+module Layout : sig
+  type regions = {
+    frag_off : int;
+    frag_bytes : int;
+    block_off : int;
+    block_bytes : int;
+    inode_off : int;
+    inode_bytes : int;
+    region_bytes : int;
+  }
+
+  val of_params : Params.t -> regions
+  val total_bytes : Params.t -> int
+  val region_base : regions -> index:int -> int
+
+  val store_for : spec -> Params.t -> t
+  (** A store sized and chunked for one whole volume of this geometry. *)
+end

@@ -8,7 +8,7 @@ type summary = {
   skipped_ops : int;
   crashes_recovered : int;
   score_digest : int32;
-  image_digest : int32;
+  image_digest : string;
 }
 
 type failure = { failures : int; last_error : string }
@@ -19,7 +19,7 @@ type entry = { spec : Spec.volume; status : status; checkpoint_dir : string; att
 
 type t = { spec_crc : int32; fleet_seed : int; entries : entry array }
 
-let kind = "fleet-manifest-1"
+let kind = "fleet-manifest-2"
 
 let create (spec : Spec.t) =
   {
@@ -91,7 +91,7 @@ let aggregate t =
           skipped := !skipped + s.skipped_ops;
           crashes := !crashes + s.crashes_recovered;
           Buffer.add_string buf
-            (Fmt.str "%d:%08lx:%08lx;" e.spec.Spec.id s.score_digest s.image_digest))
+            (Fmt.str "%d:%08lx:%s;" e.spec.Spec.id s.score_digest s.image_digest))
     t.entries;
   {
     total = Array.length t.entries;

@@ -24,7 +24,9 @@ type summary = {
   skipped_ops : int;
   crashes_recovered : int;  (** injected crashes survived via fsck-repair *)
   score_digest : int32;  (** CRC-32 of the marshalled daily score+utilization series *)
-  image_digest : int32;  (** CRC-32 of the marshalled final image *)
+  image_digest : string;
+      (** {!Ffs.Fs.digest} of the final image — backend-independent, so a
+          volume aged on an mmap store digests identically to a heap one *)
 }
 
 type failure = {

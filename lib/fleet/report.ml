@@ -90,7 +90,7 @@ let json_of_summary (s : Manifest.summary) =
       ("skipped_ops", Obs.Json.Int s.Manifest.skipped_ops);
       ("crashes_recovered", Obs.Json.Int s.Manifest.crashes_recovered);
       ("score_digest", Obs.Json.String (hex32 s.Manifest.score_digest));
-      ("image_digest", Obs.Json.String (hex32 s.Manifest.image_digest));
+      ("image_digest", Obs.Json.String s.Manifest.image_digest);
     ]
 
 let json_of_entry (e : Manifest.entry) =

@@ -11,6 +11,8 @@ type config = {
   watchdog : float;
   checkpoint_every : int;
   checkpoint_keep : int;
+  checkpoint_full_every : int;
+  backend : Ffs.Store.spec;
   retry : Par.Pool.retry;
   log : string -> unit;
   chaos : (int -> attempt:int -> unit) option;
@@ -25,6 +27,8 @@ let default_config =
     watchdog = 0.0;
     checkpoint_every = 1;
     checkpoint_keep = 2;
+    checkpoint_full_every = 8;
+    backend = Ffs.Store.Heap_backend;
     retry = { Par.Pool.no_retry with jitter = 0.25 };
     log = ignore;
     chaos = None;
@@ -76,7 +80,7 @@ let summarize (cr : Aging.Replay.crash_result) =
     score_digest =
       Recover.Crc32.string
         (Marshal.to_string (scores, r.Aging.Replay.daily_utilization) []);
-    image_digest = Recover.Crc32.string (Marshal.to_string fs []);
+    image_digest = Ffs.Fs.digest fs;
   }
 
 (* One attempt: resume the volume from its newest valid checkpoint (or
@@ -90,7 +94,9 @@ let attempt_volume cfg ~pool ~ckdir ~ops (spec : Spec.volume) ~attempt =
     | Error e -> Ffs.Error.raise_ e
   in
   let ops = Lazy.force ops in
-  let resume = Option.map snd (Aging.Checkpoint.load_latest_opt ~dir:ckdir) in
+  let resume =
+    Option.map snd (Aging.Checkpoint.load_latest_opt ~backend:cfg.backend ~dir:ckdir)
+  in
   let deadline =
     if cfg.watchdog > 0.0 then Unix.gettimeofday () +. cfg.watchdog else infinity
   in
@@ -101,11 +107,16 @@ let attempt_volume cfg ~pool ~ckdir ~ops (spec : Spec.volume) ~attempt =
     (incr polls;
      !polls land 63 = 0 && Unix.gettimeofday () > deadline)
   in
-  let save_ck ck = ignore (Aging.Checkpoint.save ~dir:ckdir ~keep:cfg.checkpoint_keep ck) in
+  let ckw =
+    Aging.Checkpoint.writer ~dir:ckdir ~keep:cfg.checkpoint_keep
+      ~full_every:cfg.checkpoint_full_every ()
+  in
+  let save_ck ck = ignore (Aging.Checkpoint.save_auto ckw ck) in
   match
-    Aging.Replay.run_resumable ~config:(Spec.config_of_volume spec) ?resume ~should_stop
-      ~checkpoint_every:cfg.checkpoint_every ~on_checkpoint:save_ck ~params
-      ~days:spec.Spec.days ~crashes:spec.Spec.crashes ~fault_seed:spec.Spec.fault_seed ops
+    Aging.Replay.run_resumable ~backend:cfg.backend ~config:(Spec.config_of_volume spec)
+      ?resume ~should_stop ~checkpoint_every:cfg.checkpoint_every ~on_checkpoint:save_ck
+      ~params ~days:spec.Spec.days ~crashes:spec.Spec.crashes ~fault_seed:spec.Spec.fault_seed
+      ops
   with
   | `Completed cr -> `Done (summarize cr)
   | `Interrupted ck ->

@@ -43,6 +43,12 @@ type config = {
   watchdog : float;  (** per-attempt wall-clock budget in seconds; 0 disables *)
   checkpoint_every : int;  (** days between durable volume checkpoints *)
   checkpoint_keep : int;  (** checkpoints retained per volume *)
+  checkpoint_full_every : int;
+      (** every [n]-th checkpoint of a volume is a full one, the rest are
+          dirty-group deltas ({!Aging.Checkpoint.writer}) *)
+  backend : Ffs.Store.spec;
+      (** storage backend each volume's image lives on (default in-heap;
+          [Mmap_backend] keeps the fleet's images out of the OCaml heap) *)
   retry : Par.Pool.retry;
       (** backoff/jitter schedule between attempts ([attempts] itself is
           ignored — [max_retries] governs) *)
@@ -58,8 +64,9 @@ type config = {
 
 val default_config : config
 (** [jobs] = machine default, [max_retries] = 2, [quarantine_after] =
-    3, no watchdog, checkpoint every simulated day, keep 2, 0.25
-    jitter on a 0.05 s backoff. *)
+    3, no watchdog, checkpoint every simulated day, keep 2, full
+    checkpoint every 8th save, in-heap backend, 0.25 jitter on a
+    0.05 s backoff. *)
 
 type outcome = {
   manifest : Manifest.t;  (** final state, as persisted *)

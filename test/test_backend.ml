@@ -1,0 +1,344 @@
+(* Differential tests of the storage backends: every pipeline — aging,
+   fault injection + repair, crash exploration, checkpointing, image
+   persistence — must produce bit-identical volume state whether the
+   image lives on the in-heap Bytes store or the mmap'd file store, and
+   a delta checkpoint chain must be indistinguishable from the full
+   checkpoints it abbreviates. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let heap = Ffs.Store.Heap_backend
+let mmap = Ffs.Store.Mmap_backend None
+
+let build_ops params ~days ~seed =
+  let profile =
+    { (Workload.Ground_truth.scaled params ~days) with Workload.Ground_truth.seed }
+  in
+  (Workload.Ground_truth.generate params profile).Workload.Ground_truth.ops
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let with_temp_dir f =
+  let path = Filename.temp_file "ffs_backend" ".d" in
+  Sys.remove path;
+  Sys.mkdir path 0o755;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then rm_rf path)
+    (fun () -> f path)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  n = 0 || at 0
+
+let expect_corrupt name r =
+  match r with
+  | Error (Ffs.Error.Corrupt _) -> ()
+  | Error e -> Alcotest.failf "%s: expected Corrupt, got %a" name Ffs.Error.pp e
+  | Ok _ -> Alcotest.failf "%s: expected Error Corrupt, got Ok" name
+
+(* The headline acceptance test: ten days of the paper's geometry and
+   workload, replayed once per backend, pinning the image digest, the
+   daily score series and the allocator's block counter. *)
+let test_paper_aging_differential () =
+  let params = Ffs.Params.paper_fs in
+  let days = 10 in
+  let ops = build_ops params ~days ~seed:960117 in
+  let m = Obs.Metrics.default in
+  let was_enabled = Obs.Metrics.enabled m in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.reset m;
+      Obs.Metrics.set_enabled m was_enabled)
+    (fun () ->
+      Obs.Metrics.set_enabled m true;
+      let age backend =
+        Obs.Metrics.reset m;
+        let r = Aging.Replay.run ~backend ~params ~days ops in
+        (r, Obs.Metrics.snapshot m)
+      in
+      let rh, mh = age heap in
+      let rm, mm = age mmap in
+      check_string "heap store name" "bytes" (Ffs.Fs.backend_name rh.Aging.Replay.fs);
+      check_string "mmap store name" "mmap" (Ffs.Fs.backend_name rm.Aging.Replay.fs);
+      check_string "image digest identical"
+        (Ffs.Fs.digest rh.Aging.Replay.fs)
+        (Ffs.Fs.digest rm.Aging.Replay.fs);
+      Alcotest.(check (array (float 0.0)))
+        "score series identical" rh.Aging.Replay.daily_scores
+        rm.Aging.Replay.daily_scores;
+      Alcotest.(check (array (float 0.0)))
+        "utilization series identical" rh.Aging.Replay.daily_utilization
+        rm.Aging.Replay.daily_utilization;
+      check_int "skipped ops identical" rh.Aging.Replay.skipped_ops
+        rm.Aging.Replay.skipped_ops;
+      check_int "ffs_alloc_blocks_total identical"
+        (Obs.Metrics.counter_value mh "ffs_alloc_blocks_total")
+        (Obs.Metrics.counter_value mm "ffs_alloc_blocks_total");
+      check_int "ffs_alloc_frags_total identical"
+        (Obs.Metrics.counter_value mh "ffs_alloc_frags_total")
+        (Obs.Metrics.counter_value mm "ffs_alloc_frags_total"))
+
+let small = Ffs.Params.small_test_fs
+
+(* fault -> repair on both backends: same seeded plan, same repairs,
+   same resulting image *)
+let test_fault_repair_differential () =
+  let days = 4 in
+  let ops = build_ops small ~days ~seed:77 in
+  let pipeline backend =
+    let fs = (Aging.Replay.run ~backend ~params:small ~days ops).Aging.Replay.fs in
+    let rng = Util.Prng.create ~seed:4242 in
+    let spec = Fault.Plan.gen ~rng ~intensity:8 in
+    let events = Fault.Inject.apply fs ~rng spec in
+    ignore (Ffs.Check.repair_exn fs);
+    check_bool "repaired clean" true (Ffs.Check.is_clean (Ffs.Check.run fs));
+    (List.length events, Ffs.Fs.digest fs)
+  in
+  let nh, dh = pipeline heap in
+  let nm, dm = pipeline mmap in
+  check_int "same faults injected" nh nm;
+  check_string "repaired image digest identical" dh dm
+
+(* crash-injected replay and the exhaustive crash-state explorer *)
+let test_crash_pipeline_differential () =
+  let days = 4 in
+  let ops = build_ops small ~days ~seed:77 in
+  let pipeline backend =
+    let cr =
+      Aging.Replay.run_with_crashes ~backend ~params:small ~days ~crashes:2
+        ~fault_seed:666 ops
+    in
+    let fs = cr.Aging.Replay.result.Aging.Replay.fs in
+    let report = Recover.Explore.run ~window:2 fs in
+    check_bool "all crash states repair clean" true (Recover.Explore.all_ok report);
+    ( List.length cr.Aging.Replay.recoveries,
+      report.Recover.Explore.total_states,
+      Ffs.Fs.digest fs )
+  in
+  let ch, sh, dh = pipeline heap in
+  let cm, sm, dm = pipeline mmap in
+  check_int "same crashes recovered" ch cm;
+  check_int "same crash states explored" sh sm;
+  check_string "post-crash image digest identical" dh dm
+
+(* --- delta checkpoints ------------------------------------------------------ *)
+
+let completed = function
+  | `Completed cr -> cr
+  | `Interrupted _ -> Alcotest.fail "run was unexpectedly interrupted"
+
+let days = 6
+
+(* Every checkpoint is written twice — once through the delta writer,
+   once as a plain full checkpoint — and each delta chain must decode
+   to exactly the state its full twin holds. *)
+let test_delta_equals_full () =
+  with_temp_dir (fun root ->
+      let ops = build_ops small ~days ~seed:77 in
+      let ddir = Filename.concat root "delta" and fdir = Filename.concat root "full" in
+      let w = Aging.Checkpoint.writer ~dir:ddir ~keep:0 ~full_every:8 () in
+      ignore
+        (completed
+           (Aging.Replay.run_resumable ~params:small ~days ~crashes:0 ~fault_seed:0
+              ~checkpoint_every:1
+              ~on_checkpoint:(fun ck ->
+                (* full first: save_auto clears the dirty set *)
+                ignore (Aging.Checkpoint.save_exn ~dir:fdir ~keep:0 ck);
+                ignore (Aging.Checkpoint.save_auto_exn w ck))
+              ops));
+      let deltas =
+        List.filter
+          (fun p -> Aging.Checkpoint.is_delta_file (Filename.basename p))
+          (Aging.Checkpoint.list ~dir:ddir)
+      in
+      check_bool "chain contains deltas" true (List.length deltas >= 2);
+      List.iter
+        (fun fpath ->
+          let fck =
+            match Aging.Checkpoint.load ?backend:None ~path:fpath with
+            | Ok ck -> ck
+            | Error e -> Alcotest.failf "full load failed: %a" Ffs.Error.pp e
+          in
+          (* the delta twin shares the basename modulo the -delta marker *)
+          let base = Filename.basename fpath in
+          let dpath =
+            List.find
+              (fun p ->
+                let b = Filename.basename p in
+                b = base
+                || b = Filename.chop_suffix base ".ffsck" ^ "-delta.ffsck")
+              (Aging.Checkpoint.list ~dir:ddir)
+          in
+          let dck =
+            match Aging.Checkpoint.load ?backend:None ~path:dpath with
+            | Ok ck -> ck
+            | Error e -> Alcotest.failf "delta load failed: %a" Ffs.Error.pp e
+          in
+          check_int "same day"
+            (Aging.Replay.checkpoint_day fck)
+            (Aging.Replay.checkpoint_day dck);
+          check_string
+            (Fmt.str "chain state = full state (%s)" (Filename.basename dpath))
+            (Ffs.Fs.digest (Aging.Replay.checkpoint_fs fck))
+            (Ffs.Fs.digest (Aging.Replay.checkpoint_fs dck)))
+        (Aging.Checkpoint.list ~dir:fdir))
+
+(* kill -9 while the newest delta was being written: the torn file is
+   skipped, the run resumes from the previous link, and the finished
+   run is bit-identical to one never interrupted. *)
+let test_truncated_delta_resume () =
+  with_temp_dir (fun dir ->
+      let ops = build_ops small ~days ~seed:77 in
+      let straight =
+        completed
+          (Aging.Replay.run_resumable ~params:small ~days ~crashes:0 ~fault_seed:0 ops)
+      in
+      let w = Aging.Checkpoint.writer ~dir ~keep:0 ~full_every:8 () in
+      let saves = ref 0 in
+      let stop = ref false in
+      (match
+         Aging.Replay.run_resumable ~params:small ~days ~crashes:0 ~fault_seed:0
+           ~checkpoint_every:1
+           ~on_checkpoint:(fun ck ->
+             ignore (Aging.Checkpoint.save_auto_exn w ck);
+             incr saves;
+             if !saves >= 4 then stop := true)
+           ~should_stop:(fun () -> !stop)
+           ops
+       with
+      | `Interrupted _ -> ()
+      | `Completed _ -> Alcotest.fail "expected the run to stop after 4 checkpoints");
+      let newest = List.hd (Aging.Checkpoint.list ~dir) in
+      check_bool "newest link is a delta" true
+        (Aging.Checkpoint.is_delta_file (Filename.basename newest));
+      (* tear it mid-write *)
+      let size = (Unix.stat newest).Unix.st_size in
+      Unix.truncate newest (size / 2);
+      expect_corrupt "torn delta refused"
+        (Aging.Checkpoint.load ?backend:None ~path:newest);
+      let path, ck =
+        match Aging.Checkpoint.load_latest ?backend:None ~dir with
+        | Ok v -> v
+        | Error e -> Alcotest.failf "fallback failed: %a" Ffs.Error.pp e
+      in
+      check_bool "fell back past the torn delta" true (path <> newest);
+      let resumed =
+        completed
+          (Aging.Replay.run_resumable ~params:small ~days ~crashes:0 ~fault_seed:0
+             ~resume:ck ops)
+      in
+      let r1 = straight.Aging.Replay.result and r2 = resumed.Aging.Replay.result in
+      check_string "resumed image digest identical" (Ffs.Fs.digest r1.Aging.Replay.fs)
+        (Ffs.Fs.digest r2.Aging.Replay.fs);
+      Alcotest.(check (array (float 0.0)))
+        "score history identical" r1.Aging.Replay.daily_scores
+        r2.Aging.Replay.daily_scores)
+
+(* the broken-chain regression: a delta whose base link disappeared must
+   be refused with a typed Corrupt naming the digest mismatch, and
+   load_latest must fall back to the surviving anchor *)
+let test_broken_chain_refused () =
+  with_temp_dir (fun dir ->
+      let ops = build_ops small ~days ~seed:77 in
+      let w = Aging.Checkpoint.writer ~dir ~keep:0 ~full_every:8 () in
+      ignore
+        (completed
+           (Aging.Replay.run_resumable ~params:small ~days ~crashes:0 ~fault_seed:0
+              ~checkpoint_every:1
+              ~on_checkpoint:(fun ck -> ignore (Aging.Checkpoint.save_auto_exn w ck))
+              ops));
+      let files = Aging.Checkpoint.list ~dir in
+      let deltas =
+        List.filter (fun p -> Aging.Checkpoint.is_delta_file (Filename.basename p)) files
+      in
+      check_bool "enough deltas to break the chain" true (List.length deltas >= 2);
+      (* remove a middle link: the newest delta now applies over the
+         wrong base, so its recorded base digest cannot match *)
+      Sys.remove (List.nth deltas 1);
+      (match Aging.Checkpoint.load ?backend:None ~path:(List.hd deltas) with
+      | Error (Ffs.Error.Corrupt msg) ->
+          check_bool "diagnosis names the digest mismatch" true
+            (contains ~sub:"digest mismatch" msg)
+      | Error e -> Alcotest.failf "expected Corrupt, got %a" Ffs.Error.pp e
+      | Ok _ -> Alcotest.fail "a broken chain must not decode");
+      (* the store still resolves to something older and valid *)
+      match Aging.Checkpoint.load_latest ?backend:None ~dir with
+      | Ok (path, _) ->
+          check_bool "fell back to an intact link" true (path <> List.hd deltas)
+      | Error e -> Alcotest.failf "fallback failed: %a" Ffs.Error.pp e)
+
+(* an image saved from an mmap-backed run loads onto either backend,
+   bit-identically *)
+let test_image_cross_backend () =
+  with_temp_dir (fun dir ->
+      let ops = build_ops small ~days:4 ~seed:77 in
+      let result = Aging.Replay.run ~backend:mmap ~params:small ~days:4 ops in
+      let digest = Ffs.Fs.digest result.Aging.Replay.fs in
+      let path = Filename.concat dir "aged.img" in
+      Aging.Image.save_exn ~path { Aging.Image.days = 4; description = "x"; result };
+      let on_heap = Aging.Image.load_exn ~backend:heap ~path in
+      let on_mmap = Aging.Image.load_exn ~backend:mmap ~path in
+      check_string "heap load digest" digest
+        (Ffs.Fs.digest on_heap.Aging.Image.result.Aging.Replay.fs);
+      check_string "mmap load digest" digest
+        (Ffs.Fs.digest on_mmap.Aging.Image.result.Aging.Replay.fs);
+      check_string "heap load backend" "bytes"
+        (Ffs.Fs.backend_name on_heap.Aging.Image.result.Aging.Replay.fs);
+      check_string "mmap load backend" "mmap"
+        (Ffs.Fs.backend_name on_mmap.Aging.Image.result.Aging.Replay.fs);
+      (* the mmap-loaded image is live, not a dead snapshot *)
+      let fs = on_mmap.Aging.Image.result.Aging.Replay.fs in
+      let inum =
+        Ffs.Fs.create_file_exn fs ~dir:(Ffs.Fs.root fs) ~name:"post-load" ~size:8192
+      in
+      check_bool "mmap image writable" true (Ffs.Fs.file_exists fs inum);
+      check_bool "mmap image audits clean" true
+        (Ffs.Check.is_clean (Ffs.Check.run fs)))
+
+(* a file-backed mmap store persists through sync and names its path *)
+let test_mmap_file_backing () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "volume.ffs" in
+      let ops = build_ops small ~days:3 ~seed:77 in
+      let result =
+        Aging.Replay.run
+          ~backend:(Ffs.Store.Mmap_backend (Some path))
+          ~params:small ~days:3 ops
+      in
+      let fs = result.Aging.Replay.fs in
+      check_string "backend names the file" ("mmap:" ^ path) (Ffs.Fs.backend_name fs);
+      Ffs.Fs.sync fs;
+      check_bool "backing file exists" true (Sys.file_exists path);
+      check_bool "backing file sized to the volume" true
+        ((Unix.stat path).Unix.st_size >= Ffs.Store.Layout.total_bytes small))
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  let slow name f = Alcotest.test_case name `Slow f in
+  Alcotest.run "backend"
+    [
+      ( "differential",
+        [
+          slow "10-day paper aging, heap = mmap" test_paper_aging_differential;
+          slow "fault->repair, heap = mmap" test_fault_repair_differential;
+          slow "crash pipeline, heap = mmap" test_crash_pipeline_differential;
+        ] );
+      ( "delta checkpoints",
+        [
+          slow "delta chain = full checkpoint" test_delta_equals_full;
+          slow "truncated delta: fallback + resume" test_truncated_delta_resume;
+          slow "broken chain refused as Corrupt" test_broken_chain_refused;
+        ] );
+      ( "image",
+        [
+          slow "cross-backend image round-trip" test_image_cross_backend;
+          tc "file-backed mmap volume" test_mmap_file_backing;
+        ] );
+    ]

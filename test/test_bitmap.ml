@@ -154,6 +154,56 @@ let test_word_boundary_wrap () =
         (Ffs.Bitmap.find_clear_run e ~start:0 ~len:(n + 1)))
     [ 63; 64; 65; 128 ]
 
+(* the table-driven per-block probes must agree with naive scans on
+   every byte value, aligned (table path) and not (scan path) *)
+let test_block_probes () =
+  let check = Alcotest.(check int) in
+  let check_opt = Alcotest.(check (option int)) in
+  for v = 0 to 255 do
+    let b = Ffs.Bitmap.create 24 in
+    for i = 0 to 7 do
+      if v land (1 lsl i) <> 0 then begin
+        Ffs.Bitmap.set b (8 + i);
+        (* unaligned twin at offset 3 *)
+        Ffs.Bitmap.set b (3 + i)
+      end
+    done;
+    let naive_max pos len =
+      let best = ref 0 and run = ref 0 in
+      for i = pos to pos + len - 1 do
+        if Ffs.Bitmap.get b i then run := 0
+        else begin
+          incr run;
+          if !run > !best then best := !run
+        end
+      done;
+      !best
+    in
+    let naive_fit pos len count =
+      let rec scan i run =
+        if i >= pos + len then None
+        else if not (Ffs.Bitmap.get b i) then
+          if run + 1 >= count then Some (i - count + 1) else scan (i + 1) (run + 1)
+        else scan (i + 1) 0
+      in
+      scan pos 0
+    in
+    check (Fmt.str "maxrun aligned %02x" v) (naive_max 8 8)
+      (Ffs.Bitmap.max_clear_run b ~pos:8 ~len:8);
+    check (Fmt.str "maxrun unaligned %02x" v) (naive_max 3 8)
+      (Ffs.Bitmap.max_clear_run b ~pos:3 ~len:8);
+    for count = 1 to 8 do
+      check_opt
+        (Fmt.str "fit aligned %02x count %d" v count)
+        (naive_fit 8 8 count)
+        (Ffs.Bitmap.find_clear_fit b ~pos:8 ~len:8 ~count);
+      check_opt
+        (Fmt.str "fit unaligned %02x count %d" v count)
+        (naive_fit 3 8 count)
+        (Ffs.Bitmap.find_clear_fit b ~pos:3 ~len:8 ~count)
+    done
+  done
+
 let test_copy_independent () =
   let a = Ffs.Bitmap.create 8 in
   let b = Ffs.Bitmap.copy a in
@@ -276,6 +326,7 @@ let () =
           tc "runs and iter" test_run_length_and_iter;
           tc "word-boundary runs" test_word_boundary_runs;
           tc "word-boundary wrap" test_word_boundary_wrap;
+          tc "block probes vs naive scan" test_block_probes;
           tc "copy" test_copy_independent;
         ] );
       ( "properties",

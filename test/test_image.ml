@@ -27,8 +27,8 @@ let expect_corrupt name r =
 let test_roundtrip () =
   let result = aged () in
   with_temp_image (fun path ->
-      Aging.Image.save ~path { Aging.Image.days; description = "test"; result };
-      let loaded = Aging.Image.load_exn ~path in
+      Aging.Image.save_exn ~path { Aging.Image.days; description = "test"; result };
+      let loaded = Aging.Image.load_exn ?backend:None ~path in
       Alcotest.(check int) "days" days loaded.Aging.Image.days;
       Alcotest.(check string) "description" "test" loaded.Aging.Image.description;
       Alcotest.(check (array (float 1e-12)))
@@ -49,14 +49,14 @@ let test_roundtrip () =
       check_bool "writable after load" true (Ffs.Fs.file_exists fs inum))
 
 let test_missing_file () =
-  expect_corrupt "missing" (Aging.Image.load ~path:"/nonexistent/image.img")
+  expect_corrupt "missing" (Aging.Image.load ?backend:None ~path:"/nonexistent/image.img")
 
 let test_wrong_magic () =
   with_temp_image (fun path ->
       let oc = open_out path in
       output_string oc "not an image at all, definitely not one\n";
       close_out oc;
-      expect_corrupt "bad magic" (Aging.Image.load ~path))
+      expect_corrupt "bad magic" (Aging.Image.load ?backend:None ~path))
 
 let contains ~sub s =
   let n = String.length sub and m = String.length s in
@@ -64,7 +64,7 @@ let contains ~sub s =
   n = 0 || at 0
 
 let test_error_names_file () =
-  match Aging.Image.load ~path:"/nonexistent/image.img" with
+  match Aging.Image.load ?backend:None ~path:"/nonexistent/image.img" with
   | Error (Ffs.Error.Corrupt msg) ->
       check_bool "message names the file" true
         (contains ~sub:"/nonexistent/image.img" msg)
@@ -75,17 +75,17 @@ let test_error_names_file () =
 let test_truncated_image () =
   let result = aged () in
   with_temp_image (fun path ->
-      Aging.Image.save ~path { Aging.Image.days; description = "trunc"; result };
+      Aging.Image.save_exn ~path { Aging.Image.days; description = "trunc"; result };
       let size = (Unix.stat path).Unix.st_size in
       Unix.truncate path (size - 1024);
-      expect_corrupt "truncated" (Aging.Image.load ~path))
+      expect_corrupt "truncated" (Aging.Image.load ?backend:None ~path))
 
 (* A valid image with one bit flipped in the middle of the payload: the
    CRC must catch it even though the framing is intact. *)
 let test_bitflip_image () =
   let result = aged () in
   with_temp_image (fun path ->
-      Aging.Image.save ~path { Aging.Image.days; description = "flip"; result };
+      Aging.Image.save_exn ~path { Aging.Image.days; description = "flip"; result };
       let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
       let size = (Unix.fstat fd).Unix.st_size in
       let pos = size / 2 in
@@ -96,7 +96,7 @@ let test_bitflip_image () =
       ignore (Unix.lseek fd pos Unix.SEEK_SET);
       ignore (Unix.write fd buf 0 1);
       Unix.close fd;
-      expect_corrupt "bit flip" (Aging.Image.load ~path))
+      expect_corrupt "bit flip" (Aging.Image.load ?backend:None ~path))
 
 let () =
   let tc name f = Alcotest.test_case name `Quick f in

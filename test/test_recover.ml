@@ -137,7 +137,7 @@ let completed = function
   | `Completed cr -> cr
   | `Interrupted _ -> Alcotest.fail "run was unexpectedly interrupted"
 
-let fs_bytes fs = Marshal.to_string fs []
+let fs_bytes fs = Ffs.Fs.digest fs
 
 (* The headline acceptance test: 6 days straight vs checkpoint-at-3,
    reload from disk, resume — score history, marshalled image bytes and
@@ -176,7 +176,7 @@ let test_resume_bit_identical () =
           | `Completed _ -> Alcotest.fail "expected the run to stop after the checkpoint");
           (* resume from the on-disk checkpoint *)
           let path, ck =
-            match Aging.Checkpoint.load_latest ~dir with
+            match Aging.Checkpoint.load_latest ?backend:None ~dir with
             | Ok (path, ck) -> (path, ck)
             | Error e -> Alcotest.failf "load_latest failed: %a" Ffs.Error.pp e
           in
@@ -223,7 +223,7 @@ let test_resume_rejects_other_workload () =
       | `Interrupted _ -> ()
       | `Completed _ -> Alcotest.fail "expected interruption");
       let _, ck =
-        match Aging.Checkpoint.load_latest ~dir with
+        match Aging.Checkpoint.load_latest ?backend:None ~dir with
         | Ok v -> v
         | Error e -> Alcotest.failf "load_latest failed: %a" Ffs.Error.pp e
       in
@@ -249,15 +249,15 @@ let test_checkpoint_retention_and_fallback () =
       check_int "retention keeps 3" 3 (List.length files);
       let newest = List.hd files in
       let newest_day =
-        match Aging.Checkpoint.load ~path:newest with
+        match Aging.Checkpoint.load ?backend:None ~path:newest with
         | Ok ck -> Aging.Replay.checkpoint_day ck
         | Error e -> Alcotest.failf "newest unreadable: %a" Ffs.Error.pp e
       in
       (* corrupt the newest checkpoint: load_latest must fall back to
          the next one instead of failing *)
       flip_byte newest ~pos:(-100) ~mask:0x08;
-      expect_corrupt "corrupted newest" (Aging.Checkpoint.load ~path:newest);
-      (match Aging.Checkpoint.load_latest ~dir with
+      expect_corrupt "corrupted newest" (Aging.Checkpoint.load ?backend:None ~path:newest);
+      (match Aging.Checkpoint.load_latest ?backend:None ~dir with
       | Ok (path, ck) ->
           check_bool "fell back past the corrupt file" true (path <> newest);
           check_bool "older checkpoint" true (Aging.Replay.checkpoint_day ck < newest_day)
@@ -265,7 +265,7 @@ let test_checkpoint_retention_and_fallback () =
       (* with every file corrupted there is nothing to resume from (a
          fresh mask, so the already-flipped newest is not flipped back) *)
       List.iter (fun p -> flip_byte p ~pos:(-100) ~mask:0x04) (Aging.Checkpoint.list ~dir);
-      expect_corrupt "no valid checkpoint" (Aging.Checkpoint.load_latest ~dir))
+      expect_corrupt "no valid checkpoint" (Aging.Checkpoint.load_latest ?backend:None ~dir))
 
 (* --- crash-point explorer --------------------------------------------------- *)
 
