@@ -1,6 +1,6 @@
 # Convenience targets; `make verify` is the tier-1 gate.
 
-.PHONY: all build test verify fmt bench bench-alloc bench-fleet bench-age-parallel bench-backend figures crash-matrix crash-explore metrics-smoke freespace-smoke fleet-smoke backend-smoke clean
+.PHONY: all build test verify fmt bench bench-alloc bench-fleet bench-age-parallel bench-backend bench-scrub figures crash-matrix crash-explore metrics-smoke freespace-smoke fleet-smoke backend-smoke scrub-smoke chaos-soak clean
 
 all: build
 
@@ -23,10 +23,12 @@ verify:
 	$(MAKE) freespace-smoke
 	$(MAKE) fleet-smoke
 	$(MAKE) backend-smoke
+	$(MAKE) scrub-smoke
 	$(MAKE) bench-alloc
 	$(MAKE) bench-fleet
 	$(MAKE) bench-age-parallel
 	$(MAKE) bench-backend
+	$(MAKE) bench-scrub
 
 # crash-consistency smoke: a small ground-truth workload through
 # {0,1,3} injected crashes on both allocators (each crash is torn
@@ -129,6 +131,38 @@ backend-smoke:
 		| grep -q "image is clean" || { echo "mmap fsck pipeline not clean"; exit 1; }
 	@rm -f /tmp/ffs_backend_smoke_mmap.img /tmp/ffs_backend_smoke_heap.img
 
+# self-healing storage smoke: the resilient (checksummed) store must be
+# bit-identical to the raw store when no faults are injected (jobs 1
+# and 2), and a checkpointed aging run with seeded device faults killed
+# with SIGKILL mid-flight must resume to an image a zero-fault
+# no-repair fsck accepts — scrub-and-repair heals everything the
+# injected transients, latent bad chunks, bit rot and torn syncs broke
+scrub-smoke:
+	@dune build bin/ffs_age.exe bin/ffs_fsck.exe bin/ffs_inspect.exe
+	@sh test/scrub_smoke.sh
+
+# chaos soak: the scrub smoke's chaos leg cranked up — long runs at
+# aggressive fault rates, serially and across a faulty fleet. Not part
+# of `make verify` (it takes minutes); CI runs it on a schedule
+chaos-soak:
+	@dune build bin/ffs_age.exe bin/ffs_fsck.exe bin/ffs_fleet.exe
+	@echo "== chaos soak: 600-day faulty aging run =="
+	@_build/default/bin/ffs_age.exe --fs small --days 600 --seed 1201 \
+		--fault-seed 97 --workload ground-truth -q \
+		--store-faults transient=0.005,latent=3,bitrot=24,torn=6,horizon=300 \
+		--scrub-every 1 --checkpoint-every 10 \
+		--image /tmp/ffs_chaos_soak.img
+	@_build/default/bin/ffs_fsck.exe --image /tmp/ffs_chaos_soak.img \
+		--faults 0 --no-repair -q >/dev/null \
+		|| { echo "chaos soak image is not fsck-clean"; exit 1; }
+	@rm -f /tmp/ffs_chaos_soak.img
+	@echo "== chaos soak: faulty fleet =="
+	@_build/default/bin/ffs_fleet.exe --volumes 16 --days 30 --seed 4242 \
+		--jobs 4 --fault-rate 0.25 --device-fault-rate 0.5 --scrub-every 1 \
+		--state-dir /tmp/ffs_chaos_soak_fleet -q
+	@rm -rf /tmp/ffs_chaos_soak_fleet
+	@echo "chaos soak: OK"
+
 # the committed storage-backend benchmark: the paper-geometry aging run
 # timed on the in-heap Bytes store and the mmap'd file store, plus the
 # same-moment full vs delta checkpoint sizes. Rewrites
@@ -138,6 +172,15 @@ backend-smoke:
 # (FFS_BENCH_BACKEND_SKIP_BASELINE=1 to re-baseline)
 bench-backend:
 	dune exec bench/main.exe -- backend --no-csv
+
+# the committed self-healing benchmark: the paper-geometry aging run
+# timed raw vs on the checksummed resilient layer (asserting the images
+# are bit-identical), plus the throughput of a full scrub pass.
+# Rewrites BENCH_scrub.json and fails if the checksum overhead exceeds
+# 10% or the scrub throughput regresses >30% against the committed
+# baseline (FFS_BENCH_SCRUB_SKIP_BASELINE=1 to re-baseline)
+bench-scrub:
+	dune exec bench/main.exe -- scrub --no-csv
 
 # ffs_inspect --freespace smoke: age a small image, dump the per-group
 # free-extent histogram, and make sure the table actually came out

@@ -8,15 +8,16 @@
    Usage:
      main.exe [--days N] [--seed N] [--jobs N] [--csv-dir DIR|--no-csv]
               [--alloc-ops N] [--alloc-out PATH] [--fleet-out PATH]
-              [--age-out PATH] [--backend-out PATH] [EXPERIMENT ...]
+              [--age-out PATH] [--backend-out PATH] [--scrub-out PATH]
+              [EXPERIMENT ...]
    where EXPERIMENT is one of: table1 fig1 fig2 fig3 fig4 fig5 fig6
-   table2 checks ablations lfs micro alloc fleet age backend. The
+   table2 checks ablations lfs micro alloc fleet age backend scrub. The
    default runs everything at the paper's full scale (300 days; several
    minutes). *)
 
 let experiments =
   [ "table1"; "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "table2"; "checks";
-    "ablations"; "lfs"; "micro"; "alloc"; "fleet"; "age"; "backend" ]
+    "ablations"; "lfs"; "micro"; "alloc"; "fleet"; "age"; "backend"; "scrub" ]
 
 (* --- allocation throughput (BENCH_alloc.json) ------------------------------ *)
 
@@ -167,6 +168,49 @@ let run_backend_bench ~out =
       true
   | None -> true
 
+(* --- self-healing storage (BENCH_scrub.json) ------------------------------- *)
+
+(* checksummed-store overhead vs raw (the run asserts the two aged
+   images are bit-identical) and scrub MB/sec over the aged volume. The
+   overhead budget is absolute (<= 10%); the throughput gate has the
+   same baseline shape as run_alloc. *)
+let run_scrub_bench ~out =
+  print_endline "\n=== Self-healing storage: checksummed overhead, scrub MB/sec ===\n";
+  let baseline =
+    if Sys.file_exists out then
+      let contents = In_channel.with_open_text out In_channel.input_all in
+      match Obs.Json.of_string contents with
+      | Ok j -> Some j
+      | Error msg ->
+          Fmt.epr "[bench] ignoring unreadable baseline %s: %s@." out msg;
+          None
+    else None
+  in
+  let r = Benchlib.Scrub_bench.run () in
+  Fmt.pr "%a@." Benchlib.Scrub_bench.pp r;
+  Out_channel.with_open_text out (fun oc ->
+      Out_channel.output_string oc (Obs.Json.to_string (Benchlib.Scrub_bench.to_json r));
+      Out_channel.output_char oc '\n');
+  Fmt.pr "wrote %s@." out;
+  let skip = Sys.getenv_opt "FFS_BENCH_SCRUB_SKIP_BASELINE" = Some "1" in
+  match baseline with
+  | Some b when not skip -> (
+      match Benchlib.Scrub_bench.gate ~baseline:b r with
+      | Ok () -> true
+      | Error msg ->
+          Fmt.epr "[bench] %s@." msg;
+          false)
+  | Some _ ->
+      Fmt.pr "baseline gate skipped (FFS_BENCH_SCRUB_SKIP_BASELINE=1)@.";
+      true
+  | None -> (
+      (* first run: still enforce the absolute overhead budget *)
+      match Benchlib.Scrub_bench.gate ~baseline:Obs.Json.Null r with
+      | Ok () -> true
+      | Error msg ->
+          Fmt.epr "[bench] %s@." msg;
+          false)
+
 (* --- Bechamel microbenchmarks ---------------------------------------------- *)
 
 let micro_tests () =
@@ -301,6 +345,7 @@ let () =
   let fleet_out = ref "BENCH_fleet.json" in
   let age_out = ref "BENCH_age_parallel.json" in
   let backend_out = ref "BENCH_backend.json" in
+  let scrub_out = ref "BENCH_scrub.json" in
   let picked = ref [] in
   let rec parse = function
     | [] -> ()
@@ -333,6 +378,9 @@ let () =
         parse rest
     | "--backend-out" :: v :: rest ->
         backend_out := v;
+        parse rest
+    | "--scrub-out" :: v :: rest ->
+        scrub_out := v;
         parse rest
     | exp :: rest when List.mem exp experiments ->
         picked := exp :: !picked;
@@ -389,6 +437,7 @@ let () =
   let backend_ok =
     if wanted "backend" then run_backend_bench ~out:!backend_out else true
   in
+  let scrub_ok = if wanted "scrub" then run_scrub_bench ~out:!scrub_out else true in
   if not (Par.Timings.is_empty timings) then
     Fmt.pr "@.=== Task timings ===@.@.%s@." (Par.Timings.report timings);
-  if not (alloc_ok && fleet_ok && age_ok && backend_ok) then exit 1
+  if not (alloc_ok && fleet_ok && age_ok && backend_ok && scrub_ok) then exit 1

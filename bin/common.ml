@@ -129,7 +129,11 @@ let backend_conv =
     match Ffs.Store.spec_of_string s with
     | Some spec -> Ok spec
     | None ->
-        Error (`Msg (Fmt.str "unknown backend %S (expected bytes, mmap or mmap:PATH)" s))
+        Error
+          (`Msg
+            (Fmt.str
+               "unknown backend %S (expected bytes, mmap, mmap:PATH, resilient or resilient:BASE)"
+               s))
   in
   Arg.conv (parse, fun ppf spec -> Fmt.string ppf (Ffs.Store.spec_name spec))
 
@@ -137,8 +141,56 @@ let backend_term =
   Arg.(value & opt backend_conv Ffs.Store.Heap_backend
        & info [ "backend" ] ~docv:"BACKEND"
            ~doc:"Storage backend for volume images: $(b,bytes) (in-heap, default), \
-                 $(b,mmap) (anonymous memory-mapped temp file, out of the OCaml heap) \
-                 or $(b,mmap:PATH) (memory-mapped at $(i,PATH)).")
+                 $(b,mmap) (anonymous memory-mapped temp file, out of the OCaml heap), \
+                 $(b,mmap:PATH) (memory-mapped at $(i,PATH)), or \
+                 $(b,resilient)[$(b,:BASE)] (checksummed self-healing layer over a base \
+                 backend; implied by $(b,--store-faults)).")
+
+(* --store-faults: a device-level fault plan injected beneath the store.
+   Parsed by [Ffs.Store.Device] itself so the CLI and the library agree
+   on the spelling. *)
+let store_faults_conv =
+  let parse s =
+    match Ffs.Store.Device.of_string s with
+    | Some plan -> Ok plan
+    | None ->
+        Error
+          (`Msg
+            (Fmt.str
+               "bad fault spec %S (expected none or k=v pairs from transient=P, \
+                latent=N, bitrot=N, torn=N, horizon=D)"
+               s))
+  in
+  Arg.conv (parse, Ffs.Store.Device.pp)
+
+let store_faults_term =
+  Arg.(value & opt (some store_faults_conv) None
+       & info [ "store-faults" ] ~docv:"SPEC"
+           ~doc:"Inject seeded device-level faults beneath the store and run it on the \
+                 self-healing resilient backend. $(docv) is comma-separated $(b,k=v) \
+                 pairs: $(b,transient=P) (per-access transient-EIO probability), \
+                 $(b,latent=N) / $(b,bitrot=N) / $(b,torn=N) (events armed across \
+                 $(b,horizon=D) sync points). Seeded from $(b,--fault-seed)'s device \
+                 child stream.")
+
+let scrub_every_term =
+  Arg.(value & opt int 0
+       & info [ "scrub-every" ] ~docv:"DAYS"
+           ~doc:"Run a scrub-and-repair pass every $(docv) simulated days (0 disables; \
+                 defaults to 1 when $(b,--store-faults) is given). Scrubs verify every \
+                 clean chunk's checksum, quarantine unreadable chunks, and escalate to \
+                 fsck repair when the image needs healing.")
+
+(* The one place the CLI's backend/fault flags become a store spec: a
+   fault plan wraps the base backend in the resilient layer, seeded from
+   the device child stream of [fault_seed]. *)
+let resolve_backend ~backend ~store_faults ~fault_seed =
+  match store_faults with
+  | None -> backend
+  | Some plan ->
+      Ffs.Store.resilient_spec ~faults:plan
+        ~seed:(Fault.Device.seed_of ~fault_seed)
+        (Ffs.Store.base_spec backend)
 
 let crashes_term =
   Arg.(value & opt int 0

@@ -36,7 +36,8 @@ let run_multi_seed ~days ~seed ~nseeds ~jobs ~quiet =
    checkpoint-and-exit, and resume from the newest valid checkpoint.
    Exits 130 when interrupted, 2 when the resume state is unusable. *)
 let replay_checkpointed ~backend ~params ~days ~config ~quiet ~crashes ~fault_seed
-    ~checkpoint_every ~checkpoint_dir ~checkpoint_keep ~checkpoint_full_every ~resume ops =
+    ~checkpoint_every ~checkpoint_dir ~checkpoint_keep ~checkpoint_full_every ~resume
+    ~scrub_every ops =
   let dir = match checkpoint_dir with Some d -> Some d | None -> resume in
   let resume_ck =
     match resume with
@@ -88,6 +89,9 @@ let replay_checkpointed ~backend ~params ~days ~config ~quiet ~crashes ~fault_se
   in
   if not quiet then
     Fmt.epr "workload: %a@." Workload.Op.pp_stats (Workload.Op.stats ops);
+  let on_scrub (s : Ffs.Check.scrub_log) =
+    if not quiet then Fmt.epr "%a@." Ffs.Check.pp_scrub s
+  in
   let outcome =
     Fun.protect
       ~finally:(fun () -> Sys.set_signal Sys.sigint prev_sigint)
@@ -97,8 +101,8 @@ let replay_checkpointed ~backend ~params ~days ~config ~quiet ~crashes ~fault_se
             ~progress:(Common.progress_of ~days ~quiet)
             ?resume:resume_ck
             ~should_stop:(fun () -> Atomic.get stop)
-            ~checkpoint_every ~on_checkpoint:save_ck ~params ~days ~crashes
-            ~fault_seed ops
+            ~checkpoint_every ~on_checkpoint:save_ck ~scrub_every ~on_scrub ~params
+            ~days ~crashes ~fault_seed ops
         with Ffs.Error.Error e ->
           Fmt.epr "resume failed: %a@." Ffs.Error.pp e;
           exit 2)
@@ -112,10 +116,10 @@ let replay_checkpointed ~backend ~params ~days ~config ~quiet ~crashes ~fault_se
       exit 130
   | `Completed cr -> (cr.Aging.Replay.result, cr.Aging.Replay.recoveries)
 
-let run days seed nseeds jobs realloc policy alloc_policy backend kind profile_kind
-    quiet params crashes fault_seed checkpoint_every checkpoint_dir checkpoint_keep
-    checkpoint_full_every resume trace metrics_out image_out csv_out workload_in
-    workload_out =
+let run days seed nseeds jobs realloc policy alloc_policy backend store_faults
+    scrub_every kind profile_kind quiet params crashes fault_seed checkpoint_every
+    checkpoint_dir checkpoint_keep checkpoint_full_every resume trace metrics_out
+    image_out csv_out workload_in workload_out =
   Common.obs_setup ~trace ~metrics_out;
   if nseeds > 1 then begin
     run_multi_seed ~days ~seed ~nseeds ~jobs ~quiet;
@@ -153,8 +157,15 @@ let run days seed nseeds jobs realloc policy alloc_policy backend kind profile_k
     | None -> days
     | Some _ -> (Workload.Op.stats ops).Workload.Op.days
   in
+  let backend = Common.resolve_backend ~backend ~store_faults ~fault_seed in
+  (* with device faults the store heals via periodic scrubs, which only
+     the serial resumable engine can drive — default to a daily scrub *)
+  let scrub_every =
+    if scrub_every > 0 then scrub_every else if store_faults <> None then 1 else 0
+  in
   let checkpointing =
     checkpoint_every > 0 || checkpoint_dir <> None || resume <> None
+    || store_faults <> None || scrub_every > 0
   in
   let result, recoveries =
     if checkpointing then begin
@@ -164,7 +175,7 @@ let run days seed nseeds jobs realloc policy alloc_policy backend kind profile_k
                  (see the intra-volume section of the README)@." jobs;
       replay_checkpointed ~backend ~params ~days ~config ~quiet ~crashes ~fault_seed
         ~checkpoint_every ~checkpoint_dir ~checkpoint_keep ~checkpoint_full_every
-        ~resume ops
+        ~resume ~scrub_every ops
     end
     else if crashes > 0 then begin
       if jobs > 1 then
@@ -325,6 +336,7 @@ let cmd =
     Term.(
       const run $ Common.days_term $ Common.seed_term $ seeds $ Common.jobs_term
       $ Common.realloc_term $ Common.policy_term $ alloc_policy $ Common.backend_term
+      $ Common.store_faults_term $ Common.scrub_every_term
       $ Common.workload_kind_term $ Common.profile_kind_term $ Common.quiet_term
       $ Common.params_term $ Common.crashes_term $ Common.fault_seed_term
       $ checkpoint_every $ checkpoint_dir $ checkpoint_keep $ checkpoint_full_every

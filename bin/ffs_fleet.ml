@@ -38,9 +38,10 @@ let parse_names ~what ~of_name spec =
       | None -> Fmt.epr "unknown %s %S@." what n; exit 2)
     (String.split_on_char ',' spec)
 
-let run volumes days seed jobs geometries profiles fault_rate state_dir resume_flag
-    max_retries quarantine_after watchdog checkpoint_every checkpoint_full_every
-    backend chaos_spec quiet trace metrics_out out =
+let run volumes days seed jobs geometries profiles fault_rate device_fault_rate
+    scrub_every state_dir resume_flag max_retries quarantine_after watchdog
+    checkpoint_every checkpoint_full_every backend chaos_spec quiet trace metrics_out
+    out =
   Common.obs_setup ~trace ~metrics_out;
   let log msg = if not quiet then Fmt.epr "[fleet] %s@." msg in
   let config =
@@ -53,6 +54,7 @@ let run volumes days seed jobs geometries profiles fault_rate state_dir resume_f
       checkpoint_every;
       checkpoint_full_every;
       backend;
+      scrub_every;
       retry = { Par.Pool.no_retry with jitter = 0.25; jitter_seed = seed };
       log;
       chaos = parse_chaos chaos_spec;
@@ -72,11 +74,13 @@ let run volumes days seed jobs geometries profiles fault_rate state_dir resume_f
         parse_names ~what:"profile" profiles ~of_name:Workload.Profiles.of_name
       in
       let spec =
-        Fleet.Spec.generate ~geometries ~profiles ~fault_rate ~volumes ~days ~seed ()
+        Fleet.Spec.generate ~geometries ~profiles ~fault_rate ~device_fault_rate
+          ~volumes ~days ~seed ()
       in
       log
-        (Fmt.str "starting %d volumes (%d days each, fault rate %g) in %s"
-           (Array.length spec.Fleet.Spec.volumes) days fault_rate state_dir);
+        (Fmt.str "starting %d volumes (%d days each, fault rate %g, device fault rate %g) in %s"
+           (Array.length spec.Fleet.Spec.volumes) days fault_rate device_fault_rate
+           state_dir);
       Fleet.Supervisor.start ~config ~state_dir spec
     end
   in
@@ -138,6 +142,21 @@ let cmd =
                    the fleet seed); each crash tears metadata writes and is repaired by \
                    fsck before the volume resumes.")
   in
+  let device_fault_rate =
+    Arg.(value & opt float 0.0
+         & info [ "device-fault-rate" ] ~docv:"RATE"
+             ~doc:"Mean device-level faults per volume (Poisson-drawn per volume from \
+                   the fleet seed): latent bad chunks, bit rot, torn syncs and transient \
+                   read/write errors injected beneath the store. Affected volumes run on \
+                   the self-healing resilient backend and scrub periodically; an \
+                   unhealable volume is quarantined, never aborts the fleet.")
+  in
+  let scrub_every =
+    Arg.(value & opt int 1
+         & info [ "scrub-every" ] ~docv:"DAYS"
+             ~doc:"Days between scrub-and-repair passes on volumes running with device \
+                   faults (fault-free volumes never scrub).")
+  in
   let max_retries =
     Arg.(value & opt int 2
          & info [ "max-retries" ] ~docv:"N"
@@ -181,7 +200,8 @@ let cmd =
   let term =
     Term.(
       const run $ volumes $ Common.days_term $ Common.seed_term $ Common.jobs_term
-      $ geometries $ profiles $ fault_rate $ state_dir $ resume_flag $ max_retries
+      $ geometries $ profiles $ fault_rate $ device_fault_rate $ scrub_every
+      $ state_dir $ resume_flag $ max_retries
       $ quarantine_after $ watchdog $ checkpoint_every $ checkpoint_full_every
       $ Common.backend_term $ chaos $ Common.quiet_term
       $ Common.trace_term $ Common.metrics_out_term $ out)

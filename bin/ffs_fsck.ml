@@ -23,10 +23,11 @@ let run_explore fs ~window ~quiet =
   Fmt.pr "%a@." Recover.Explore.pp report;
   if Recover.Explore.all_ok report then 0 else 1
 
-let run image backend params days seed realloc policy faults fault_seed no_repair
-    explore window trace metrics_out quiet =
+let run image backend store_faults scrub params days seed realloc policy faults
+    fault_seed no_repair explore window trace metrics_out quiet =
   Common.obs_setup ~trace ~metrics_out;
   let config = Common.config_of ~realloc ~policy in
+  let backend = Common.resolve_backend ~backend ~store_faults ~fault_seed in
   let fs =
     match image with
     | Some path ->
@@ -40,12 +41,31 @@ let run image backend params days seed realloc policy faults fault_seed no_repai
     Common.obs_finish ~quiet ~trace ~metrics_out;
     status
   end
+  else if scrub then begin
+    (* --scrub: the self-healing pass (checksum walk, quarantine,
+       escalation to repair) instead of inject-and-repair *)
+    let status =
+      match Ffs.Check.scrub fs with
+      | Ok log ->
+          Fmt.pr "%a@." Ffs.Check.pp_scrub log;
+          if Ffs.Check.scrub_is_clean log then begin
+            Fmt.pr "image is clean@.";
+            0
+          end
+          else 1
+      | Error e ->
+          Fmt.pr "SCRUB FAILED: %a@." Ffs.Error.pp e;
+          1
+    in
+    Common.obs_finish ~quiet ~trace ~metrics_out;
+    status
+  end
   else begin
   let before = Ffs.Check.run fs in
   Fmt.pr "pre-fault audit: %d problems, %d files, %d directories@."
     (List.length before.Ffs.Check.problems)
     before.Ffs.Check.files before.Ffs.Check.directories;
-  let rng = Util.Prng.create ~seed:fault_seed in
+  let rng = Util.Prng.create ~seed:(Fault.Plan.logical_seed ~fault_seed) in
   let spec = Fault.Plan.gen ~rng ~intensity:faults in
   let events = Fault.Inject.apply fs ~rng spec in
   Fmt.pr "injected %d faults (fault-seed %d):@." (List.length events) fault_seed;
@@ -90,6 +110,14 @@ let cmd =
          & info [ "no-repair" ]
              ~doc:"Audit only: inject and report, but leave the image broken.")
   in
+  let scrub =
+    Arg.(value & flag
+         & info [ "scrub" ]
+             ~doc:"Scrub instead of injecting logical faults: verify every clean \
+                   chunk's checksum (on a resilient store), quarantine unreadable \
+                   chunks, audit, and repair if the image needs healing. Exits 0 \
+                   only if the final audit is clean.")
+  in
   let explore =
     Arg.(value & flag
          & info [ "explore" ]
@@ -108,8 +136,8 @@ let cmd =
   in
   let term =
     Term.(
-      const run $ image $ Common.backend_term $ Common.params_term $ Common.days_term
-      $ Common.seed_term
+      const run $ image $ Common.backend_term $ Common.store_faults_term $ scrub
+      $ Common.params_term $ Common.days_term $ Common.seed_term
       $ Common.realloc_term $ Common.policy_term $ faults $ Common.fault_seed_term
       $ no_repair $ explore $ window $ Common.trace_term $ Common.metrics_out_term
       $ Common.quiet_term)

@@ -348,6 +348,40 @@ type recovery = {
 
 type crash_result = { result : result; recoveries : recovery list }
 
+(* a forgotten inode is unrecoverable: drop its workload mapping so
+   later operations on it are skipped rather than misdirected. Shared
+   by crash recovery and the scrub hook — any repair may conclude an
+   inode cannot be salvaged. *)
+let drop_lost_mappings e =
+  let lost =
+    Hashtbl.fold
+      (fun ino inum acc ->
+        (* presence alone does not prove the mapping still points at
+           the workload's file: repair may recycle a forgotten file's
+           inum for its own lost+found directory, so a mapping whose
+           inode is no longer a plain file is as lost as a vanished
+           one *)
+        match Ffs.Fs.inode e.fs inum with
+        | inode -> if inode.Ffs.Inode.kind <> Ffs.Inode.File then ino :: acc else acc
+        | exception Not_found -> ino :: acc)
+      e.ino_map []
+  in
+  List.iter (fun ino -> Hashtbl.remove e.ino_map ino) lost;
+  (* the placement trick's per-group directories are infrastructure,
+     not workload data: if the repair concluded one was unrecoverable,
+     recreate it so its group keeps receiving the workload's
+     allocations instead of failing every later create *)
+  Array.iteri
+    (fun cg inum ->
+      match Ffs.Fs.inode e.fs inum with
+      | _ -> ()
+      | exception Not_found ->
+          e.group_dirs.(cg) <-
+            Ffs.Fs.mkdir_in_cg_exn e.fs ~parent:(Ffs.Fs.root e.fs)
+              ~name:(Fmt.str "cg%03d" cg) ~cg)
+    e.group_dirs;
+  lost
+
 let crash e ~after_op ~rng ~intensity =
   (* power fails just after operation [after_op]: a burst of torn
      metadata writes, then fsck-with-repair brings the image back to
@@ -357,17 +391,7 @@ let crash e ~after_op ~rng ~intensity =
   let before = Ffs.Check.run e.fs in
   let repair = Ffs.Check.repair_exn e.fs in
   Obs.Metrics.inc metrics "replay_crashes_total";
-  (* a forgotten inode is unrecoverable: drop its workload mapping so
-     later operations on it are skipped rather than misdirected *)
-  let lost =
-    Hashtbl.fold
-      (fun ino inum acc ->
-        match Ffs.Fs.inode e.fs inum with
-        | _ -> acc
-        | exception Not_found -> ino :: acc)
-      e.ino_map []
-  in
-  List.iter (fun ino -> Hashtbl.remove e.ino_map ino) lost;
+  let lost = drop_lost_mappings e in
   if Obs.Trace.enabled () then
     Obs.Trace.event "replay.crash"
       [
@@ -565,7 +589,9 @@ let run_resumable ?(config = Ffs.Fs.default_config) ?(backend = Ffs.Store.Heap_b
     ?(progress = fun ~day:_ ~score:_ -> ()) ?(on_skip = fun _ ~skipped:_ -> ())
     ?(max_skip_fraction = default_max_skip_fraction) ?(intensity = 4) ?resume
     ?(should_stop = fun () -> false) ?(checkpoint_every = 0)
-    ?(on_checkpoint = fun (_ : checkpoint) -> ()) ~params ~days ~crashes ~fault_seed ops =
+    ?(on_checkpoint = fun (_ : checkpoint) -> ()) ?(scrub_every = 0)
+    ?(on_scrub = fun (_ : Ffs.Check.scrub_log) -> ()) ~params ~days ~crashes ~fault_seed
+    ops =
   let ops_crc = ops_fingerprint ops in
   let e, rng, pending0, recoveries0, start_op =
     match resume with
@@ -574,7 +600,10 @@ let run_resumable ?(config = Ffs.Fs.default_config) ?(backend = Ffs.Store.Heap_b
           make_engine ~config ~backend ~progress ~on_skip ~max_skip_fraction ~params ~days
             ~total_ops:(Array.length ops)
         in
-        let rng = Util.Prng.create ~seed:fault_seed in
+        (* the logical stream is a derived child of --fault-seed, the
+           sibling of the device stream ([Fault.Device.seed_of]), so one
+           seed reproduces a whole mixed-fault run *)
+        let rng = Util.Prng.create ~seed:(Fault.Plan.logical_seed ~fault_seed) in
         let points = Fault.Plan.crash_points ~rng ~n_ops:(Array.length ops) ~crashes in
         (e, rng, points, [], 0)
     | Some ck ->
@@ -584,6 +613,7 @@ let run_resumable ?(config = Ffs.Fs.default_config) ?(backend = Ffs.Store.Heap_b
   let recoveries = ref recoveries0 in
   let pending = ref pending0 in
   let last_ckpt_day = ref e.next_day in
+  let last_scrub_day = ref e.next_day in
   let n = Array.length ops in
   let interrupted = ref None in
   let i = ref start_op in
@@ -599,6 +629,18 @@ let run_resumable ?(config = Ffs.Fs.default_config) ?(backend = Ffs.Store.Heap_b
     let take () =
       checkpoint_of_engine e ~next_op:!i ~ops_crc ~rng ~pending:!pending ~recoveries:!recoveries
     in
+    if scrub_every > 0 && e.next_day >= !last_scrub_day + scrub_every then begin
+      (* scrub before any checkpoint of the same day boundary, so the
+         checkpoint captures the healed image *)
+      last_scrub_day := e.next_day;
+      let log = Ffs.Check.scrub_exn e.fs in
+      (* a repairing scrub may have discarded unrecoverable inodes
+         (a torn sync can take out a bitmap region wholesale);
+         reconcile the workload map exactly as a crash recovery does,
+         so their later operations are skipped, not misdirected *)
+      if log.Ffs.Check.repaired then ignore (drop_lost_mappings e);
+      on_scrub log
+    end;
     if should_stop () then interrupted := Some (take ())
     else if checkpoint_every > 0 && e.next_day >= !last_ckpt_day + checkpoint_every then begin
       last_ckpt_day := e.next_day;

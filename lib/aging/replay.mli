@@ -211,6 +211,8 @@ val run_resumable :
   ?should_stop:(unit -> bool) ->
   ?checkpoint_every:int ->
   ?on_checkpoint:(checkpoint -> unit) ->
+  ?scrub_every:int ->
+  ?on_scrub:(Ffs.Check.scrub_log -> unit) ->
   params:Ffs.Params.t ->
   days:int ->
   crashes:int ->
@@ -228,7 +230,15 @@ val run_resumable :
     returns [true] the run stops and returns [`Interrupted] with a
     checkpoint of the exact position. [checkpoint_every] > 0 calls
     [on_checkpoint] whenever that many further days complete (measured
-    at the first operation past each boundary).
+    at the first operation past each boundary). [scrub_every] > 0 runs
+    {!Ffs.Check.scrub_exn} on the same day-boundary cadence, before any
+    checkpoint of the same boundary (so checkpoints capture the healed
+    image) — the periodic self-healing hook for fault-injected stores;
+    its findings go to [on_scrub]. A fault-injecting (resilient)
+    [backend] must only be driven through this serial engine. Note the
+    scrub cadence restarts at the resume day: device-fault schedules
+    live in the store, not the checkpoint, so a resumed run re-arms its
+    plan against the freshly rebuilt store.
 
     A checkpoint shares structure with the live engine: serialise it
     (see {!Checkpoint}) inside [on_checkpoint]; do not keep using an

@@ -18,10 +18,12 @@ type result = {
 
 let standard_days = 4
 let standard_seed = 960117
-let default_jobs_levels = [ 1; 2; 4 ]
+let default_jobs_levels = Bench_env.default_jobs_levels
 
-let run ?(days = standard_days) ?(seed = standard_seed)
-    ?(jobs_levels = default_jobs_levels) () =
+let run ?(days = standard_days) ?(seed = standard_seed) ?jobs_levels () =
+  let jobs_levels =
+    match jobs_levels with Some l -> l | None -> Bench_env.jobs_levels ()
+  in
   let params = Ffs.Params.paper_fs in
   let profile = { (Workload.Ground_truth.scaled params ~days) with seed } in
   let ops = (Workload.Ground_truth.generate params profile).Workload.Ground_truth.ops in
@@ -69,7 +71,7 @@ let run ?(days = standard_days) ?(seed = standard_seed)
 
 let to_json r =
   Obs.Json.Obj
-    [
+    ([
       ("benchmark", Obs.Json.String "age_parallel");
       ("days", Obs.Json.Int r.days);
       ("seed", Obs.Json.Int r.seed);
@@ -87,6 +89,7 @@ let to_json r =
                  ])
              r.levels) );
     ]
+    @ Bench_env.json_fields ())
 
 let pp ppf r =
   Fmt.pf ppf

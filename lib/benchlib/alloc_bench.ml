@@ -153,7 +153,7 @@ let side_json s =
 
 let to_json r =
   Obs.Json.Obj
-    [
+    ([
       ("benchmark", Obs.Json.String "alloc");
       ("image", Obs.Json.Obj
           [
@@ -168,6 +168,7 @@ let to_json r =
       ("speedup", Obs.Json.Float r.speedup);
       ("checksum", Obs.Json.Int r.checksum);
     ]
+    @ Bench_env.json_fields ())
 
 let pp ppf r =
   Fmt.pf ppf

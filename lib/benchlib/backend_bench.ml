@@ -111,7 +111,7 @@ let run ?(days = standard_days) ?(seed = standard_seed) ?(specs = default_specs)
 
 let to_json r =
   Obs.Json.Obj
-    [
+    ([
       ("benchmark", Obs.Json.String "backend");
       ("days", Obs.Json.Int r.days);
       ("seed", Obs.Json.Int r.seed);
@@ -130,6 +130,7 @@ let to_json r =
                  ])
              r.levels) );
     ]
+    @ Bench_env.json_fields ())
 
 let pp ppf r =
   Fmt.pf ppf

@@ -1,0 +1,32 @@
+(* Shared benchmark environment: which jobs levels to measure and what
+   machine the numbers came from. Every BENCH_*.json records the
+   detected core count so a committed baseline can be read knowing the
+   hardware that produced it. *)
+
+let detected_jobs = Par.Pool.default_jobs ()
+
+let parse_jobs_list s =
+  let levels =
+    List.filter_map
+      (fun part ->
+        match int_of_string_opt (String.trim part) with
+        | Some n when n >= 1 -> Some n
+        | _ -> None)
+      (String.split_on_char ',' s)
+  in
+  match levels with [] -> None | l -> Some l
+
+let default_jobs_levels = [ 1; 2; 4 ]
+
+let jobs_levels () =
+  match Sys.getenv_opt "FFS_BENCH_JOBS" with
+  | None | Some "" -> default_jobs_levels
+  | Some s -> (
+      match parse_jobs_list s with
+      | Some l -> l
+      | None ->
+          Fmt.epr "WARNING: ignoring malformed FFS_BENCH_JOBS=%S@." s;
+          default_jobs_levels)
+
+(* splice into every benchmark's to_json *)
+let json_fields () = [ ("detected_jobs", Obs.Json.Int detected_jobs) ]

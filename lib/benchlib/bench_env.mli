@@ -1,0 +1,21 @@
+(** Shared benchmark environment.
+
+    The jobs levels every scaling benchmark measures are configurable
+    with [FFS_BENCH_JOBS] (a comma-separated list, e.g.
+    [FFS_BENCH_JOBS=1,2,4]); malformed values warn and fall back to the
+    default. Every committed [BENCH_*.json] additionally records the
+    machine's detected core count, so a baseline is always read in the
+    context of the hardware that produced it. *)
+
+val detected_jobs : int
+(** {!Par.Pool.default_jobs} at benchmark-process start. *)
+
+val default_jobs_levels : int list
+(** [[1; 2; 4]]. *)
+
+val jobs_levels : unit -> int list
+(** [FFS_BENCH_JOBS] parsed, or {!default_jobs_levels}. *)
+
+val json_fields : unit -> (string * Obs.Json.t) list
+(** Fields every benchmark's JSON output should carry
+    ([detected_jobs]). *)

@@ -11,7 +11,7 @@ type result = {
 let standard_volumes = 12
 let standard_days = 2
 let standard_seed = 960117
-let default_jobs_levels = [ 1; 2; 4 ]
+let default_jobs_levels = Bench_env.default_jobs_levels
 
 let rec rm_rf path =
   match (Unix.lstat path).Unix.st_kind with
@@ -22,7 +22,10 @@ let rec rm_rf path =
   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
 
 let run ?(volumes = standard_volumes) ?(days = standard_days) ?(seed = standard_seed)
-    ?(jobs_levels = default_jobs_levels) () =
+    ?jobs_levels () =
+  let jobs_levels =
+    match jobs_levels with Some l -> l | None -> Bench_env.jobs_levels ()
+  in
   let spec = Fleet.Spec.generate ~fault_rate:0.5 ~volumes ~days ~seed () in
   let measure jobs =
     let state_dir =
@@ -71,7 +74,7 @@ let run ?(volumes = standard_volumes) ?(days = standard_days) ?(seed = standard_
 
 let to_json r =
   Obs.Json.Obj
-    [
+    ([
       ("benchmark", Obs.Json.String "fleet");
       ("volumes", Obs.Json.Int r.volumes);
       ("days", Obs.Json.Int r.days);
@@ -89,6 +92,7 @@ let to_json r =
                  ])
              r.levels) );
     ]
+    @ Bench_env.json_fields ())
 
 let pp ppf r =
   Fmt.pf ppf "@[<v>fleet bench: %d volumes x %d days (seed %d), digest 0x%08lx@ %a@]"

@@ -1,0 +1,124 @@
+(* Self-healing storage cost: the same paper-geometry aging run timed
+   on the raw in-heap store and on the checksummed resilient layer (no
+   faults injected), plus the throughput of a full scrub pass over the
+   aged volume. The run asserts the two images agree bit-for-bit — the
+   passthrough guarantee — and the gate additionally bounds the
+   checksummed-store overhead. *)
+
+type result = {
+  days : int;
+  seed : int;
+  digest : string;  (* shared by both runs, by assertion *)
+  raw_seconds : float;
+  resilient_seconds : float;
+  overhead_pct : float;  (* resilient vs raw wall clock, in percent *)
+  scrub_seconds : float;
+  scrub_mb : float;  (* megabytes checksummed by the timed scrub *)
+  scrub_mb_per_sec : float;
+  scrub_chunks : int;
+  scrub_verified : int;
+}
+
+let standard_days = 4
+let standard_seed = 960117
+let max_overhead_pct = 10.0
+
+let run ?(days = standard_days) ?(seed = standard_seed) () =
+  let params = Ffs.Params.paper_fs in
+  let profile = { (Workload.Ground_truth.scaled params ~days) with seed } in
+  let ops = (Workload.Ground_truth.generate params profile).Workload.Ground_truth.ops in
+  let measure spec =
+    let t0 = Unix.gettimeofday () in
+    let r = Aging.Replay.run ~backend:spec ~params ~days ops in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let raw_seconds, raw = measure Ffs.Store.Heap_backend in
+  let resilient_seconds, res =
+    measure (Ffs.Store.resilient_spec Ffs.Store.Heap_backend)
+  in
+  let digest = Ffs.Fs.digest raw.Aging.Replay.fs in
+  let res_digest = Ffs.Fs.digest res.Aging.Replay.fs in
+  let blocks r = (Ffs.Fs.stats r.Aging.Replay.fs).Ffs.Fs.blocks_allocated in
+  (* the correctness claim the bench rides on: with no faults, the
+     resilient layer must not change a single bit of the aged image *)
+  if digest <> res_digest || blocks raw <> blocks res then
+    failwith
+      (Fmt.str
+         "scrub bench: resilient passthrough diverged from the raw store: %s (%d \
+          blocks) vs %s (%d blocks)"
+         digest (blocks raw) res_digest (blocks res));
+  (* scrub throughput: acknowledge the aged image (the moment checksums
+     are blessed, as a checkpoint save would) and time the verify walk *)
+  let store = Ffs.Fs.store res.Aging.Replay.fs in
+  Ffs.Store.clear_dirty store;
+  let t0 = Unix.gettimeofday () in
+  let report = Ffs.Store.scrub store in
+  let scrub_seconds = Unix.gettimeofday () -. t0 in
+  if report.Ffs.Store.scrub_verified <> report.Ffs.Store.scrub_chunks then
+    failwith
+      (Fmt.str "scrub bench: clean volume did not verify: %d/%d chunks"
+         report.Ffs.Store.scrub_verified report.Ffs.Store.scrub_chunks);
+  let scrub_mb = float_of_int (Ffs.Store.length store) /. (1024.0 *. 1024.0) in
+  {
+    days;
+    seed;
+    digest;
+    raw_seconds;
+    resilient_seconds;
+    overhead_pct = 100.0 *. ((resilient_seconds /. raw_seconds) -. 1.0);
+    scrub_seconds;
+    scrub_mb;
+    scrub_mb_per_sec = scrub_mb /. scrub_seconds;
+    scrub_chunks = report.Ffs.Store.scrub_chunks;
+    scrub_verified = report.Ffs.Store.scrub_verified;
+  }
+
+let to_json r =
+  Obs.Json.Obj
+    ([
+      ("benchmark", Obs.Json.String "scrub");
+      ("days", Obs.Json.Int r.days);
+      ("seed", Obs.Json.Int r.seed);
+      ("digest", Obs.Json.String r.digest);
+      ("raw_seconds", Obs.Json.Float r.raw_seconds);
+      ("resilient_seconds", Obs.Json.Float r.resilient_seconds);
+      ("overhead_pct", Obs.Json.Float r.overhead_pct);
+      ("scrub_seconds", Obs.Json.Float r.scrub_seconds);
+      ("scrub_mb", Obs.Json.Float r.scrub_mb);
+      ("scrub_mb_per_sec", Obs.Json.Float r.scrub_mb_per_sec);
+      ("scrub_chunks", Obs.Json.Int r.scrub_chunks);
+      ("scrub_verified", Obs.Json.Int r.scrub_verified);
+    ]
+    @ Bench_env.json_fields ())
+
+let pp ppf r =
+  Fmt.pf ppf
+    "@[<v>scrub bench: %d days aged raw vs resilient (seed %d), digest %s@ raw:       \
+     %.3fs@ resilient: %.3fs (overhead %.1f%%)@ scrub:     %.1f MB in %.3fs = %.0f \
+     MB/sec (%d/%d chunks verified)@]"
+    r.days r.seed r.digest r.raw_seconds r.resilient_seconds r.overhead_pct r.scrub_mb
+    r.scrub_seconds r.scrub_mb_per_sec r.scrub_verified r.scrub_chunks
+
+let scrub_mb_per_sec json =
+  Option.bind (Obs.Json.member "scrub_mb_per_sec" json) Obs.Json.to_float
+
+let gate ~baseline r =
+  if r.overhead_pct > max_overhead_pct then
+    Error
+      (Fmt.str
+         "scrub bench: checksummed-store overhead %.1f%% exceeds the %.0f%% budget"
+         r.overhead_pct max_overhead_pct)
+  else
+    match scrub_mb_per_sec baseline with
+    | None -> Ok ()
+    | Some old when old <= 0. -> Ok ()
+    | Some old ->
+        if r.scrub_mb_per_sec >= 0.7 *. old then Ok ()
+        else
+          Error
+            (Fmt.str
+               "scrub bench regression: %.0f MB/sec is %.0f%% below the committed \
+                baseline %.0f (limit 30%%)"
+               r.scrub_mb_per_sec
+               (100. *. (1. -. (r.scrub_mb_per_sec /. old)))
+               old)

@@ -1,0 +1,42 @@
+(** Self-healing storage benchmark ([BENCH_scrub.json]).
+
+    Ages the paper-geometry volume on the raw in-heap store and again on
+    the checksummed resilient layer (no faults), {b asserting} the two
+    images agree bit-for-bit, then times a full scrub pass over the aged
+    checksummed volume. Reports the resilient layer's wall-clock
+    overhead and the scrub's MB/sec. The gate fails when the overhead
+    exceeds {!max_overhead_pct} or the scrub throughput regresses more
+    than 30% below the committed baseline. *)
+
+type result = {
+  days : int;
+  seed : int;
+  digest : string;  (** shared by both runs, by assertion *)
+  raw_seconds : float;
+  resilient_seconds : float;
+  overhead_pct : float;
+  scrub_seconds : float;
+  scrub_mb : float;
+  scrub_mb_per_sec : float;
+  scrub_chunks : int;
+  scrub_verified : int;  (** equals [scrub_chunks], by assertion *)
+}
+
+val standard_days : int
+val standard_seed : int
+
+val max_overhead_pct : float
+(** 10.0 — the checksummed store's wall-clock budget over raw. *)
+
+val run : ?days:int -> ?seed:int -> unit -> result
+(** Raises [Failure] if the resilient image diverges from the raw one
+    or a clean volume fails to verify every chunk. *)
+
+val to_json : result -> Obs.Json.t
+val pp : result Fmt.t
+
+val scrub_mb_per_sec : Obs.Json.t -> float option
+(** Scrub throughput recorded in a committed baseline JSON, if
+    readable. *)
+
+val gate : baseline:Obs.Json.t -> result -> (unit, string) Stdlib.result

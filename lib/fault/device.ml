@@ -1,0 +1,11 @@
+(* Device-level fault plans — the physical sibling of the logical
+   {!Plan}.  The plan type and its injection machinery live in
+   [Ffs.Store] (the store must be able to schedule faults without
+   depending on this library); this module is the fault-layer surface
+   that names the seeding convention: both streams are
+   [Util.Prng.derive] children of the one [--fault-seed], so a single
+   seed reproduces a whole mixed logical+device fault run. *)
+
+include Ffs.Store.Device
+
+let seed_of ~fault_seed = Util.Prng.derive ~seed:fault_seed ~index:1

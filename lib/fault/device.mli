@@ -1,0 +1,25 @@
+(** Device-level fault plans: transient I/O errors, latent bad chunks,
+    silent bit rot and torn syncs, injected beneath the resilient
+    store's checksums by [Ffs.Store]'s fault layer.
+
+    The plan type is [Ffs.Store.Device.plan] (re-exported here so fault
+    callers need not reach into [Ffs.Store]); this module adds the
+    seeding convention that pairs it with the logical {!Plan} stream. *)
+
+type plan = Ffs.Store.Device.plan = {
+  transient : float;  (** per-access probability of a transient I/O error *)
+  latent : int;  (** latent bad chunks (persistent read errors) to arm *)
+  bitrot : int;  (** silent single-bit flips *)
+  torn : int;  (** torn syncs: a chunk loses the tail half of its write *)
+  horizon : int;  (** sync count the scheduled faults are spread over *)
+}
+
+val none : plan
+val is_none : plan -> bool
+val of_string : string -> plan option
+val to_string : plan -> string
+val pp : Format.formatter -> plan -> unit
+
+val seed_of : fault_seed:int -> int
+(** The child seed for the device stream — sibling of
+    {!Plan.logical_seed} under the same [--fault-seed]. *)

@@ -89,3 +89,8 @@ let pp ppf s =
     Fmt.pf ppf "%a"
       (Fmt.list ~sep:Fmt.comma (fun ppf (name, n) -> Fmt.pf ppf "%d %s" n name))
       fields
+
+(* One --fault-seed reproduces a whole mixed-fault run: the logical
+   corruption stream (this module + Inject) and the device stream
+   (Device) are sibling children of the same seed. *)
+let logical_seed ~fault_seed = Util.Prng.derive ~seed:fault_seed ~index:0

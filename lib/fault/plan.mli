@@ -62,3 +62,8 @@ val crashes_for_rate : rng:Util.Prng.t -> rate:float -> int
     generator state; 0 when [rate <= 0]. *)
 
 val pp : Format.formatter -> spec -> unit
+
+val logical_seed : fault_seed:int -> int
+(** The child seed for the {e logical} fault stream (crash points and
+    metadata corruption draws). Sibling of {!Device.seed_of}, so one
+    [--fault-seed] reproduces a whole mixed logical+device fault run. *)

@@ -462,6 +462,8 @@ let free_inode t i =
   Bitmap.clear t.inode_used i;
   t.nifree <- t.nifree + 1
 
+let inode_is_free t i = not (Bitmap.get t.inode_used i)
+
 let add_dir t =
   touch t;
   t.ndirs <- t.ndirs + 1
@@ -483,12 +485,10 @@ let mark_inode_used t i =
 let reset t =
   let nfrags = data_frags t and nblocks = data_blocks t in
   Bitmap.clear_range t.frag_used ~pos:0 ~len:nfrags;
-  for b = 0 to nblocks - 1 do
-    if Bitmap.get t.block_used b then begin
-      Bitmap.clear t.block_used b;
-      Run_index.free t.runs b
-    end
-  done;
+  Bitmap.clear_range t.block_used ~pos:0 ~len:nblocks;
+  (* unconditional: the on-store bitmaps may themselves be corrupt
+     (device bit rot), so nothing here may be driven by their contents *)
+  Run_index.reset t.runs;
   Extent_index.reset t.ext;
   Bitmap.clear_range t.inode_used ~pos:0 ~len:(Bitmap.length t.inode_used);
   t.nffree <- nfrags;

@@ -155,6 +155,12 @@ val alloc_inode : t -> int option
 (** Lowest free inode slot (local index), or [None]. *)
 
 val free_inode : t -> int -> unit
+
+val inode_is_free : t -> int -> bool
+(** Is this inode slot's bitmap bit clear? Ground truth for
+    [Check.run]'s inode-bitmap audit — the bit, not the [inodes_free]
+    counter (which two opposite corruptions can leave plausible). *)
+
 val add_dir : t -> unit
 val remove_dir : t -> unit
 

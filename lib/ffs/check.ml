@@ -7,6 +7,7 @@ type problem =
   | Dangling_entry of { dir : int; name : string; inum : int }
   | Bad_run of { inum : int; addr : int; frags : int }
   | Index_mismatch of { cg : int; what : string }
+  | Inode_bitmap_mismatch of { cg : int; slot : int; live : bool }
 
 type report = {
   problems : problem list;
@@ -76,6 +77,34 @@ let run fs =
           (Group_counter_mismatch
              { cg = cg_index; what = "free blocks"; counter = Cg.free_block_count cg;
                recount = !free_block_recount }))
+    cgs;
+  (* 4b: the inode bitmap vs. the inode table, bit by bit.  A live
+     inode whose bit reads free is the data-loss precursor — the next
+     allocation of that slot would silently overwrite the file — and
+     device corruption (bit rot, a torn region tail) is exactly how
+     such bits change behind the counters' back.  Counters are audited
+     too, but bit-level: opposite flips in one group cancel in any
+     count. *)
+  let ipg = Params.inodes_per_group params in
+  Array.iteri
+    (fun cg_index cg ->
+      let free_inode_recount = ref 0 in
+      for slot = 0 to ipg - 1 do
+        let bit_free = Cg.inode_is_free cg slot in
+        if bit_free then incr free_inode_recount;
+        let live =
+          match Fs.inode fs ((cg_index * ipg) + slot) with
+          | _ -> true
+          | exception Not_found -> false
+        in
+        if live = bit_free then
+          add (Inode_bitmap_mismatch { cg = cg_index; slot; live })
+      done;
+      if !free_inode_recount <> Cg.inodes_free cg then
+        add
+          (Group_counter_mismatch
+             { cg = cg_index; what = "free inodes"; counter = Cg.inodes_free cg;
+               recount = !free_inode_recount }))
     cgs;
   (* 5: directory tree — every inode referenced, every entry resolvable *)
   let referenced : (int, unit) Hashtbl.t = Hashtbl.create 4096 in
@@ -289,6 +318,65 @@ let repair_exn fs =
 
 let repair fs = Error.guard (fun () -> repair_exn fs)
 
+(* --- scrub: the device-level sweep, escalating to repair ------------------- *)
+
+type scrub_log = {
+  store_report : Store.scrub_report;
+  problems_found : int;
+  repaired : bool;
+}
+
+let scrub_is_clean log = log.problems_found = 0 && log.store_report.Store.scrub_mismatched = []
+
+let scrub_exn fs =
+  Obs.Trace.span "store.scrub" [] @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  let store = Fs.store fs in
+  (* pass 1: the store-level walk — sync (which is where a fault plan's
+     scheduled damage lands, exactly as a real scrub surfaces latent
+     sectors), verify clean chunks against their CRCs, quarantine
+     persistently unreadable ones *)
+  let sr = Store.scrub store in
+  (* pass 2: the logical audit always runs.  Checksums cannot vouch for
+     dirty chunks (their CRC is stale by rule) and torn syncs corrupt
+     exactly the chunks that were being written, so the cross-view audit
+     is the authority on what the bitmaps must say. *)
+  let before = run fs in
+  let flagged = sr.Store.scrub_mismatched <> [] in
+  let repaired =
+    if flagged || not (is_clean before) then begin
+      let _log = repair_exn fs in
+      let after = run fs in
+      if not (is_clean after) then
+        Error.raise_ (Error.Corrupt "scrub: repair did not converge to a clean audit");
+      true
+    end
+    else false
+  in
+  (* pass 3: re-bless flagged chunks.  The audit has accepted (or
+     rebuilt) their logical content, so their current bytes are the
+     truth — without this, rot in region padding (bytes no bitmap
+     claims) would trip every future scrub and idempotence would be
+     lost. *)
+  List.iter (fun c -> Store.refresh_chunk_crc store c) sr.Store.scrub_mismatched;
+  let m = Obs.Metrics.default in
+  if repaired then
+    Obs.Metrics.add m "scrub_repaired_total"
+      (max 1 (List.length sr.Store.scrub_mismatched));
+  Obs.Metrics.observe m "scrub_seconds" (Unix.gettimeofday () -. t0);
+  { store_report = sr; problems_found = List.length before.problems; repaired }
+
+let scrub fs = Error.guard (fun () -> scrub_exn fs)
+
+let pp_scrub ppf log =
+  let sr = log.store_report in
+  Fmt.pf ppf "scrub: %d chunks (%d verified, %d stale, %d mismatched, %d quarantined); %d logical problem(s)%s"
+    sr.Store.scrub_chunks sr.Store.scrub_verified sr.Store.scrub_stale
+    (List.length sr.Store.scrub_mismatched)
+    (List.length sr.Store.scrub_quarantined)
+    log.problems_found
+    (if log.repaired then "; repaired" else "")
+
 let pp_problem ppf = function
   | Double_claim { fragment; first_owner; second_owner } ->
       Fmt.pf ppf "fragment %d claimed by both inode %d and inode %d" fragment first_owner
@@ -307,6 +395,11 @@ let pp_problem ppf = function
       Fmt.pf ppf "inode %d has an invalid run (addr %d, %d fragments)" inum addr frags
   | Index_mismatch { cg; what } ->
       Fmt.pf ppf "group %d free-space index disagrees with bitmap: %s" cg what
+  | Inode_bitmap_mismatch { cg; slot; live } ->
+      if live then
+        Fmt.pf ppf "group %d inode slot %d holds a live inode but its bitmap bit is free"
+          cg slot
+      else Fmt.pf ppf "group %d inode slot %d is marked used but holds no inode" cg slot
 
 let pp_repair ppf log =
   if repair_is_noop log then Fmt.pf ppf "nothing to repair"

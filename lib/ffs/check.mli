@@ -26,6 +26,13 @@ type problem =
       (** a derived search structure (the extent index or the cluster-run
           summary) disagrees with the group's bitmaps; [what] is the
           divergence in words *)
+  | Inode_bitmap_mismatch of { cg : int; slot : int; live : bool }
+      (** an inode-bitmap bit contradicts the inode table: [live] means
+          a live inode's slot is marked free (the dangerous direction —
+          the next allocation of that slot would silently overwrite the
+          file), [not live] a marked slot holds no inode.  Bit-level on
+          purpose: device corruption can flip bits in both directions
+          within one group, leaving every {e counter} plausible. *)
 
 type report = {
   problems : problem list;
@@ -93,3 +100,37 @@ val repair_is_noop : repair_log -> bool
     image that {e has} a lost+found directory is not dirty.) *)
 
 val pp_repair : Format.formatter -> repair_log -> unit
+
+(** {2 Scrub}
+
+    The device-level sweep: walk the store's chunks verifying per-chunk
+    checksums ({!Store.scrub}), then always run the logical audit, and
+    escalate to {!repair} when either view found damage. Quarantined or
+    torn chunks lose bytes at the store level; the inode table lives in
+    the OCaml heap and is authoritative, so repair rebuilds the affected
+    groups' bitmaps from it — which is why a scrubbed volume loses no
+    user data. *)
+
+type scrub_log = {
+  store_report : Store.scrub_report;  (** the chunk walk's findings *)
+  problems_found : int;  (** logical problems the audit saw before repair *)
+  repaired : bool;  (** whether repair ran (and converged) *)
+}
+
+val scrub : Fs.t -> (scrub_log, Error.t) result
+(** One scrub cycle. Postconditions on [Ok]: the audit is clean, and
+    scrub is idempotent — an immediately repeated scrub finds nothing
+    (mismatched chunks are re-blessed once the audit accepts their
+    content). [Error Media_error] when the store's quarantine spares are
+    exhausted — the volume should be failed, not trusted.
+
+    Recorded as a [store.scrub] trace span; observes [scrub_seconds] and
+    bumps [scrub_chunks_total] / [scrub_repaired_total]. *)
+
+val scrub_exn : Fs.t -> scrub_log
+(** Like {!scrub} but raises {!Error.Error}. *)
+
+val scrub_is_clean : scrub_log -> bool
+(** Did the scrub find nothing at either level? *)
+
+val pp_scrub : Format.formatter -> scrub_log -> unit

@@ -12,6 +12,7 @@ type t =
   | Corrupt of string
   | Cross_cg of { cg : int; pinned : int }
   | Io of { path : string; message : string }
+  | Media_error of { chunk : int; detail : string }
 
 exception Error of t
 
@@ -35,6 +36,8 @@ let pp ppf = function
       else
         Fmt.pf ppf "operation touches cylinder group %d while pinned to %d" cg pinned
   | Io { path; message } -> Fmt.pf ppf "%s: %s" path message
+  | Media_error { chunk; detail } ->
+      Fmt.pf ppf "unhealable media error at chunk %d: %s" chunk detail
 
 let to_string = Fmt.to_to_string pp
 

@@ -33,7 +33,16 @@ type t =
       (** a durable-artifact read or write failed at the OS level (the
           result-typed twins of [Aging.Image.save] and
           [Aging.Checkpoint.save] catch [Sys_error]/[Unix_error] into
-          this). Declared last; see {!Cross_cg}. *)
+          this). Declared after the original constructors; see
+          {!Cross_cg}. *)
+  | Media_error of { chunk : int; detail : string }
+      (** the self-healing store ([Store.Resilient]) could not recover a
+          chunk: its spare regions are exhausted, or a quarantined
+          replacement failed too. The volume's remaining data is intact
+          but the store can no longer mask device faults — callers
+          should fail the volume gracefully (the fleet supervisor
+          quarantines it) rather than trust further reads. Declared
+          last; see {!Cross_cg}. *)
 
 exception Error of t
 (** Raised by the [_exn] entry points. Registered with

@@ -32,6 +32,17 @@ let copy t =
     counts = Array.copy t.counts;
   }
 
+let reset t =
+  Bitmap.clear_range t.used ~pos:0 ~len:t.size;
+  Array.fill t.lengths 0 (Array.length t.lengths) 0;
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.longest_hint <- t.size;
+  if t.size > 0 then begin
+    t.lengths.(0) <- t.size;
+    t.lengths.(t.size - 1) <- t.size;
+    t.counts.(t.size) <- 1
+  end
+
 let size t = t.size
 let is_free t i = not (Bitmap.get t.used i)
 

@@ -25,6 +25,12 @@ val create : int -> t
 val copy : t -> t
 val size : t -> int
 
+val reset : t -> unit
+(** Back to the all-free state, unconditionally. Repair plumbing: unlike
+    per-slot {!free} driven by a bitmap walk, this never consults (and so
+    never trusts) existing state — required when the on-store bitmaps may
+    themselves be corrupt (e.g. device-level bit rot). *)
+
 val is_free : t -> int -> bool
 
 val allocate : t -> int -> unit

@@ -19,7 +19,8 @@ type entry = { spec : Spec.volume; status : status; checkpoint_dir : string; att
 
 type t = { spec_crc : int32; fleet_seed : int; entries : entry array }
 
-let kind = "fleet-manifest-2"
+(* "-3": Spec.volume (marshalled inside entries) grew device_faults *)
+let kind = "fleet-manifest-3"
 
 let create (spec : Spec.t) =
   {

@@ -8,6 +8,7 @@ type volume = {
   profile : Workload.Profiles.kind;
   crashes : int;
   fault_seed : int;
+  device_faults : Ffs.Store.Device.plan option;
 }
 
 type t = { fleet_seed : int; volumes : volume array }
@@ -22,7 +23,7 @@ let params_of_geometry = function
 let nth_of rng l = List.nth l (Util.Prng.int rng (List.length l))
 
 let generate ?(geometries = [ "small" ]) ?(profiles = Workload.Profiles.all)
-    ?(fault_rate = 0.0) ~volumes ~days ~seed () =
+    ?(fault_rate = 0.0) ?(device_fault_rate = 0.0) ~volumes ~days ~seed () =
   if volumes <= 0 then invalid_arg "Fleet.Spec.generate: volumes must be positive";
   if geometries = [] then invalid_arg "Fleet.Spec.generate: no geometries";
   if profiles = [] then invalid_arg "Fleet.Spec.generate: no profiles";
@@ -45,7 +46,38 @@ let generate ?(geometries = [ "small" ]) ?(profiles = Workload.Profiles.all)
         let policy = if Util.Prng.bool rng then `First_fit else `Best_fit in
         let crashes = Fault.Plan.crashes_for_rate ~rng ~rate:fault_rate in
         let fault_seed = Util.Prng.bits30 rng in
-        { id = i; seed = vseed; days; geometry; realloc; policy; profile; crashes; fault_seed })
+        (* drawn after every original field, so a zero rate leaves the
+           pre-device-fault fleets bit-identical *)
+        let device_faults =
+          if device_fault_rate <= 0.0 then None
+          else begin
+            let latent = Fault.Plan.crashes_for_rate ~rng ~rate:device_fault_rate in
+            let bitrot = Fault.Plan.crashes_for_rate ~rng ~rate:(2.0 *. device_fault_rate) in
+            let torn = Fault.Plan.crashes_for_rate ~rng ~rate:(device_fault_rate /. 2.0) in
+            let plan =
+              {
+                Ffs.Store.Device.transient = 0.002 *. device_fault_rate;
+                latent;
+                bitrot;
+                torn;
+                horizon = max 1 days;
+              }
+            in
+            if Ffs.Store.Device.is_none plan then None else Some plan
+          end
+        in
+        {
+          id = i;
+          seed = vseed;
+          days;
+          geometry;
+          realloc;
+          policy;
+          profile;
+          crashes;
+          fault_seed;
+          device_faults;
+        })
   in
   { fleet_seed = seed; volumes = vols }
 
@@ -62,10 +94,13 @@ let ops_of_volume v =
 let fingerprint t = Recover.Crc32.string (Marshal.to_string t [])
 
 let pp_volume ppf v =
-  Fmt.pf ppf "%s/%s %s %dd seed=%d%s" v.geometry
+  Fmt.pf ppf "%s/%s %s %dd seed=%d%s%s" v.geometry
     (if v.realloc then
        match v.policy with `First_fit -> "realloc-ff" | `Best_fit -> "realloc-bf"
      else "ffs")
     (Workload.Profiles.name v.profile)
     v.days v.seed
     (if v.crashes > 0 then Fmt.str " crashes=%d" v.crashes else "")
+    (match v.device_faults with
+    | None -> ""
+    | Some plan -> Fmt.str " device=[%s]" (Ffs.Store.Device.to_string plan))

@@ -19,6 +19,10 @@ type volume = {
   profile : Workload.Profiles.kind;  (** workload mix *)
   crashes : int;  (** injected power failures during the replay *)
   fault_seed : int;  (** PRNG seed for crash points and fault plans *)
+  device_faults : Ffs.Store.Device.plan option;
+      (** device-level faults injected beneath this volume's store; the
+          supervisor runs such volumes on a resilient backend seeded
+          from [fault_seed]'s device child stream *)
 }
 
 type t = {
@@ -30,6 +34,7 @@ val generate :
   ?geometries:string list ->
   ?profiles:Workload.Profiles.kind list ->
   ?fault_rate:float ->
+  ?device_fault_rate:float ->
   volumes:int ->
   days:int ->
   seed:int ->
@@ -39,8 +44,12 @@ val generate :
     [geometries], default [["small"]]), workload profile (from
     [profiles], default all four), allocator, cluster policy, and crash
     count (Poisson with mean [fault_rate], default 0) all come from
-    child streams of [seed]. Equal arguments give equal fleets,
-    bit-for-bit. *)
+    child streams of [seed]. [device_fault_rate] > 0 additionally draws
+    a per-volume device-fault plan (Poisson latent/bitrot/torn counts
+    scaled by the rate, a matching transient probability); it is drawn
+    after every original field, so a zero rate generates fleets
+    bit-identical to pre-device-fault ones. Equal arguments give equal
+    fleets, bit-for-bit. *)
 
 val params_of_geometry : string -> (Ffs.Params.t, Ffs.Error.t) result
 (** Resolve a named geometry; [Error (Corrupt _)] for an unknown name

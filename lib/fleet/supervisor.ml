@@ -13,6 +13,7 @@ type config = {
   checkpoint_keep : int;
   checkpoint_full_every : int;
   backend : Ffs.Store.spec;
+  scrub_every : int;
   retry : Par.Pool.retry;
   log : string -> unit;
   chaos : (int -> attempt:int -> unit) option;
@@ -29,6 +30,7 @@ let default_config =
     checkpoint_keep = 2;
     checkpoint_full_every = 8;
     backend = Ffs.Store.Heap_backend;
+    scrub_every = 1;
     retry = { Par.Pool.no_retry with jitter = 0.25 };
     log = ignore;
     chaos = None;
@@ -94,8 +96,20 @@ let attempt_volume cfg ~pool ~ckdir ~ops (spec : Spec.volume) ~attempt =
     | Error e -> Ffs.Error.raise_ e
   in
   let ops = Lazy.force ops in
+  (* a volume with a device-fault plan runs on the self-healing store,
+     its injection seeded from the volume's own fault seed — the same
+     backend for checkpoint loads, so a resumed store heals identically *)
+  let vol_backend, scrub_every =
+    match spec.Spec.device_faults with
+    | None -> (cfg.backend, 0)
+    | Some plan ->
+        ( Ffs.Store.resilient_spec ~faults:plan
+            ~seed:(Fault.Device.seed_of ~fault_seed:spec.Spec.fault_seed)
+            cfg.backend,
+          max 1 cfg.scrub_every )
+  in
   let resume =
-    Option.map snd (Aging.Checkpoint.load_latest_opt ~backend:cfg.backend ~dir:ckdir)
+    Option.map snd (Aging.Checkpoint.load_latest_opt ~backend:vol_backend ~dir:ckdir)
   in
   let deadline =
     if cfg.watchdog > 0.0 then Unix.gettimeofday () +. cfg.watchdog else infinity
@@ -113,10 +127,10 @@ let attempt_volume cfg ~pool ~ckdir ~ops (spec : Spec.volume) ~attempt =
   in
   let save_ck ck = ignore (Aging.Checkpoint.save_auto ckw ck) in
   match
-    Aging.Replay.run_resumable ~backend:cfg.backend ~config:(Spec.config_of_volume spec)
+    Aging.Replay.run_resumable ~backend:vol_backend ~config:(Spec.config_of_volume spec)
       ?resume ~should_stop ~checkpoint_every:cfg.checkpoint_every ~on_checkpoint:save_ck
-      ~params ~days:spec.Spec.days ~crashes:spec.Spec.crashes ~fault_seed:spec.Spec.fault_seed
-      ops
+      ~scrub_every ~params ~days:spec.Spec.days ~crashes:spec.Spec.crashes
+      ~fault_seed:spec.Spec.fault_seed ops
   with
   | `Completed cr -> `Done (summarize cr)
   | `Interrupted ck ->

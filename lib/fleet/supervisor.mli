@@ -48,7 +48,14 @@ type config = {
           dirty-group deltas ({!Aging.Checkpoint.writer}) *)
   backend : Ffs.Store.spec;
       (** storage backend each volume's image lives on (default in-heap;
-          [Mmap_backend] keeps the fleet's images out of the OCaml heap) *)
+          [Mmap_backend] keeps the fleet's images out of the OCaml heap).
+          A volume whose spec carries a device-fault plan is wrapped in
+          {!Ffs.Store.resilient_spec} around this base, seeded from its
+          own [fault_seed] ({!Fault.Device.seed_of}) *)
+  scrub_every : int;
+      (** days between {!Ffs.Check.scrub_exn} passes on volumes running
+          with device faults (clamped to at least 1 there; fault-free
+          volumes never scrub) *)
   retry : Par.Pool.retry;
       (** backoff/jitter schedule between attempts ([attempts] itself is
           ignored — [max_retries] governs) *)
@@ -65,8 +72,8 @@ type config = {
 val default_config : config
 (** [jobs] = machine default, [max_retries] = 2, [quarantine_after] =
     3, no watchdog, checkpoint every simulated day, keep 2, full
-    checkpoint every 8th save, in-heap backend, 0.25 jitter on a
-    0.05 s backoff. *)
+    checkpoint every 8th save, in-heap backend, scrub every day on
+    faulty volumes, 0.25 jitter on a 0.05 s backoff. *)
 
 type outcome = {
   manifest : Manifest.t;  (** final state, as persisted *)

@@ -319,6 +319,69 @@ let test_mmap_file_backing () =
       check_bool "backing file sized to the volume" true
         ((Unix.stat path).Unix.st_size >= Ffs.Store.Layout.total_bytes small))
 
+(* --- named-file mmap error paths ------------------------------------------- *)
+
+(* OS-level failures must surface as typed [Error.Io] carrying the
+   offending path — never as a raw [Unix_error] or a segfaulting
+   mapping *)
+
+let expect_io name r =
+  match r with
+  | Error (Ffs.Error.Io { path; message }) ->
+      check_bool (name ^ ": error names the path") true (path <> "");
+      message
+  | Error e -> Alcotest.failf "%s: expected Io, got %a" name Ffs.Error.pp e
+  | Ok _ -> Alcotest.failf "%s: expected Error Io, got Ok" name
+
+let test_mmap_missing_directory () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat (Filename.concat dir "no-such-dir") "volume.ffs" in
+      let r =
+        Ffs.Error.guard (fun () ->
+            Ffs.Store.mmap ~path ~length:4096 ~chunk_bytes:1024 ())
+      in
+      ignore (expect_io "missing directory" r))
+
+let test_mmap_path_is_directory () =
+  with_temp_dir (fun dir ->
+      let r =
+        Ffs.Error.guard (fun () ->
+            Ffs.Store.mmap ~path:dir ~length:4096 ~chunk_bytes:1024 ())
+      in
+      ignore (expect_io "path is a directory" r))
+
+let test_mmap_truncated_backing_file () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "volume.ffs" in
+      let oc = open_out path in
+      output_string oc "short";
+      close_out oc;
+      let r =
+        Ffs.Error.guard (fun () ->
+            Ffs.Store.mmap ~path ~length:4096 ~chunk_bytes:1024 ())
+      in
+      let message = expect_io "truncated backing file" r in
+      check_bool "message says the file is too short" true
+        (contains ~sub:"truncated" message);
+      (* the pre-check must refuse before touching the file: a truncated
+         image must not be silently grown over *)
+      check_int "backing file untouched" 5 (Unix.stat path).Unix.st_size)
+
+(* the same typed error must come back through the whole stack when the
+   CLI-level backend spec names an unusable file *)
+let test_mmap_error_through_replay () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat (Filename.concat dir "gone") "volume.ffs" in
+      let ops = build_ops small ~days:1 ~seed:5 in
+      let r =
+        Ffs.Error.guard (fun () ->
+            ignore
+              (Aging.Replay.run
+                 ~backend:(Ffs.Store.Mmap_backend (Some path))
+                 ~params:small ~days:1 ops))
+      in
+      ignore (expect_io "replay on a missing directory" r))
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   let slow name f = Alcotest.test_case name `Slow f in
@@ -340,5 +403,12 @@ let () =
         [
           slow "cross-backend image round-trip" test_image_cross_backend;
           tc "file-backed mmap volume" test_mmap_file_backing;
+        ] );
+      ( "mmap errors",
+        [
+          tc "missing directory is typed Io" test_mmap_missing_directory;
+          tc "path is a directory is typed Io" test_mmap_path_is_directory;
+          tc "truncated backing file is typed Io" test_mmap_truncated_backing_file;
+          tc "typed Io surfaces through replay" test_mmap_error_through_replay;
         ] );
     ]

@@ -239,6 +239,35 @@ let test_jobs_do_not_change_results () =
   in
   check_int32 "jobs 1 = jobs 4" (digest 1) (digest 4)
 
+(* Regression: crash repair parks orphans under a lost+found directory
+   it creates on the spot, and that mkdir can recycle the inum of the
+   very file the crash forgot. The replay must then treat the workload's
+   mapping to that inum as lost (the inode exists but is a directory
+   now), not keep rewriting "the file" — which used to blow up with
+   [Is_a_directory] two days later. Volume 17 of this exact fleet spec
+   is the seed that found it. *)
+let test_recycled_inum_after_crash_repair () =
+  let spec = Fleet.Spec.generate ~fault_rate:0.5 ~volumes:64 ~days:2 ~seed:4242 () in
+  let vol = spec.Fleet.Spec.volumes.(17) in
+  let params =
+    match Fleet.Spec.params_of_geometry vol.Fleet.Spec.geometry with
+    | Ok p -> p
+    | Error e -> Ffs.Error.raise_ e
+  in
+  let ops = Fleet.Spec.ops_of_volume vol in
+  match
+    Aging.Replay.run_resumable
+      ~config:(Fleet.Spec.config_of_volume vol)
+      ~params ~days:vol.Fleet.Spec.days ~crashes:vol.Fleet.Spec.crashes
+      ~fault_seed:vol.Fleet.Spec.fault_seed ops
+  with
+  | `Completed cr ->
+      check_int "all crashes recovered" vol.Fleet.Spec.crashes
+        (List.length cr.Aging.Replay.recoveries);
+      let report = Ffs.Check.run cr.Aging.Replay.result.Aging.Replay.fs in
+      check_bool "image audit-clean" true (Ffs.Check.is_clean report)
+  | `Interrupted _ -> Alcotest.fail "volume unexpectedly interrupted"
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   let slow name f = Alcotest.test_case name `Slow f in
@@ -265,5 +294,6 @@ let () =
           slow "quarantine degrades gracefully" test_quarantine_degrades_gracefully;
           slow "failed volume recovers on resume" test_failed_volume_recovers_on_resume;
           slow "jobs 1 = jobs 4" test_jobs_do_not_change_results;
+          tc "recycled inum after crash repair" test_recycled_inum_after_crash_repair;
         ] );
     ]
